@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation: hybrid recovery's macro-checkpoint period (Figure 8's
+ * "once every 10,000 requests") against dormant attacks.
+ *
+ * A short period pays frequent full-application checkpoints but heals
+ * dormant damage from a recent image; a long period is cheap in the
+ * benign case. Measures checkpoint work, failures until the macro
+ * fallback fires, and availability under a dormant plant.
+ */
+
+#include "bench_util.hh"
+
+using namespace indra;
+
+int
+main()
+{
+    setLogVerbosity(0);
+    SystemConfig base;
+    base.consecutiveFailureThreshold = 2;
+    benchutil::printHeader(
+        "Ablation: hybrid recovery macro-checkpoint period", base);
+
+    std::cout << std::left << std::setw(10) << "period"
+              << std::right << std::setw(12) << "captures"
+              << std::setw(14) << "macro_rolls"
+              << std::setw(14) << "crashes"
+              << std::setw(14) << "avail" << "\n";
+
+    net::DaemonProfile profile = net::daemonByName("sendmail");
+    profile.instrPerRequest = 60000;
+
+    for (std::uint64_t period : {2ull, 5ull, 10ull, 25ull}) {
+        SystemConfig cfg = base;
+        cfg.macroCheckpointPeriod = period;
+        core::IndraSystem sys(cfg);
+        sys.boot();
+        std::size_t slot = sys.deployService(profile);
+
+        auto script = net::ClientScript::benign(30);
+        script[9].attack = net::AttackKind::Dormant;
+        auto outcomes = sys.runScript(script, slot);
+        auto report = net::AvailabilityReport::build(outcomes);
+
+        std::uint64_t crashes = 0;
+        for (const auto &o : outcomes) {
+            if (o.status == net::RequestStatus::CrashedRecovered)
+                ++crashes;
+        }
+        std::cout << std::left << std::setw(10) << period << std::right
+                  << std::setw(12)
+                  << sys.slot(slot).macro->captures()
+                  << std::setw(14)
+                  << sys.slot(slot).macro->restores()
+                  << std::setw(14) << crashes << std::fixed
+                  << std::setprecision(3) << std::setw(14)
+                  << report.availability() << "\n";
+    }
+    std::cout << "\ndormant damage defeats micro recovery; the macro "
+                 "fallback (Fig. 8) revives the service at any period"
+              << std::endl;
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 11: service response-time overhead of INDRA monitoring
+ * (backup and rollback excluded, exactly as in the paper).
+ *
+ * Paper shape: a small percentage for every daemon (all below ~10%).
+ */
+
+#include "bench_util.hh"
+
+using namespace indra;
+
+int
+main()
+{
+    setLogVerbosity(0);
+    SystemConfig base;
+    base.monitorEnabled = false;
+    base.checkpointScheme = CheckpointScheme::None;
+    SystemConfig monitored = base;
+    monitored.monitorEnabled = true;
+
+    benchutil::printHeader(
+        "Figure 11: monitoring overhead on service response time (%)",
+        monitored);
+
+    benchutil::printCols({"overhead_%"});
+    double sum = 0;
+    for (const auto &profile : net::standardDaemons()) {
+        auto off = benchutil::runBenign(base, profile, 3, 8);
+        auto on = benchutil::runBenign(monitored, profile, 3, 8);
+        double overhead =
+            (on.totalResponse() / off.totalResponse() - 1.0) * 100.0;
+        benchutil::printRow(profile.name, {overhead});
+        sum += overhead;
+    }
+    benchutil::printRow("average",
+                        {sum / net::standardDaemons().size()});
+    std::cout << "\npaper: all daemons below ~10% overhead"
+              << std::endl;
+    return 0;
+}

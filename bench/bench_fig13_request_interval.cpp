@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 13: average instruction count between back-to-back service
+ * requests.
+ *
+ * Paper shape: hundreds of thousands to millions of instructions;
+ * bind the clear minimum at ~150k, sendmail the maximum near 2.3M.
+ */
+
+#include "bench_util.hh"
+
+using namespace indra;
+
+int
+main()
+{
+    setLogVerbosity(0);
+    SystemConfig cfg;
+    benchutil::printHeader(
+        "Figure 13: instructions between service requests", cfg);
+
+    benchutil::printCols({"instructions", "cpi"});
+    double sum = 0;
+    for (const auto &profile : net::standardDaemons()) {
+        auto run = benchutil::runBenign(cfg, profile, 2, 8);
+        double total = 0;
+        for (const auto &o : run.outcomes)
+            total += static_cast<double>(o.instructions);
+        double avg = total / run.outcomes.size();
+        double cpi = run.totalResponse() / total;
+        benchutil::printRow(profile.name, {avg, cpi}, 0);
+        sum += avg;
+    }
+    benchutil::printRow("average",
+                        {sum / net::standardDaemons().size()}, 0);
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 14: response-time slowdown when dirty pages are backed up
+ * with conventional virtual checkpointing (whole-page copy on
+ * demand), normalized to a run without any backup.
+ *
+ * Paper shape: large slowdowns (multiples, 2-14x), dominated by
+ * page-to-page copying; worst for short-request / many-page daemons.
+ */
+
+#include "bench_util.hh"
+
+using namespace indra;
+
+int
+main()
+{
+    setLogVerbosity(0);
+    SystemConfig base;
+    base.monitorEnabled = false;
+    base.checkpointScheme = CheckpointScheme::None;
+    SystemConfig paged = base;
+    paged.checkpointScheme = CheckpointScheme::VirtualCheckpoint;
+
+    benchutil::printHeader(
+        "Figure 14: slowdown with page-copy virtual checkpointing",
+        paged);
+
+    benchutil::printCols({"slowdown_x"});
+    double sum = 0;
+    for (const auto &profile : net::standardDaemons()) {
+        auto off = benchutil::runBenign(base, profile, 2, 6);
+        auto on = benchutil::runBenign(paged, profile, 2, 6);
+        double slowdown = on.totalResponse() / off.totalResponse();
+        benchutil::printRow(profile.name, {slowdown});
+        sum += slowdown;
+    }
+    benchutil::printRow("average",
+                        {sum / net::standardDaemons().size()});
+    std::cout << "\npaper: multi-x slowdowns (roughly 2-14x)"
+              << std::endl;
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of INDRA's hot hardware paths:
+ * the delta-backup store hook, the filter CAM lookup, the per-page
+ * line bitvectors, the trace-FIFO push, and the cache model itself.
+ * These measure *simulator* throughput (wall clock), complementing
+ * the cycle-accurate tables the other benches print.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "checkpoint/bitvec.hh"
+#include "checkpoint/delta_backup.hh"
+#include "cpu/filter_cam.hh"
+#include "mem/cache.hh"
+#include "mem/trace_fifo.hh"
+#include "sim/random.hh"
+
+#include "../tests/test_util.hh"
+
+using namespace indra;
+
+namespace
+{
+
+void
+BM_DeltaStoreHook(benchmark::State &state)
+{
+    testutil::MemoryRig rig;
+    rig.space->mapRegion(0x10000000, 64, os::Region::Data);
+    ckpt::DeltaBackup engine(rig.cfg, *rig.context, *rig.space,
+                             rig.phys, *rig.hierarchy, rig.stats);
+    rig.context->incrementGts();
+    Pcg32 rng(1);
+    Addr base = 0x10000000;
+    for (auto _ : state) {
+        Addr a = base + (rng.next() & 0x3ffc0);
+        benchmark::DoNotOptimize(engine.onStore(0, 1, a, 8));
+    }
+}
+BENCHMARK(BM_DeltaStoreHook);
+
+void
+BM_DeltaStoreHookHotLine(benchmark::State &state)
+{
+    testutil::MemoryRig rig;
+    rig.space->mapRegion(0x10000000, 4, os::Region::Data);
+    ckpt::DeltaBackup engine(rig.cfg, *rig.context, *rig.space,
+                             rig.phys, *rig.hierarchy, rig.stats);
+    rig.context->incrementGts();
+    engine.onStore(0, 1, 0x10000000, 8);  // line already dirty
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.onStore(0, 1, 0x10000000, 8));
+}
+BENCHMARK(BM_DeltaStoreHookHotLine);
+
+void
+BM_FilterCamLookup(benchmark::State &state)
+{
+    stats::StatGroup g("bm");
+    cpu::FilterCam cam(static_cast<std::uint32_t>(state.range(0)), g);
+    Pcg32 rng(2);
+    for (auto _ : state) {
+        Addr page = (rng.next() & 0xff) << 12;
+        benchmark::DoNotOptimize(cam.lookupInsert(page));
+    }
+}
+BENCHMARK(BM_FilterCamLookup)->Arg(32)->Arg(64)->Arg(256);
+
+void
+BM_LineBitVector(benchmark::State &state)
+{
+    ckpt::LineBitVector a(64), b(64);
+    for (int i = 0; i < 64; i += 3)
+        b.set(i);
+    for (auto _ : state) {
+        a.orWith(b);
+        benchmark::DoNotOptimize(a.popcount());
+        benchmark::DoNotOptimize(a.any());
+    }
+}
+BENCHMARK(BM_LineBitVector);
+
+void
+BM_TraceFifoPush(benchmark::State &state)
+{
+    stats::StatGroup g("bm");
+    mem::TraceFifo fifo(32, g);
+    Tick t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fifo.push(t, 6));
+        t += 8;
+    }
+}
+BENCHMARK(BM_TraceFifoPush);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    stats::StatGroup g("bm");
+    SystemConfig cfg;
+    mem::Cache l2(cfg.l2, g);
+    Pcg32 rng(3);
+    for (auto _ : state) {
+        Addr a = (rng.next() & 0xfffff) & ~63ull;
+        benchmark::DoNotOptimize(l2.access(a, (a & 64) != 0));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

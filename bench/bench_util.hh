@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benches: building
+ * systems, running warm measured request batches, and printing
+ * paper-style tables.
+ */
+
+#ifndef INDRA_BENCH_UTIL_HH
+#define INDRA_BENCH_UTIL_HH
+
+#include <functional>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "net/client.hh"
+#include "net/daemon_profile.hh"
+#include "sim/logging.hh"
+
+namespace indra::benchutil
+{
+
+/** One measured run of one daemon under one configuration. */
+struct Run
+{
+    std::unique_ptr<core::IndraSystem> system;
+    std::size_t slot = 0;
+    std::vector<net::RequestOutcome> outcomes;
+
+    core::ServiceSlot &serviceSlot() { return system->slot(slot); }
+
+    /** Sum of response times over the measured outcomes. */
+    double
+    totalResponse() const
+    {
+        double t = 0;
+        for (const auto &o : outcomes)
+            t += static_cast<double>(o.responseTime());
+        return t;
+    }
+
+    /** Mean response time over the measured outcomes. */
+    double
+    meanResponse() const
+    {
+        return outcomes.empty() ? 0.0
+                                : totalResponse() / outcomes.size();
+    }
+};
+
+/**
+ * Boot a system, deploy @p profile, run @p warmup benign requests,
+ * reset statistics, then run @p script and return the outcomes.
+ */
+inline Run
+runScript(const SystemConfig &cfg, const net::DaemonProfile &profile,
+          std::uint64_t warmup,
+          const std::vector<net::ServiceRequest> &script)
+{
+    Run run;
+    run.system = std::make_unique<core::IndraSystem>(cfg);
+    run.system->boot();
+    run.slot = run.system->deployService(profile);
+    for (const auto &req : net::ClientScript::benign(warmup))
+        run.system->processRequest(run.slot, req);
+    run.serviceSlot().statGroup->resetAll();
+    run.outcomes = run.system->runScript(script, run.slot);
+    return run;
+}
+
+/** Benign-only convenience wrapper. */
+inline Run
+runBenign(const SystemConfig &cfg, const net::DaemonProfile &profile,
+          std::uint64_t warmup, std::uint64_t measured)
+{
+    auto script = net::ClientScript::benign(measured);
+    for (auto &r : script)
+        r.seq += warmup;
+    return runScript(cfg, profile, warmup, script);
+}
+
+/** Print the standard bench header with the Table 4 parameters. */
+inline void
+printHeader(const std::string &title, const SystemConfig &cfg)
+{
+    std::cout << "==============================================\n"
+              << title << "\n"
+              << "==============================================\n";
+    cfg.print(std::cout);
+    std::cout << "\n";
+}
+
+/** Print one row: name + columns, aligned. */
+inline void
+printRow(const std::string &name, const std::vector<double> &cols,
+         int precision = 3)
+{
+    std::cout << std::left << std::setw(12) << name;
+    for (double c : cols) {
+        std::cout << std::right << std::setw(14) << std::fixed
+                  << std::setprecision(precision) << c;
+    }
+    std::cout << "\n";
+}
+
+/** Print the column header row. */
+inline void
+printCols(const std::vector<std::string> &names)
+{
+    std::cout << std::left << std::setw(12) << "daemon";
+    for (const auto &n : names)
+        std::cout << std::right << std::setw(14) << n;
+    std::cout << "\n";
+}
+
+} // namespace indra::benchutil
+
+#endif // INDRA_BENCH_UTIL_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Checkpoint showdown: the four memory-backup engines of Table 3 side
+ * by side on the same attack-laden workload. Shows why INDRA's delta
+ * backup wins — cheap on the backup path AND on the recovery path —
+ * while the alternatives are fast on at most one.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/system.hh"
+#include "net/daemon_profile.hh"
+#include "sim/logging.hh"
+
+using namespace indra;
+
+int
+main()
+{
+    setLogVerbosity(0);
+    std::cout << "Checkpoint engine showdown (paper Table 3)\n"
+              << "workload: bind DNS, a teardrop-style DoS every 4th "
+                 "request\n\n";
+
+    net::DaemonProfile profile = net::daemonByName("bind");
+    auto script = net::ClientScript::periodicAttack(
+        12, net::AttackKind::DosFlood, 4);
+
+    // Unprotected baseline for normalization.
+    SystemConfig base;
+    base.monitorEnabled = false;
+    base.checkpointScheme = CheckpointScheme::None;
+    double base_mean;
+    {
+        core::IndraSystem sys(base);
+        sys.boot();
+        std::size_t slot = sys.deployService(profile);
+        auto outcomes =
+            sys.runScript(net::ClientScript::benign(12), slot);
+        double t = 0;
+        for (const auto &o : outcomes)
+            t += static_cast<double>(o.responseTime());
+        base_mean = t / outcomes.size();
+    }
+
+    std::cout << std::left << std::setw(22) << "engine"
+              << std::right << std::setw(16) << "backup_cyc/req"
+              << std::setw(18) << "recovery_cyc/rb"
+              << std::setw(12) << "slowdown"
+              << std::setw(8) << "lost" << "\n";
+
+    for (CheckpointScheme scheme :
+         {CheckpointScheme::DeltaBackup,
+          CheckpointScheme::MemoryUpdateLog,
+          CheckpointScheme::VirtualCheckpoint,
+          CheckpointScheme::SoftwareCheckpoint,
+          CheckpointScheme::None}) {
+        SystemConfig cfg = base;
+        cfg.checkpointScheme = scheme;
+        core::IndraSystem sys(cfg);
+        sys.boot();
+        std::size_t slot = sys.deployService(profile);
+        auto outcomes = sys.runScript(script, slot);
+
+        double t = 0;
+        std::uint64_t benign_n = 0;
+        std::uint64_t lost = 0;
+        for (const auto &o : outcomes) {
+            if (o.attack == net::AttackKind::None) {
+                t += static_cast<double>(o.responseTime());
+                ++benign_n;
+            }
+            if (o.status == net::RequestStatus::Lost)
+                ++lost;
+        }
+        auto &policy = *sys.slot(slot).policy;
+        std::cout << std::left << std::setw(22)
+                  << checkpointSchemeName(scheme) << std::right
+                  << std::fixed << std::setprecision(0) << std::setw(16)
+                  << policy.backupCycles() / 12.0 << std::setw(18)
+                  << (policy.recoveryCycles() > 0
+                          ? policy.recoveryCycles() / 3.0
+                          : 0.0)
+                  << std::setprecision(2) << std::setw(12)
+                  << (t / benign_n) / base_mean
+                  << std::setw(8) << lost << "\n";
+    }
+
+    std::cout << "\nwith no backup engine the service is LOST on every "
+                 "attack and pays a full restart;\ndelta backup "
+                 "absorbs the same attacks for ~zero cost\n";
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Command-line INDRA simulator: a scriptable driver over the whole
+ * framework.
+ *
+ *   indra_cli [key=value ...]
+ *
+ * Driver keys:
+ *   daemon=httpd          service to deploy (ftpd, httpd, bind,
+ *                         sendmail, imap, nfs)
+ *   requests=20           requests to serve
+ *   warmup=2              unmeasured warm-up requests
+ *   attack=stack-smash    attack kind (see --help)
+ *   attack_period=5       attack every Nth request (0 = never)
+ *   instr=0               override instructions/request (0 = profile)
+ *   stats=0               dump the full statistics tree at the end
+ *
+ * Everything else is a SystemConfig field, e.g.:
+ *   checkpointScheme=virtual-checkpoint traceFifoEntries=16
+ *   monitorEnabled=false filterCamEntries=64 rngSeed=7
+ */
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "net/daemon_profile.hh"
+#include "sim/config_reader.hh"
+#include "sim/logging.hh"
+
+using namespace indra;
+
+namespace
+{
+
+std::string
+driverArg(const std::vector<std::string> &args, const std::string &key,
+          const std::string &fallback)
+{
+    for (const auto &arg : args) {
+        if (arg.rfind(key + "=", 0) == 0)
+            return arg.substr(key.size() + 1);
+    }
+    return fallback;
+}
+
+void
+printHelp()
+{
+    std::cout <<
+        "usage: indra_cli [key=value ...]\n\n"
+        "driver keys: daemon requests warmup attack attack_period "
+        "instr stats\n"
+        "attacks: benign stack-smash code-injection func-ptr-hijack "
+        "format-string dos-flood dormant\n\n"
+        "config keys:\n";
+    for (const auto &k : knownSettingKeys())
+        std::cout << "  " << k << "\n";
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (const auto &a : args) {
+        if (a == "--help" || a == "-h") {
+            printHelp();
+            return 0;
+        }
+    }
+    setLogVerbosity(1);
+
+    SystemConfig cfg;
+    applySettings(cfg, args);
+
+    net::DaemonProfile profile =
+        net::daemonByName(driverArg(args, "daemon", "httpd"));
+    std::uint64_t instr =
+        std::stoull(driverArg(args, "instr", "0"));
+    if (instr)
+        profile.instrPerRequest = instr;
+    std::uint64_t requests =
+        std::stoull(driverArg(args, "requests", "20"));
+    std::uint64_t warmup = std::stoull(driverArg(args, "warmup", "2"));
+    std::string attack_name = driverArg(args, "attack", "benign");
+    std::uint64_t period =
+        std::stoull(driverArg(args, "attack_period", "0"));
+    bool dump_stats = driverArg(args, "stats", "0") == "1";
+
+    cfg.print(std::cout);
+    std::cout << "\ndeploying " << profile.name << " ("
+              << profile.instrPerRequest << " instr/request)\n\n";
+
+    core::IndraSystem system(cfg);
+    system.boot();
+    std::size_t slot = system.deployService(profile);
+
+    for (const auto &r : net::ClientScript::benign(warmup))
+        system.processRequest(slot, r);
+    system.slot(slot).statGroup->resetAll();
+
+    auto script = period
+        ? net::ClientScript::periodicAttack(
+              requests, net::attackKindFromName(attack_name), period)
+        : net::ClientScript::benign(requests);
+
+    std::cout << std::left << std::setw(6) << "req"
+              << std::setw(16) << "payload"
+              << std::setw(22) << "outcome"
+              << std::setw(18) << "violation"
+              << std::right << std::setw(14) << "cycles" << "\n";
+    auto outcomes = system.runScript(script, slot);
+    for (const auto &o : outcomes) {
+        std::cout << std::left << std::setw(6) << o.seq
+                  << std::setw(16) << net::attackKindName(o.attack)
+                  << std::setw(22) << net::requestStatusName(o.status)
+                  << std::setw(18) << mon::violationName(o.violation)
+                  << std::right << std::setw(14) << o.responseTime()
+                  << "\n";
+    }
+
+    auto report = net::AvailabilityReport::build(outcomes);
+    std::cout << "\navailability " << std::fixed << std::setprecision(3)
+              << report.availability() << "  (served " << report.served
+              << ", recovered " << report.recovered << ", macro "
+              << report.macroRecovered << ", lost " << report.lost
+              << ")\nmean benign response "
+              << std::setprecision(0) << report.meanBenignResponse
+              << " cycles\n";
+
+    if (dump_stats) {
+        std::cout << "\n--- statistics ---\n";
+        system.rootStats().dump(std::cout);
+    }
+    return 0;
+}

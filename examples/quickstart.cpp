@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Quickstart: boot an INDRA machine, deploy a web server on a
+ * resurrectee core, serve benign traffic, survive a stack-smashing
+ * exploit with swift micro recovery, and keep serving.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/system.hh"
+#include "net/daemon_profile.hh"
+#include "sim/logging.hh"
+
+using namespace indra;
+
+int
+main()
+{
+    setLogVerbosity(1);
+
+    // 1. Configure the machine. Defaults reproduce the paper's
+    //    platform (Table 4); we shrink the workload for a quick demo.
+    SystemConfig cfg;
+    cfg.rngSeed = 42;
+    cfg.checkpointScheme = CheckpointScheme::DeltaBackup;
+    cfg.monitorEnabled = true;
+
+    // 2. Boot asymmetric: the resurrector carves out its private
+    //    memory and releases the resurrectee.
+    core::IndraSystem system(cfg);
+    system.boot();
+    std::cout << "booted asymmetric INDRA machine: "
+              << system.resurrectorFrames()
+              << " frames private to the resurrector\n";
+
+    // 3. Deploy the web server.
+    net::DaemonProfile httpd = net::daemonByName("httpd");
+    httpd.instrPerRequest = 120000;  // shortened for the demo
+    std::size_t slot = system.deployService(httpd);
+    std::cout << "deployed " << httpd.name << " on resurrectee core "
+              << system.slot(slot).coreId << "\n\n";
+
+    // 4. Traffic: benign requests with a CAN-2003-0651-style stack
+    //    smash as request 4 and a teardrop-style DoS as request 8.
+    auto script = net::ClientScript::benign(10);
+    script[3].attack = net::AttackKind::StackSmash;
+    script[7].attack = net::AttackKind::DosFlood;
+
+    std::cout << std::left << std::setw(6) << "req"
+              << std::setw(16) << "payload"
+              << std::setw(22) << "outcome"
+              << std::setw(18) << "violation"
+              << "response cycles\n";
+    for (const auto &req : script) {
+        net::RequestOutcome out = system.processRequest(slot, req);
+        std::cout << std::left << std::setw(6) << out.seq
+                  << std::setw(16) << net::attackKindName(out.attack)
+                  << std::setw(22) << net::requestStatusName(out.status)
+                  << std::setw(18) << mon::violationName(out.violation)
+                  << out.responseTime() << "\n";
+    }
+
+    // 5. The service survived both attacks without losing a single
+    //    benign request.
+    auto &mon_ref = *system.slot(slot).monitor;
+    std::cout << "\nmonitor processed " << mon_ref.recordsProcessed()
+              << " trace records, detected "
+              << mon_ref.violationsDetected() << " violations\n";
+    std::cout << "service is still up; "
+              << system.slot(slot).requestsProcessed
+              << " requests served normally\n";
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A small fixed-capacity bitvector for per-page line state (the dirty
+ * block bitvector and rollback bitvector of Figure 3). Sized at
+ * construction for lines-per-page, which is 64 at the default 64B/4KB
+ * geometry but varies in the granularity ablation.
+ */
+
+#ifndef INDRA_CKPT_BITVEC_HH
+#define INDRA_CKPT_BITVEC_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace indra::ckpt
+{
+
+/** Dense bitvector over line indices within one page. */
+class LineBitVector
+{
+  public:
+    explicit LineBitVector(std::uint32_t num_bits = 0)
+        : bits(num_bits), words((num_bits + 63) / 64, 0)
+    {
+    }
+
+    std::uint32_t size() const { return bits; }
+
+    bool
+    test(std::uint32_t i) const
+    {
+        panic_if(i >= bits, "bitvec index out of range");
+        return (words[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void
+    set(std::uint32_t i)
+    {
+        panic_if(i >= bits, "bitvec index out of range");
+        words[i >> 6] |= (1ULL << (i & 63));
+    }
+
+    void
+    clear(std::uint32_t i)
+    {
+        panic_if(i >= bits, "bitvec index out of range");
+        words[i >> 6] &= ~(1ULL << (i & 63));
+    }
+
+    void
+    clearAll()
+    {
+        for (auto &w : words)
+            w = 0;
+    }
+
+    /** this |= other (same size required). */
+    void
+    orWith(const LineBitVector &other)
+    {
+        panic_if(bits != other.bits, "bitvec size mismatch");
+        for (std::size_t i = 0; i < words.size(); ++i)
+            words[i] |= other.words[i];
+    }
+
+    bool
+    any() const
+    {
+        for (auto w : words) {
+            if (w)
+                return true;
+        }
+        return false;
+    }
+
+    std::uint32_t
+    popcount() const
+    {
+        std::uint32_t n = 0;
+        for (auto w : words)
+            n += static_cast<std::uint32_t>(std::popcount(w));
+        return n;
+    }
+
+  private:
+    std::uint32_t bits;
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace indra::ckpt
+
+#endif // INDRA_CKPT_BITVEC_HH

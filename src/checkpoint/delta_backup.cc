@@ -1,0 +1,301 @@
+#include "checkpoint/delta_backup.hh"
+
+#include "sim/logging.hh"
+
+namespace indra::ckpt
+{
+
+DeltaBackup::DeltaBackup(const SystemConfig &cfg,
+                         os::ProcessContext &context,
+                         os::AddressSpace &space,
+                         mem::PhysicalMemory &phys,
+                         mem::MemHierarchy &mem,
+                         stats::StatGroup &parent)
+    : CheckpointPolicy(cfg, context, space, phys, mem, parent,
+                       "ckpt_delta"),
+      statRecordsAllocated(statGroup, "records_allocated",
+                           "backup page records created"),
+      statLazyLineRecoveries(statGroup, "lazy_line_recoveries",
+                             "lines restored on demand at read"),
+      statSupersededLines(statGroup, "superseded_lines",
+                          "pending rollbacks superseded by a write"),
+      statDirtyLineRatio(statGroup, "dirty_line_ratio",
+                         "backed-up lines / lines of touched pages, "
+                         "per request"),
+      statPagesPerRequest(statGroup, "pages_per_request",
+                          "pages touched per request")
+{
+}
+
+DeltaBackup::~DeltaBackup()
+{
+    for (auto &[vpn, rec] : records) {
+        if (rec.backupPfn != invalidPfn)
+            phys.freeFrame(rec.backupPfn);
+    }
+}
+
+const BackupPageRecord *
+DeltaBackup::record(Vpn vpn) const
+{
+    auto it = records.find(vpn);
+    return it == records.end() ? nullptr : &it->second;
+}
+
+std::uint64_t
+DeltaBackup::backupPagesAllocated() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[vpn, rec] : records) {
+        if (rec.backupPfn != invalidPfn)
+            ++n;
+    }
+    return n;
+}
+
+std::uint64_t
+DeltaBackup::pagesTouchedThisEpoch() const
+{
+    return touchedThisEpoch.size();
+}
+
+std::uint64_t
+DeltaBackup::linesBackedUpThisEpoch() const
+{
+    return epochLinesBackedUp;
+}
+
+BackupPageRecord &
+DeltaBackup::recordFor(Vpn vpn, Tick tick, Cycles &cost)
+{
+    (void)tick;
+    auto it = records.find(vpn);
+    if (it == records.end()) {
+        BackupPageRecord rec;
+        rec.dirtyBv = LineBitVector(linesPerPage());
+        rec.rollbackBv = LineBitVector(linesPerPage());
+        rec.lts = 0;
+        it = records.emplace(vpn, std::move(rec)).first;
+        ++statRecordsAllocated;
+    }
+    // The record rides in the extended TLB entry (Figure 3); a D-TLB
+    // miss pays an extra fetch from the backup page table.
+    if (!memsys.dTlb().contains(context.pid(), vpn))
+        cost += config.backupRecordFetchCycles;
+    return it->second;
+}
+
+Cycles
+DeltaBackup::onStore(Tick tick, Pid pid, Addr vaddr, std::uint32_t bytes)
+{
+    if (pid != context.pid())
+        return 0;
+    Vpn vpn = vaddr / config.pageBytes;
+    if (!space.isMapped(vpn))
+        return 0;
+
+    Cycles cost = 0;
+    BackupPageRecord &rec = recordFor(vpn, tick, cost);
+    const os::PageInfo &page = space.pageInfo(vpn);
+    std::uint64_t gts = context.gts();
+
+    // New epoch for this page: clear the dirty bitvector lazily
+    // (Figure 4, "GTS > LTS(p)" branch).
+    if (gts > rec.lts) {
+        rec.dirtyBv.clearAll();
+        rec.lts = gts;
+    }
+    touchedThisEpoch.insert(vpn);
+
+    std::uint32_t page_off =
+        static_cast<std::uint32_t>(vaddr % config.pageBytes);
+    std::uint32_t first_line = page_off / config.backupLineBytes;
+    std::uint32_t last_line =
+        (page_off + bytes - 1) / config.backupLineBytes;
+    if (last_line >= linesPerPage())
+        last_line = linesPerPage() - 1;
+
+    for (std::uint32_t line = first_line; line <= last_line; ++line) {
+        if (rec.dirtyBv.test(line))
+            continue;  // already backed up this epoch: write through
+
+        if (rec.backupPfn == invalidPfn) {
+            // "Raise exception - allocate a new backup page" (Fig. 4).
+            rec.backupPfn = phys.allocFrame();
+            rec.rollbackBv.clearAll();
+            rec.rollbackVld = false;
+            cost += config.backupPageAllocCycles;
+        }
+
+        std::uint32_t off = line * config.backupLineBytes;
+        if (rec.rollbackVld && rec.rollbackBv.test(line)) {
+            // The line is pending rollback: the backup page already
+            // holds the pre-fault value. Restore the line first so a
+            // sub-line write lands on recovered bytes, then let the
+            // write supersede the rollback.
+            copyLine(page.pfn, off, rec.backupPfn, off);
+            rec.rollbackBv.clear(line);
+            if (!rec.rollbackBv.any())
+                rec.rollbackVld = false;
+            rec.dirtyBv.set(line);
+            ++statSupersededLines;
+            cost += chargeLineTransfer(
+                tick + cost, memsys.backupAddr(rec.backupPfn, off),
+                false);
+        } else {
+            // Copy the original line into the backup page.
+            copyLine(rec.backupPfn, off, page.pfn, off);
+            rec.dirtyBv.set(line);
+            ++statLinesBackedUp;
+            ++epochLinesBackedUp;
+            cost += chargeLineTransfer(
+                tick + cost,
+                alignDown(vaddr, config.backupLineBytes), false);
+            cost += chargeLineTransfer(
+                tick + cost, memsys.backupAddr(rec.backupPfn, off),
+                true);
+        }
+    }
+    if (cost)
+        statBackupCycles += static_cast<double>(cost);
+    return cost;
+}
+
+Cycles
+DeltaBackup::onLoad(Tick tick, Pid pid, Addr vaddr, std::uint32_t bytes)
+{
+    if (pid != context.pid())
+        return 0;
+    Vpn vpn = vaddr / config.pageBytes;
+    auto it = records.find(vpn);
+    if (it == records.end() || !it->second.rollbackVld)
+        return 0;
+    if (!space.isMapped(vpn))
+        return 0;
+
+    BackupPageRecord &rec = it->second;
+    const os::PageInfo &page = space.pageInfo(vpn);
+    Cycles cost = 0;
+    if (!memsys.dTlb().contains(context.pid(), vpn))
+        cost += config.backupRecordFetchCycles;
+
+    std::uint32_t page_off =
+        static_cast<std::uint32_t>(vaddr % config.pageBytes);
+    std::uint32_t first_line = page_off / config.backupLineBytes;
+    std::uint32_t last_line =
+        (page_off + bytes - 1) / config.backupLineBytes;
+    if (last_line >= linesPerPage())
+        last_line = linesPerPage() - 1;
+
+    for (std::uint32_t line = first_line; line <= last_line; ++line) {
+        if (!rec.rollbackBv.test(line))
+            continue;
+        // Figure 5: serve the read from the backup line and recover
+        // the active line on the way.
+        std::uint32_t off = line * config.backupLineBytes;
+        copyLine(page.pfn, off, rec.backupPfn, off);
+        rec.rollbackBv.clear(line);
+        ++statLazyLineRecoveries;
+        cost += chargeLineTransfer(
+            tick + cost, memsys.backupAddr(rec.backupPfn, off), false);
+        cost += chargeLineTransfer(
+            tick + cost, alignDown(vaddr, config.backupLineBytes), true);
+    }
+    if (!rec.rollbackBv.any())
+        rec.rollbackVld = false;
+    if (cost)
+        statRecoveryCycles += static_cast<double>(cost);
+    return cost;
+}
+
+Cycles
+DeltaBackup::onRequestBegin(Tick tick)
+{
+    (void)tick;
+    // The previous request completed: sample the Figure 15 metric.
+    if (!touchedThisEpoch.empty()) {
+        double pages = static_cast<double>(touchedThisEpoch.size());
+        double total_lines = pages * linesPerPage();
+        statPagesPerRequest.sample(pages);
+        statDirtyLineRatio.sample(epochLinesBackedUp / total_lines);
+    }
+    touchedThisEpoch.clear();
+    epochLinesBackedUp = 0;
+    return 0;
+}
+
+Cycles
+DeltaBackup::onFailure(Tick tick)
+{
+    (void)tick;
+    ++statRollbacks;
+    Cycles cost = 0;
+    std::uint64_t gts = context.gts();
+    for (Vpn vpn : touchedThisEpoch) {
+        auto it = records.find(vpn);
+        if (it == records.end())
+            continue;
+        BackupPageRecord &rec = it->second;
+        if (rec.lts != gts || !rec.dirtyBv.any())
+            continue;
+        // Figure 6: RollbackBV |= DirtyBV, clear DirtyBV — no copying.
+        rec.rollbackBv.orWith(rec.dirtyBv);
+        rec.dirtyBv.clearAll();
+        rec.rollbackVld = true;
+        cost += config.rollbackArmCycles;
+    }
+    // The failed request's backup activity is accounted to it.
+    if (!touchedThisEpoch.empty()) {
+        double pages = static_cast<double>(touchedThisEpoch.size());
+        statPagesPerRequest.sample(pages);
+        statDirtyLineRatio.sample(epochLinesBackedUp /
+                                  (pages * linesPerPage()));
+    }
+    touchedThisEpoch.clear();
+    epochLinesBackedUp = 0;
+    statRecoveryCycles += static_cast<double>(cost);
+    return cost;
+}
+
+void
+DeltaBackup::invalidate()
+{
+    for (auto &[vpn, rec] : records) {
+        rec.dirtyBv.clearAll();
+        rec.rollbackBv.clearAll();
+        rec.rollbackVld = false;
+        rec.lts = 0;
+    }
+    touchedThisEpoch.clear();
+    epochLinesBackedUp = 0;
+}
+
+Cycles
+DeltaBackup::drainRollback(Tick tick)
+{
+    Cycles cost = 0;
+    for (auto &[vpn, rec] : records) {
+        if (!rec.rollbackVld || !space.isMapped(vpn))
+            continue;
+        const os::PageInfo &page = space.pageInfo(vpn);
+        for (std::uint32_t line = 0; line < linesPerPage(); ++line) {
+            if (!rec.rollbackBv.test(line))
+                continue;
+            std::uint32_t off = line * config.backupLineBytes;
+            copyLine(page.pfn, off, rec.backupPfn, off);
+            rec.rollbackBv.clear(line);
+            ++statLazyLineRecoveries;
+            cost += chargeLineTransfer(
+                tick + cost, memsys.backupAddr(rec.backupPfn, off),
+                false);
+            cost += chargeLineTransfer(
+                tick + cost,
+                memsys.backupAddr(page.pfn, off), true);
+        }
+        rec.rollbackVld = false;
+    }
+    statRecoveryCycles += static_cast<double>(cost);
+    return cost;
+}
+
+} // namespace indra::ckpt

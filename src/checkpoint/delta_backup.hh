@@ -1,0 +1,122 @@
+/**
+ * @file
+ * INDRA's delta state backup and recovery-on-demand engine
+ * (Section 3.3.1, Figures 3-7 of the paper).
+ *
+ * Each virtual page requiring backup gets a physical *backup page*
+ * holding the original values of the lines first modified since the
+ * current global checkpoint (GTS). A backup page record carries the
+ * page's local timestamp (LTS), a dirty-block bitvector, and a
+ * rollback bitvector. On failure, rollback bitvectors are armed by
+ * OR-ing in the dirty bits — no memory is copied; lines are recovered
+ * lazily on their next read (or superseded by their next write), so
+ * both backup and rollback costs are amortized into execution.
+ */
+
+#ifndef INDRA_CKPT_DELTA_BACKUP_HH
+#define INDRA_CKPT_DELTA_BACKUP_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "checkpoint/bitvec.hh"
+#include "checkpoint/policy.hh"
+
+namespace indra::ckpt
+{
+
+/** The backup page record of Figure 3. */
+struct BackupPageRecord
+{
+    Pfn backupPfn = invalidPfn;   //!< physical backup page
+    std::uint64_t lts = 0;        //!< local checkpoint timestamp
+    LineBitVector dirtyBv;        //!< lines backed up this epoch
+    LineBitVector rollbackBv;     //!< lines pending lazy rollback
+    bool rollbackVld = false;     //!< fast "any rollback pending" flag
+};
+
+/**
+ * The delta-page engine.
+ */
+class DeltaBackup : public CheckpointPolicy
+{
+  public:
+    DeltaBackup(const SystemConfig &cfg, os::ProcessContext &context,
+                os::AddressSpace &space, mem::PhysicalMemory &phys,
+                mem::MemHierarchy &mem, stats::StatGroup &parent);
+
+    ~DeltaBackup() override;
+
+    const char *name() const override { return "delta-backup"; }
+
+    // Figure 4: the write path.
+    Cycles onStore(Tick tick, Pid pid, Addr vaddr,
+                   std::uint32_t bytes) override;
+
+    // Figure 5: the read path (rollback on demand).
+    Cycles onLoad(Tick tick, Pid pid, Addr vaddr,
+                  std::uint32_t bytes) override;
+
+    // Figure 6: success path — bookkeeping for per-request stats only
+    // (epoch change is carried by the GTS the kernel already bumped).
+    Cycles onRequestBegin(Tick tick) override;
+
+    // Figure 6: failure path — arm rollback bitvectors, no copying.
+    Cycles onFailure(Tick tick) override;
+
+    /** Apply every pending lazy rollback now (tests / ablation). */
+    Cycles drainRollback(Tick tick) override;
+
+    /** Drop all dirty/rollback state (macro restore supersedes it). */
+    void invalidate() override;
+
+    /** The record for @p vpn, or nullptr if none exists yet. */
+    const BackupPageRecord *record(Vpn vpn) const;
+
+    /** Number of backup pages currently allocated. */
+    std::uint64_t backupPagesAllocated() const;
+
+    /** Pages written during the current epoch. */
+    std::uint64_t pagesTouchedThisEpoch() const;
+
+    /** Lines backed up during the current epoch. */
+    std::uint64_t linesBackedUpThisEpoch() const;
+
+    /**
+     * Per-request ratio of backed-up lines to all lines of the pages
+     * touched (the Figure 15 metric), sampled at each request end.
+     */
+    const stats::Distribution &dirtyLineRatio() const
+    {
+        return statDirtyLineRatio;
+    }
+
+    /** Pages touched per request distribution (~50 in the paper). */
+    const stats::Distribution &pagesPerRequest() const
+    {
+        return statPagesPerRequest;
+    }
+
+  private:
+    /** First-store handling when the record's epoch is stale. */
+    void refreshEpoch(BackupPageRecord &rec);
+
+    /** Get-or-create the record for @p vpn. */
+    BackupPageRecord &recordFor(Vpn vpn, Tick tick, Cycles &cost);
+
+    std::unordered_map<Vpn, BackupPageRecord> records;
+    /** vpns whose record's LTS equals the current GTS. */
+    std::unordered_set<Vpn> touchedThisEpoch;
+    std::uint64_t epochLinesBackedUp = 0;
+
+    stats::Scalar statRecordsAllocated;
+    stats::Scalar statLazyLineRecoveries;
+    stats::Scalar statSupersededLines;
+    stats::Distribution statDirtyLineRatio;
+    stats::Distribution statPagesPerRequest;
+};
+
+} // namespace indra::ckpt
+
+#endif // INDRA_CKPT_DELTA_BACKUP_HH

@@ -1,0 +1,92 @@
+#include "checkpoint/macro_ckpt.hh"
+
+#include "sim/logging.hh"
+
+namespace indra::ckpt
+{
+
+MacroCheckpoint::MacroCheckpoint(const SystemConfig &cfg,
+                                 mem::PhysicalMemory &phys_ref,
+                                 mem::MemHierarchy &mem_ref,
+                                 stats::StatGroup &parent)
+    : config(cfg), phys(phys_ref), memsys(mem_ref),
+      statGroup(parent, "macro_ckpt"),
+      statCaptures(statGroup, "captures", "macro checkpoints taken"),
+      statRestores(statGroup, "restores", "macro rollbacks performed"),
+      statCaptureCycles(statGroup, "capture_cycles",
+                        "cycles spent capturing"),
+      statRestoreCycles(statGroup, "restore_cycles",
+                        "cycles spent restoring")
+{
+}
+
+Cycles
+MacroCheckpoint::capture(Tick tick, os::ProcessContext &ctx,
+                         os::AddressSpace &space,
+                         os::SystemResources &res)
+{
+    image.clear();
+    Cycles cost = 0;
+    for (Vpn vpn : space.mappedPages()) {
+        const os::PageInfo &info = space.pageInfo(vpn);
+        image[vpn] = phys.snapshotFrame(info.pfn);
+        // Software copy of a full page through the memory system.
+        for (std::uint32_t off = 0; off < config.pageBytes;
+             off += config.backupLineBytes) {
+            cost += memsys.lineTransfer(
+                tick + cost, memsys.backupAddr(info.pfn, off), false);
+        }
+    }
+    contextSnap = ctx.snapshot();
+    resourceSnap = res.snapshot();
+    captured = true;
+    ++statCaptures;
+    statCaptureCycles += static_cast<double>(cost);
+    return cost;
+}
+
+Cycles
+MacroCheckpoint::restore(Tick tick, os::ProcessContext &ctx,
+                         os::AddressSpace &space,
+                         os::SystemResources &res)
+{
+    panic_if(!captured, "restore without a captured checkpoint");
+    Cycles cost = 0;
+
+    // Resources first so heap pages mapped after the checkpoint are
+    // reclaimed before the memory image is written back.
+    res.restoreTo(resourceSnap, space);
+
+    for (const auto &[vpn, bytes] : image) {
+        if (!space.isMapped(vpn))
+            continue;  // page no longer exists (should not happen)
+        const os::PageInfo &info = space.pageInfo(vpn);
+        phys.write(info.pfn, 0, bytes.data(),
+                   static_cast<std::uint32_t>(bytes.size()));
+        for (std::uint32_t off = 0; off < config.pageBytes;
+             off += config.backupLineBytes) {
+            cost += memsys.lineTransfer(
+                tick + cost, memsys.backupAddr(info.pfn, off), true);
+        }
+    }
+    ctx.restore(contextSnap);
+    memsys.flushCaches();
+    memsys.flushTlbs();
+    ++statRestores;
+    statRestoreCycles += static_cast<double>(cost);
+    return cost;
+}
+
+std::uint64_t
+MacroCheckpoint::captures() const
+{
+    return static_cast<std::uint64_t>(statCaptures.value());
+}
+
+std::uint64_t
+MacroCheckpoint::restores() const
+{
+    return static_cast<std::uint64_t>(statRestores.value());
+}
+
+} // namespace indra::ckpt

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Macro (application-level) checkpointing for the hybrid recovery
+ * scheme of Figure 8. Every N processed requests the server OS takes
+ * a full application checkpoint [23]; if the swift per-request micro
+ * recovery cannot revive the service (a "dormant" attack whose damage
+ * surfaces requests later), the system falls back to this checkpoint.
+ */
+
+#ifndef INDRA_CKPT_MACRO_CKPT_HH
+#define INDRA_CKPT_MACRO_CKPT_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/hierarchy.hh"
+#include "mem/phys_mem.hh"
+#include "os/address_space.hh"
+#include "os/process.hh"
+#include "os/resources.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace indra::ckpt
+{
+
+/**
+ * Full application checkpoint: memory image + process context +
+ * resource allocation state.
+ */
+class MacroCheckpoint
+{
+  public:
+    MacroCheckpoint(const SystemConfig &cfg, mem::PhysicalMemory &phys,
+                    mem::MemHierarchy &mem, stats::StatGroup &parent);
+
+    /**
+     * Capture the full state of @p proc (context @p ctx, resources
+     * @p res, space @p space).
+     * @return the cycles the software checkpoint costs
+     */
+    Cycles capture(Tick tick, os::ProcessContext &ctx,
+                   os::AddressSpace &space, os::SystemResources &res);
+
+    /**
+     * Restore the last captured checkpoint into the process.
+     * @return the cycles the restore costs
+     */
+    Cycles restore(Tick tick, os::ProcessContext &ctx,
+                   os::AddressSpace &space, os::SystemResources &res);
+
+    bool hasCheckpoint() const { return captured; }
+    std::uint64_t captures() const;
+    std::uint64_t restores() const;
+
+  private:
+    const SystemConfig &config;
+    mem::PhysicalMemory &phys;
+    mem::MemHierarchy &memsys;
+
+    bool captured = false;
+    std::unordered_map<Vpn, std::vector<std::uint8_t>> image;
+    os::ProcessContext::Snapshot contextSnap;
+    os::ResourceSnapshot resourceSnap;
+
+    stats::StatGroup statGroup;
+    stats::Scalar statCaptures;
+    stats::Scalar statRestores;
+    stats::Scalar statCaptureCycles;
+    stats::Scalar statRestoreCycles;
+};
+
+} // namespace indra::ckpt
+
+#endif // INDRA_CKPT_MACRO_CKPT_HH

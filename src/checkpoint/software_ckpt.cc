@@ -1,0 +1,102 @@
+#include "checkpoint/software_ckpt.hh"
+
+namespace indra::ckpt
+{
+
+SoftwareCheckpoint::SoftwareCheckpoint(const SystemConfig &cfg,
+                                       os::ProcessContext &context,
+                                       os::AddressSpace &space,
+                                       mem::PhysicalMemory &phys,
+                                       mem::MemHierarchy &mem,
+                                       stats::StatGroup &parent)
+    : CheckpointPolicy(cfg, context, space, phys, mem, parent,
+                       "ckpt_software"),
+      statProtFaults(statGroup, "prot_faults",
+                     "write-protect faults taken")
+{
+}
+
+SoftwareCheckpoint::~SoftwareCheckpoint()
+{
+    for (auto &[vpn, b] : backups) {
+        if (b.backupPfn != invalidPfn)
+            phys.freeFrame(b.backupPfn);
+    }
+}
+
+Cycles
+SoftwareCheckpoint::onStore(Tick tick, Pid pid, Addr vaddr,
+                            std::uint32_t bytes)
+{
+    (void)bytes;
+    if (pid != context.pid())
+        return 0;
+    Vpn vpn = vaddr / config.pageBytes;
+    if (!space.isMapped(vpn))
+        return 0;
+
+    std::uint64_t gts = context.gts();
+    PageBackup &b = backups[vpn];
+    if (b.lts == gts && savedThisEpoch.count(vpn))
+        return 0;
+
+    // Protection fault into the checkpoint library, then a software
+    // copy of the whole page.
+    ++statProtFaults;
+    Cycles cost = config.writeProtectFaultCycles;
+    if (b.backupPfn == invalidPfn)
+        b.backupPfn = phys.allocFrame();
+    const os::PageInfo &page = space.pageInfo(vpn);
+    for (std::uint32_t off = 0; off < config.pageBytes;
+         off += config.backupLineBytes) {
+        copyLine(b.backupPfn, off, page.pfn, off);
+    }
+    cost += chargePageCopy(tick + cost, page.pfn, b.backupPfn);
+    b.lts = gts;
+    savedThisEpoch.insert(vpn);
+    ++statPagesBackedUp;
+    statLinesBackedUp += static_cast<double>(linesPerPage());
+    statBackupCycles += static_cast<double>(cost);
+    return cost;
+}
+
+Cycles
+SoftwareCheckpoint::onRequestBegin(Tick tick)
+{
+    (void)tick;
+    savedThisEpoch.clear();
+    return 0;
+}
+
+void
+SoftwareCheckpoint::invalidate()
+{
+    savedThisEpoch.clear();
+    for (auto &[vpn, b] : backups)
+        b.lts = 0;
+}
+
+Cycles
+SoftwareCheckpoint::onFailure(Tick tick)
+{
+    (void)tick;
+    ++statRollbacks;
+    Cycles cost = 0;
+    for (Vpn vpn : savedThisEpoch) {
+        auto it = backups.find(vpn);
+        if (it == backups.end() || it->second.backupPfn == invalidPfn)
+            continue;
+        if (!space.isMapped(vpn))
+            continue;
+        space.remapPage(vpn, it->second.backupPfn);
+        it->second.backupPfn = invalidPfn;
+        cost += config.pageRemapCycles;
+    }
+    savedThisEpoch.clear();
+    memsys.flushCaches();
+    memsys.flushTlbs();
+    statRecoveryCycles += static_cast<double>(cost);
+    return cost;
+}
+
+} // namespace indra::ckpt

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Software (libckpt-style) incremental checkpointing (Plank et al.
+ * [23]; Table 3 row "software checkpointing"): pages are
+ * write-protected at each checkpoint; the first store to a page takes
+ * a protection fault and the *whole page* is copied by software (slow
+ * backup: fault + software copy). Recovery restores the dirtied pages
+ * by fixing the page translation (fast).
+ */
+
+#ifndef INDRA_CKPT_SOFTWARE_CKPT_HH
+#define INDRA_CKPT_SOFTWARE_CKPT_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "checkpoint/policy.hh"
+
+namespace indra::ckpt
+{
+
+/** mprotect-fault copy-on-write page checkpointing. */
+class SoftwareCheckpoint : public CheckpointPolicy
+{
+  public:
+    SoftwareCheckpoint(const SystemConfig &cfg,
+                       os::ProcessContext &context,
+                       os::AddressSpace &space,
+                       mem::PhysicalMemory &phys, mem::MemHierarchy &mem,
+                       stats::StatGroup &parent);
+
+    ~SoftwareCheckpoint() override;
+
+    const char *name() const override { return "software-checkpoint"; }
+
+    Cycles onStore(Tick tick, Pid pid, Addr vaddr,
+                   std::uint32_t bytes) override;
+    Cycles onLoad(Tick, Pid, Addr, std::uint32_t) override { return 0; }
+    Cycles onRequestBegin(Tick tick) override;
+    Cycles onFailure(Tick tick) override;
+    void invalidate() override;
+
+    std::uint64_t pagesSavedThisEpoch() const
+    {
+        return savedThisEpoch.size();
+    }
+
+  private:
+    struct PageBackup
+    {
+        Pfn backupPfn = invalidPfn;
+        std::uint64_t lts = 0;
+    };
+
+    std::unordered_map<Vpn, PageBackup> backups;
+    std::unordered_set<Vpn> savedThisEpoch;
+    stats::Scalar statProtFaults;
+};
+
+} // namespace indra::ckpt
+
+#endif // INDRA_CKPT_SOFTWARE_CKPT_HH

@@ -1,0 +1,102 @@
+#include "checkpoint/update_log.hh"
+
+#include <algorithm>
+
+namespace indra::ckpt
+{
+
+MemoryUpdateLog::MemoryUpdateLog(const SystemConfig &cfg,
+                                 os::ProcessContext &context,
+                                 os::AddressSpace &space,
+                                 mem::PhysicalMemory &phys,
+                                 mem::MemHierarchy &mem,
+                                 stats::StatGroup &parent)
+    : CheckpointPolicy(cfg, context, space, phys, mem, parent,
+                       "ckpt_log"),
+      statEntriesLogged(statGroup, "entries_logged",
+                        "undo entries appended"),
+      statEntriesUndone(statGroup, "entries_undone",
+                        "undo entries replayed at recovery")
+{
+}
+
+Cycles
+MemoryUpdateLog::onStore(Tick tick, Pid pid, Addr vaddr,
+                         std::uint32_t bytes)
+{
+    (void)tick;
+    if (pid != context.pid())
+        return 0;
+    Vpn vpn = vaddr / config.pageBytes;
+    if (!space.isMapped(vpn))
+        return 0;
+
+    UndoEntry e;
+    e.vaddr = vaddr;
+    e.bytes = std::min<std::uint32_t>(bytes, 8);
+    std::uint32_t off =
+        static_cast<std::uint32_t>(vaddr % config.pageBytes);
+    if (off + e.bytes > config.pageBytes)
+        e.bytes = config.pageBytes - off;
+    phys.read(space.pageInfo(vpn).pfn, off, &e.oldValue, e.bytes);
+    log.push_back(e);
+    ++statEntriesLogged;
+    Cycles cost = config.logAppendCycles;
+    // The log lives in memory: every filled log line streams out
+    // through the hierarchy. The writes are posted (write-buffered),
+    // so they cost the store stream nothing directly — but they do
+    // occupy the L2/bus/DRAM and displace application lines, which
+    // the ignored return value leaves behind as side effects.
+    if (log.size() % entriesPerLine == 0) {
+        constexpr Addr log_region = 1ULL << 42;
+        (void)chargeLineTransfer(tick, log_region + logCursor, true);
+        logCursor += config.backupLineBytes;
+    }
+    statBackupCycles += static_cast<double>(cost);
+    return cost;
+}
+
+Cycles
+MemoryUpdateLog::onRequestBegin(Tick tick)
+{
+    (void)tick;
+    log.clear();
+    return 0;
+}
+
+Cycles
+MemoryUpdateLog::onFailure(Tick tick)
+{
+    (void)tick;
+    ++statRollbacks;
+    Cycles cost = 0;
+    // Sequential backward undo: each record is one dependent memory
+    // update on the recovery's critical path; the log lines
+    // themselves are read back in from memory.
+    std::uint64_t idx = log.size();
+    for (auto it = log.rbegin(); it != log.rend(); ++it) {
+        Vpn vpn = it->vaddr / config.pageBytes;
+        if (space.isMapped(vpn)) {
+            std::uint32_t off = static_cast<std::uint32_t>(
+                it->vaddr % config.pageBytes);
+            phys.write(space.pageInfo(vpn).pfn, off, &it->oldValue,
+                       it->bytes);
+        }
+        ++statEntriesUndone;
+        cost += config.logUndoCycles;
+        if (--idx % entriesPerLine == 0) {
+            constexpr Addr log_region = 1ULL << 42;
+            cost += chargeLineTransfer(
+                tick + cost,
+                log_region + (idx / entriesPerLine) *
+                    config.backupLineBytes,
+                false);
+        }
+    }
+    log.clear();
+    logCursor = 0;
+    statRecoveryCycles += static_cast<double>(cost);
+    return cost;
+}
+
+} // namespace indra::ckpt

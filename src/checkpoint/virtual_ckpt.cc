@@ -1,0 +1,100 @@
+#include "checkpoint/virtual_ckpt.hh"
+
+namespace indra::ckpt
+{
+
+VirtualCheckpoint::VirtualCheckpoint(const SystemConfig &cfg,
+                                     os::ProcessContext &context,
+                                     os::AddressSpace &space,
+                                     mem::PhysicalMemory &phys,
+                                     mem::MemHierarchy &mem,
+                                     stats::StatGroup &parent)
+    : CheckpointPolicy(cfg, context, space, phys, mem, parent,
+                       "ckpt_virtual")
+{
+}
+
+VirtualCheckpoint::~VirtualCheckpoint()
+{
+    for (auto &[vpn, b] : backups) {
+        if (b.backupPfn != invalidPfn)
+            phys.freeFrame(b.backupPfn);
+    }
+}
+
+Cycles
+VirtualCheckpoint::onStore(Tick tick, Pid pid, Addr vaddr,
+                           std::uint32_t bytes)
+{
+    (void)bytes;
+    if (pid != context.pid())
+        return 0;
+    Vpn vpn = vaddr / config.pageBytes;
+    if (!space.isMapped(vpn))
+        return 0;
+
+    std::uint64_t gts = context.gts();
+    PageBackup &b = backups[vpn];
+    if (b.lts == gts && savedThisEpoch.count(vpn))
+        return 0;  // already copied on demand this epoch
+
+    if (b.backupPfn == invalidPfn)
+        b.backupPfn = phys.allocFrame();
+    const os::PageInfo &page = space.pageInfo(vpn);
+    // Copy the entire active page to the backup frame, line by line.
+    for (std::uint32_t off = 0; off < config.pageBytes;
+         off += config.backupLineBytes) {
+        copyLine(b.backupPfn, off, page.pfn, off);
+    }
+    Cycles cost = chargePageCopy(tick, page.pfn, b.backupPfn);
+    b.lts = gts;
+    savedThisEpoch.insert(vpn);
+    ++statPagesBackedUp;
+    statLinesBackedUp += static_cast<double>(linesPerPage());
+    statBackupCycles += static_cast<double>(cost);
+    return cost;
+}
+
+Cycles
+VirtualCheckpoint::onRequestBegin(Tick tick)
+{
+    (void)tick;
+    savedThisEpoch.clear();
+    return 0;
+}
+
+void
+VirtualCheckpoint::invalidate()
+{
+    savedThisEpoch.clear();
+    for (auto &[vpn, b] : backups)
+        b.lts = 0;
+}
+
+Cycles
+VirtualCheckpoint::onFailure(Tick tick)
+{
+    (void)tick;
+    ++statRollbacks;
+    Cycles cost = 0;
+    for (Vpn vpn : savedThisEpoch) {
+        auto it = backups.find(vpn);
+        if (it == backups.end() || it->second.backupPfn == invalidPfn)
+            continue;
+        if (!space.isMapped(vpn))
+            continue;
+        // Fast recovery: point the translation at the backup copy.
+        space.remapPage(vpn, it->second.backupPfn);
+        it->second.backupPfn = invalidPfn;  // consumed by the remap
+        cost += config.pageRemapCycles;
+    }
+    savedThisEpoch.clear();
+    // Stale lines for the remapped pages may linger in the virtually
+    // tagged caches; hardware flushes them as part of the recovery.
+    memsys.flushCaches();
+    memsys.flushTlbs();
+    statRecoveryCycles += static_cast<double>(cost);
+    return cost;
+}
+
+} // namespace indra::ckpt

@@ -1,0 +1,114 @@
+#include "core/recovery.hh"
+
+#include "sim/logging.hh"
+
+namespace indra::core
+{
+
+RecoveryManager::RecoveryManager(const SystemConfig &cfg,
+                                 ckpt::CheckpointPolicy &policy_ref,
+                                 ckpt::MacroCheckpoint &macro_ref,
+                                 os::Kernel &kernel_ref, Pid pid_in,
+                                 cpu::Core &core_ref,
+                                 mon::Monitor *monitor_ptr,
+                                 stats::StatGroup &parent)
+    : config(cfg), policy(policy_ref), macro(macro_ref),
+      kernel(kernel_ref), pid(pid_in), core(core_ref),
+      monitor(monitor_ptr),
+      statGroup(parent, "recovery"),
+      statMicroRecoveries(statGroup, "micro", "micro recoveries"),
+      statMacroRecoveries(statGroup, "macro", "macro recoveries"),
+      statFilesClosed(statGroup, "files_closed",
+                      "files closed during resource recovery"),
+      statChildrenKilled(statGroup, "children_killed",
+                         "child processes killed during recovery"),
+      statPagesReclaimed(statGroup, "pages_reclaimed",
+                         "heap pages reclaimed during recovery")
+{
+}
+
+void
+RecoveryManager::noteRequestBegin(Tick tick)
+{
+    (void)tick;
+    os::Process &proc = kernel.process(pid);
+    contextSnap = proc.context->snapshot();
+    resourceSnap = proc.resources->snapshot();
+    haveSnap = true;
+}
+
+void
+RecoveryManager::noteSuccess()
+{
+    consecutive = 0;
+}
+
+RecoveryLevel
+RecoveryManager::recover(Tick tick)
+{
+    panic_if(!haveSnap, "recovery without a request snapshot");
+    os::Process &proc = kernel.process(pid);
+    ++consecutive;
+
+    // The resurrector interrupts and stalls the resurrectee, flushing
+    // its pipeline (Section 2.3.3).
+    core.stallUntil(tick);
+    core.stall(config.recoveryInterruptCycles);
+    core.flushPipeline();
+
+    if (consecutive > config.consecutiveFailureThreshold &&
+        macro.hasCheckpoint()) {
+        // Hybrid fallback (Figure 8): micro recovery is not reviving
+        // the service; roll back to the application checkpoint.
+        ++statMacroRecoveries;
+        Cycles cost = macro.restore(core.curTick(), *proc.context,
+                                    *proc.space, *proc.resources);
+        core.stall(cost);
+        // The restored image supersedes every pending micro rollback:
+        // discard the engine's backup state instead of applying it.
+        policy.invalidate();
+        if (monitor)
+            monitor->onRecovery(pid);
+        consecutive = 0;
+        return RecoveryLevel::Macro;
+    }
+
+    // --- micro recovery (Figure 6, failure path) ---
+    ++statMicroRecoveries;
+    Cycles cost = policy.onFailure(core.curTick());
+    core.stall(cost);
+    if (config.eagerRollback) {
+        // Ablation: pay the whole rollback now instead of amortizing
+        // it into subsequent execution.
+        core.stall(policy.drainRollback(core.curTick()));
+    }
+
+    // Restore the process context recorded when the GTS was last
+    // incremented (PC, registers, GTS).
+    proc.context->restore(contextSnap);
+
+    // System resource recovery (Section 3.3.3).
+    os::RestoreActions actions =
+        proc.resources->restoreTo(resourceSnap, *proc.space);
+    statFilesClosed += actions.filesClosed;
+    statChildrenKilled += actions.childrenKilled;
+    statPagesReclaimed += static_cast<double>(actions.pagesReclaimed);
+
+    if (monitor)
+        monitor->onRecovery(pid);
+    return RecoveryLevel::Micro;
+}
+
+Cycles
+RecoveryManager::takeMacroCheckpoint(Tick tick)
+{
+    os::Process &proc = kernel.process(pid);
+    // Make memory byte-exact before imaging it.
+    policy.drainRollback(tick);
+    Cycles cost = macro.capture(tick, *proc.context, *proc.space,
+                                *proc.resources);
+    core.stall(cost);
+    return cost;
+}
+
+} // namespace indra::core

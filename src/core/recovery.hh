@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The recovery manager: INDRA's hybrid dual recovery scheme
+ * (Sections 3.3.2, 3.3.3; Figures 6 and 8).
+ *
+ * Micro recovery (per request): the resurrector stalls the faulty
+ * resurrectee, arms the checkpoint engine's rollback, restores the
+ * process context recorded when the GTS was last incremented, and
+ * releases resources allocated since (closes newer files, kills newer
+ * children, reclaims newer pages). Service resumes with the next
+ * request immediately.
+ *
+ * Macro recovery: when micro recovery fails to revive the service
+ * (`consecutiveFailureThreshold` failures in a row — the "dormant"
+ * attack signature), the manager falls back to the slow application
+ * checkpoint taken every `macroCheckpointPeriod` requests.
+ */
+
+#ifndef INDRA_CORE_RECOVERY_HH
+#define INDRA_CORE_RECOVERY_HH
+
+#include <cstdint>
+
+#include "checkpoint/macro_ckpt.hh"
+#include "checkpoint/policy.hh"
+#include "cpu/core.hh"
+#include "monitor/monitor.hh"
+#include "os/kernel.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace indra::core
+{
+
+/** Which mechanism revived the service. */
+enum class RecoveryLevel : std::uint8_t
+{
+    Micro,  //!< per-request delta rollback (swift)
+    Macro,  //!< application checkpoint rollback (slow, rare)
+};
+
+/**
+ * Per-service recovery state machine.
+ */
+class RecoveryManager
+{
+  public:
+    RecoveryManager(const SystemConfig &cfg,
+                    ckpt::CheckpointPolicy &policy,
+                    ckpt::MacroCheckpoint &macro, os::Kernel &kernel,
+                    Pid pid, cpu::Core &core, mon::Monitor *monitor,
+                    stats::StatGroup &parent);
+
+    /**
+     * A new request is beginning (the GTS was just incremented):
+     * record process context and resource allocation state (Fig. 6).
+     */
+    void noteRequestBegin(Tick tick);
+
+    /** The request completed normally. */
+    void noteSuccess();
+
+    /**
+     * The resurrector detected corruption or a crash at @p tick.
+     * Performs micro recovery — or macro recovery when consecutive
+     * failures exceed the threshold and a checkpoint exists — and
+     * stalls/flushes the resurrectee accordingly.
+     */
+    RecoveryLevel recover(Tick tick);
+
+    /** Take the periodic application checkpoint (Fig. 8). */
+    Cycles takeMacroCheckpoint(Tick tick);
+
+    std::uint32_t consecutiveFailures() const { return consecutive; }
+
+  private:
+    const SystemConfig &config;
+    ckpt::CheckpointPolicy &policy;
+    ckpt::MacroCheckpoint &macro;
+    os::Kernel &kernel;
+    Pid pid;
+    cpu::Core &core;
+    mon::Monitor *monitor;
+
+    os::ProcessContext::Snapshot contextSnap;
+    os::ResourceSnapshot resourceSnap;
+    bool haveSnap = false;
+    std::uint32_t consecutive = 0;
+
+    stats::StatGroup statGroup;
+    stats::Scalar statMicroRecoveries;
+    stats::Scalar statMacroRecoveries;
+    stats::Scalar statFilesClosed;
+    stats::Scalar statChildrenKilled;
+    stats::Scalar statPagesReclaimed;
+};
+
+} // namespace indra::core
+
+#endif // INDRA_CORE_RECOVERY_HH

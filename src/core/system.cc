@@ -1,0 +1,380 @@
+#include "core/system.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace indra::core
+{
+
+namespace
+{
+
+/** The resurrector's runtime system image: "less than 10MB". */
+constexpr std::uint64_t rtsBytes = 10ULL * 1024 * 1024;
+/** Size of the BIOS copy duplicated for the resurrectees. */
+constexpr std::uint64_t biosCopyBytes = 64ULL * 1024;
+
+} // anonymous namespace
+
+IndraSystem::IndraSystem(const SystemConfig &config)
+    : cfg(config), statRoot("system")
+{
+    cfg.validate();
+    phys = std::make_unique<mem::PhysicalMemory>(cfg.physMemBytes,
+                                                 cfg.pageBytes);
+    if (cfg.asymmetricMode)
+        watchdogPtr = std::make_unique<mem::MemWatchdog>(statRoot);
+    kernelPtr = std::make_unique<os::Kernel>(*phys, cfg.pageBytes,
+                                             watchdogPtr.get(), statRoot);
+    kernelPtr->setListener(this);
+}
+
+IndraSystem::~IndraSystem()
+{
+    // Services (and their backup frames) go before the resurrector's
+    // private frames.
+    slots.clear();
+    for (Pfn pfn : resurrectorPrivate)
+        phys->freeFrame(pfn);
+}
+
+void
+IndraSystem::boot()
+{
+    panic_if(isBooted, "boot() called twice");
+
+    if (cfg.asymmetricMode) {
+        // The bootstrap resurrector boots first from the regular BIOS
+        // and the flash-resident RTS, then hides both from the
+        // resurrectees by keeping the frames ungranted (the watchdog
+        // denies low-privilege access to ungranted frames).
+        rtsFrames = rtsBytes / cfg.pageBytes;
+        for (std::uint64_t i = 0; i < rtsFrames; ++i)
+            resurrectorPrivate.push_back(phys->allocFrame());
+
+        // Duplicate a BIOS image into space the resurrectees may read
+        // so they can boot their full OS from it.
+        std::uint64_t bios_frames = biosCopyBytes / cfg.pageBytes;
+        for (std::uint64_t i = 0; i < bios_frames; ++i) {
+            Pfn pfn = phys->allocFrame();
+            resurrectorPrivate.push_back(pfn);
+            for (std::uint32_t c = 1; c <= cfg.numResurrectees; ++c)
+                watchdogPtr->grant(pfn, static_cast<CoreId>(c));
+        }
+    }
+    isBooted = true;
+}
+
+std::size_t
+IndraSystem::deployService(const net::DaemonProfile &profile)
+{
+    panic_if(!isBooted, "deployService before boot");
+    fatal_if(slots.size() >= cfg.numResurrectees,
+             "no free resurrectee core (have ", cfg.numResurrectees,
+             ")");
+
+    auto s = std::make_unique<ServiceSlot>();
+    std::size_t idx = slots.size();
+    s->coreId = static_cast<CoreId>(
+        (cfg.asymmetricMode ? 1 : 0) + idx);
+    s->statGroup = std::make_unique<stats::StatGroup>(
+        statRoot, profile.name + "_" + std::to_string(idx));
+
+    s->pid = kernelPtr->createProcess(profile.name, s->coreId);
+    os::Process &proc = kernelPtr->process(s->pid);
+
+    s->bus = std::make_unique<mem::MemoryBus>(
+        cfg.busRatio(), cfg.busWidthBytes, *s->statGroup);
+    s->dram = std::make_unique<mem::DramModel>(
+        cfg.dram, cfg.busRatio(), cfg.busWidthBytes, *s->statGroup);
+    // The kernel translates for every process on this core (the MMU
+    // walks the page table selected by the access's CR3 tag).
+    s->hierarchy = std::make_unique<mem::MemHierarchy>(
+        cfg, s->coreId, Privilege::Low, *kernelPtr, watchdogPtr.get(),
+        *s->bus, *s->dram, *s->statGroup);
+    s->core = std::make_unique<cpu::Core>(cfg, s->coreId, Privilege::Low,
+                                          *s->hierarchy, *phys,
+                                          *kernelPtr, *s->statGroup);
+    s->core->setSyscallHandler(kernelPtr.get());
+
+    s->app = std::make_unique<net::ServiceApplication>(
+        profile, cfg.rngSeed + idx * 7919, cfg.pageBytes);
+    s->app->program().loadInto(*proc.space);
+
+    if (cfg.asymmetricMode && cfg.monitorEnabled) {
+        s->monitor = std::make_unique<mon::Monitor>(cfg, *s->statGroup);
+        s->app->program().registerWith(*s->monitor, s->pid);
+        s->core->setTraceSink(s->monitor.get());
+    }
+
+    s->policy = ckpt::makePolicy(cfg, *proc.context, *proc.space, *phys,
+                                 *s->hierarchy, *s->statGroup);
+    s->core->setCheckpointHooks(s->policy.get());
+
+    s->macro = std::make_unique<ckpt::MacroCheckpoint>(
+        cfg, *phys, *s->hierarchy, *s->statGroup);
+    s->recovery = std::make_unique<RecoveryManager>(
+        cfg, *s->policy, *s->macro, *kernelPtr, s->pid, *s->core,
+        s->monitor.get(), *s->statGroup);
+
+    // Take the initial application checkpoint (the last-resort
+    // restore image), then zero the service's clock so measurements
+    // start clean.
+    s->recovery->takeMacroCheckpoint(0);
+    s->core->resetTime();
+
+    slots.push_back(std::move(s));
+    return idx;
+}
+
+ServiceSlot &
+IndraSystem::slot(std::size_t idx)
+{
+    panic_if(idx >= slots.size(), "bad service slot index");
+    return *slots[idx];
+}
+
+IndraSystem::ServiceRefs
+IndraSystem::refsForMain(std::size_t slot_idx)
+{
+    ServiceSlot &s = slot(slot_idx);
+    return ServiceRefs{&s, s.app.get(), s.policy.get(), s.macro.get(),
+                       s.recovery.get(), s.pid,
+                       &s.requestsSinceMacro};
+}
+
+IndraSystem::ServiceRefs
+IndraSystem::refsForCo(std::size_t slot_idx, std::size_t co_idx)
+{
+    ServiceSlot &s = slot(slot_idx);
+    panic_if(co_idx >= s.coServices.size(), "bad co-service index");
+    CoService &co = *s.coServices[co_idx];
+    return ServiceRefs{&s, co.app.get(), co.policy.get(),
+                       co.macro.get(), co.recovery.get(), co.pid,
+                       &co.requestsSinceMacro};
+}
+
+IndraSystem::ServiceRefs
+IndraSystem::refsForPid(Pid pid)
+{
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (slots[i]->pid == pid)
+            return refsForMain(i);
+        for (std::size_t c = 0; c < slots[i]->coServices.size(); ++c) {
+            if (slots[i]->coServices[c]->pid == pid)
+                return refsForCo(i, c);
+        }
+    }
+    panic("no service for pid ", pid);
+}
+
+Cycles
+IndraSystem::onRequestCheckpoint(Tick tick, Pid pid)
+{
+    ServiceRefs refs = refsForPid(pid);
+    Cycles cost = refs.policy->onRequestBegin(tick);
+    refs.recovery->noteRequestBegin(tick);
+    return cost;
+}
+
+void
+IndraSystem::onDynCodeDeclared(Pid pid, Addr base, std::uint64_t len)
+{
+    ServiceRefs refs = refsForPid(pid);
+    if (refs.slot->monitor)
+        refs.slot->monitor->registerDynCodeRegion(pid, base, len);
+}
+
+std::size_t
+IndraSystem::deployCoService(std::size_t host_slot,
+                             const net::DaemonProfile &profile)
+{
+    ServiceSlot &s = slot(host_slot);
+    os::Process &host_proc = kernelPtr->process(s.pid);
+    (void)host_proc;
+
+    auto co = std::make_unique<CoService>();
+    co->pid = kernelPtr->createProcess(profile.name, s.coreId);
+    os::Process &proc = kernelPtr->process(co->pid);
+
+    co->app = std::make_unique<net::ServiceApplication>(
+        profile,
+        cfg.rngSeed + 104729 * (s.coServices.size() + 1) + host_slot,
+        cfg.pageBytes);
+    co->app->program().loadInto(*proc.space);
+    if (s.monitor)
+        co->app->program().registerWith(*s.monitor, co->pid);
+
+    co->policy = ckpt::makePolicy(cfg, *proc.context, *proc.space,
+                                  *phys, *s.hierarchy, *s.statGroup);
+    co->macro = std::make_unique<ckpt::MacroCheckpoint>(
+        cfg, *phys, *s.hierarchy, *s.statGroup);
+    co->recovery = std::make_unique<RecoveryManager>(
+        cfg, *co->policy, *co->macro, *kernelPtr, co->pid, *s.core,
+        s.monitor.get(), *s.statGroup);
+
+    // Install (or extend) the CR3-routed hook mux on the shared core.
+    if (!s.hookMux) {
+        s.hookMux = std::make_unique<PidRoutedHooks>();
+        s.hookMux->route(s.pid, s.policy.get());
+        s.core->setCheckpointHooks(s.hookMux.get());
+    }
+    s.hookMux->route(co->pid, co->policy.get());
+
+    co->recovery->takeMacroCheckpoint(s.core->curTick());
+
+    s.coServices.push_back(std::move(co));
+    return s.coServices.size() - 1;
+}
+
+net::RequestOutcome
+IndraSystem::runOneRequest(const ServiceRefs &refs,
+                           const net::ServiceRequest &req)
+{
+    ServiceSlot &s = *refs.slot;
+
+    // Time-shared core: switch process contexts when another process
+    // last ran here (pipeline flush, CAM invalidation, switch cost).
+    if (s.runningPid != 0 && s.runningPid != refs.pid)
+        s.core->onContextSwitch();
+    s.runningPid = refs.pid;
+
+    net::RequestOutcome out;
+    out.seq = req.seq;
+    out.attack = req.attack;
+    out.startTick = s.core->curTick();
+    std::uint64_t instr0 = s.core->instructions();
+
+    net::RequestExecution gen = refs.app->beginRequest(req);
+    cpu::Instruction inst;
+    bool failed = false;
+    bool detected = false;
+    Tick fail_tick = 0;
+
+    while (gen.next(inst)) {
+        cpu::ExecResult res = s.core->execute(refs.pid, inst);
+
+        if (s.monitor && s.monitor->pendingDetection()) {
+            const mon::DetectionEvent &det =
+                *s.monitor->pendingDetection();
+            out.violation = det.violation;
+            detected = true;
+            failed = true;
+            fail_tick = std::max(s.core->curTick(), det.detectTick);
+            s.monitor->clearDetection();
+            break;
+        }
+        if (res.fault != mem::MemFault::None || res.terminated) {
+            failed = true;
+            fail_tick = s.core->curTick();
+            break;
+        }
+        if (res.halted)
+            break;
+    }
+
+    if (failed) {
+        handleFailure(refs, out, fail_tick, detected, out.violation);
+    } else {
+        out.status = net::RequestStatus::Served;
+        refs.recovery->noteSuccess();
+        ++s.requestsProcessed;
+        if (++*refs.requestsSinceMacro >= cfg.macroCheckpointPeriod) {
+            refs.recovery->takeMacroCheckpoint(s.core->curTick());
+            *refs.requestsSinceMacro = 0;
+        }
+    }
+
+    out.endTick = s.core->curTick();
+    out.instructions = s.core->instructions() - instr0;
+    return out;
+}
+
+net::RequestOutcome
+IndraSystem::processRequest(std::size_t slot_idx,
+                            const net::ServiceRequest &req)
+{
+    return runOneRequest(refsForMain(slot_idx), req);
+}
+
+net::RequestOutcome
+IndraSystem::processCoRequest(std::size_t slot_idx, std::size_t co_idx,
+                              const net::ServiceRequest &req)
+{
+    return runOneRequest(refsForCo(slot_idx, co_idx), req);
+}
+
+void
+IndraSystem::handleFailure(const ServiceRefs &refs,
+                           net::RequestOutcome &out, Tick fail_tick,
+                           bool detected, mon::Violation violation)
+{
+    ServiceSlot &s = *refs.slot;
+    out.violation = violation;
+
+    if (cfg.checkpointScheme != CheckpointScheme::None) {
+        RecoveryLevel level = refs.recovery->recover(fail_tick);
+        if (level == RecoveryLevel::Macro) {
+            out.status = net::RequestStatus::MacroRecovered;
+            refs.app->healDormantDamage();
+            *refs.requestsSinceMacro = 0;
+        } else {
+            out.status = detected
+                ? net::RequestStatus::DetectedRecovered
+                : net::RequestStatus::CrashedRecovered;
+        }
+        return;
+    }
+
+    // No backup engine: the service goes down and must be restarted
+    // from its initial image — the conventional outcome the paper's
+    // Section 2.2 argues against.
+    out.status = net::RequestStatus::Lost;
+    s.core->stallUntil(fail_tick);
+    s.core->stall(cfg.serviceRestartCycles);
+    s.core->flushPipeline();
+    if (refs.macro->hasCheckpoint()) {
+        os::Process &proc = kernelPtr->process(refs.pid);
+        refs.macro->restore(s.core->curTick(), *proc.context,
+                            *proc.space, *proc.resources);
+    }
+    refs.app->healDormantDamage();
+    if (s.monitor)
+        s.monitor->onRecovery(refs.pid);
+}
+
+std::vector<net::RequestOutcome>
+IndraSystem::runOpenLoop(std::size_t slot_idx,
+                         const std::vector<net::ServiceRequest> &script,
+                         Cycles inter_arrival, Tick first_arrival)
+{
+    ServiceSlot &s = slot(slot_idx);
+    std::vector<net::RequestOutcome> outcomes;
+    outcomes.reserve(script.size());
+    Tick arrival = first_arrival;
+    for (const net::ServiceRequest &req : script) {
+        // The core idles until the request arrives; a request that
+        // finds the core busy queues, and its response time includes
+        // the waiting.
+        s.core->stallUntil(arrival);
+        net::RequestOutcome out = processRequest(slot_idx, req);
+        out.startTick = arrival;  // response measured from arrival
+        outcomes.push_back(out);
+        arrival += inter_arrival;
+    }
+    return outcomes;
+}
+
+std::vector<net::RequestOutcome>
+IndraSystem::runScript(const std::vector<net::ServiceRequest> &script,
+                       std::size_t slot_idx)
+{
+    std::vector<net::RequestOutcome> outcomes;
+    outcomes.reserve(script.size());
+    for (const net::ServiceRequest &req : script)
+        outcomes.push_back(processRequest(slot_idx, req));
+    return outcomes;
+}
+
+} // namespace indra::core

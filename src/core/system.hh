@@ -1,0 +1,255 @@
+/**
+ * @file
+ * IndraSystem: the whole INDRA machine (Figure 2 of the paper).
+ *
+ * One high-privilege resurrector core runs the security monitor; one
+ * or more low-privilege resurrectee cores run the OS kernel and the
+ * network services. The memory subsystem is privilege-partitioned by
+ * the hardware watchdog; each resurrectee streams trace records to
+ * the resurrector through a bounded FIFO; the checkpoint engine backs
+ * memory state at request granularity and the recovery manager
+ * implements the hybrid micro/macro revival scheme.
+ *
+ * The system can also boot in *symmetric* mode (Section 2.3.4): no
+ * privilege asymmetry, no monitor, no backup — the configuration used
+ * as the normalization baseline in every experiment.
+ */
+
+#ifndef INDRA_CORE_SYSTEM_HH
+#define INDRA_CORE_SYSTEM_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checkpoint/macro_ckpt.hh"
+#include "checkpoint/policy.hh"
+#include "core/recovery.hh"
+#include "cpu/core.hh"
+#include "mem/bus.hh"
+#include "mem/dram.hh"
+#include "mem/hierarchy.hh"
+#include "mem/phys_mem.hh"
+#include "mem/watchdog.hh"
+#include "monitor/monitor.hh"
+#include "net/client.hh"
+#include "net/request.hh"
+#include "net/workload.hh"
+#include "os/kernel.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace indra::core
+{
+
+/**
+ * Routes checkpoint hooks to the owning process's engine — the
+ * hardware equivalent of selecting per-process backup state by the
+ * CR3 tag carried on every access.
+ */
+class PidRoutedHooks : public cpu::CheckpointHooks
+{
+  public:
+    void
+    route(Pid pid, cpu::CheckpointHooks *hooks)
+    {
+        routes[pid] = hooks;
+    }
+
+    Cycles
+    onStore(Tick tick, Pid pid, Addr vaddr,
+            std::uint32_t bytes) override
+    {
+        auto it = routes.find(pid);
+        return it == routes.end()
+            ? 0
+            : it->second->onStore(tick, pid, vaddr, bytes);
+    }
+
+    Cycles
+    onLoad(Tick tick, Pid pid, Addr vaddr,
+           std::uint32_t bytes) override
+    {
+        auto it = routes.find(pid);
+        return it == routes.end()
+            ? 0
+            : it->second->onLoad(tick, pid, vaddr, bytes);
+    }
+
+  private:
+    std::map<Pid, cpu::CheckpointHooks *> routes;
+};
+
+/**
+ * A second service process co-located on a host slot's core, as the
+ * paper's CR3-tagged trace records allow: the resurrector selects the
+ * right metadata per process; the backup hardware selects the right
+ * per-process records.
+ */
+struct CoService
+{
+    Pid pid = 0;
+    std::unique_ptr<net::ServiceApplication> app;
+    std::unique_ptr<ckpt::CheckpointPolicy> policy;
+    std::unique_ptr<ckpt::MacroCheckpoint> macro;
+    std::unique_ptr<RecoveryManager> recovery;
+    std::uint64_t requestsSinceMacro = 0;
+};
+
+/** One deployed network service bound to a resurrectee core. */
+struct ServiceSlot
+{
+    Pid pid = 0;
+    CoreId coreId = 0;
+    /** Stat subtree; declared first so children unregister cleanly. */
+    std::unique_ptr<stats::StatGroup> statGroup;
+    /**
+     * Per-core memory channel. Service timelines are decoupled (each
+     * core carries its own tick), so each slot gets a private bus +
+     * DRAM model; inter-core bus contention is not modelled.
+     */
+    std::unique_ptr<mem::MemoryBus> bus;
+    std::unique_ptr<mem::DramModel> dram;
+    std::unique_ptr<mem::MemHierarchy> hierarchy;
+    std::unique_ptr<cpu::Core> core;
+    std::unique_ptr<mon::Monitor> monitor;  //!< null in symmetric mode
+    std::unique_ptr<net::ServiceApplication> app;
+    std::unique_ptr<ckpt::CheckpointPolicy> policy;
+    std::unique_ptr<ckpt::MacroCheckpoint> macro;
+    std::unique_ptr<RecoveryManager> recovery;
+    std::uint64_t requestsSinceMacro = 0;
+    std::uint64_t requestsProcessed = 0;
+
+    /** CR3-routed hook mux (installed when a co-service exists). */
+    std::unique_ptr<PidRoutedHooks> hookMux;
+    /** Additional processes time-sharing this core. */
+    std::vector<std::unique_ptr<CoService>> coServices;
+    /** Process currently on the core (context-switch tracking). */
+    Pid runningPid = 0;
+};
+
+/**
+ * The INDRA machine.
+ */
+class IndraSystem : public os::KernelListener
+{
+  public:
+    explicit IndraSystem(const SystemConfig &cfg);
+    ~IndraSystem() override;
+
+    IndraSystem(const IndraSystem &) = delete;
+    IndraSystem &operator=(const IndraSystem &) = delete;
+
+    /**
+     * Run the INDRA boot sequence (Section 3.1.2): the resurrector
+     * boots from flash, carves out its private memory, duplicates the
+     * BIOS for the resurrectees, and releases them to boot their own
+     * OS. In symmetric mode all cores boot equal and no monitor or
+     * watchdog protection is installed.
+     */
+    void boot();
+
+    /** True once boot() has completed. */
+    bool booted() const { return isBooted; }
+
+    /** Frames reserved for the resurrector (RTS + private state). */
+    std::uint64_t resurrectorFrames() const { return rtsFrames; }
+
+    /**
+     * Deploy a service on the next free resurrectee core.
+     * @return slot index for use with processRequest().
+     */
+    std::size_t deployService(const net::DaemonProfile &profile);
+
+    /**
+     * Co-locate a second service process on @p host_slot's core
+     * (time-shared; records are CR3/pid-tagged so one resurrector
+     * monitors both).
+     * @return co-service index for processCoRequest().
+     */
+    std::size_t deployCoService(std::size_t host_slot,
+                                const net::DaemonProfile &profile);
+
+    /** Process one request on @p slot_idx's service. */
+    net::RequestOutcome processRequest(std::size_t slot_idx,
+                                       const net::ServiceRequest &req);
+
+    /** Process one request on a co-located service. */
+    net::RequestOutcome processCoRequest(std::size_t slot_idx,
+                                         std::size_t co_idx,
+                                         const net::ServiceRequest &req);
+
+    /**
+     * Open-loop serving: request i arrives at i * @p inter_arrival
+     * ticks (plus @p first_arrival); the core idles until a request
+     * is present, and response times include queueing delay behind
+     * slow (e.g.\ under-recovery) predecessors.
+     */
+    std::vector<net::RequestOutcome> runOpenLoop(
+        std::size_t slot_idx,
+        const std::vector<net::ServiceRequest> &script,
+        Cycles inter_arrival, Tick first_arrival = 0);
+
+    /** Convenience: run a whole script on slot 0. */
+    std::vector<net::RequestOutcome> runScript(
+        const std::vector<net::ServiceRequest> &script,
+        std::size_t slot_idx = 0);
+
+    // ------------------------------------------------------- access
+    const SystemConfig &config() const { return cfg; }
+    std::size_t serviceCount() const { return slots.size(); }
+    ServiceSlot &slot(std::size_t idx);
+    mem::PhysicalMemory &physMem() { return *phys; }
+    mem::MemWatchdog *watchdog() { return watchdogPtr.get(); }
+    os::Kernel &kernel() { return *kernelPtr; }
+    stats::StatGroup &rootStats() { return statRoot; }
+
+    // ------------------------------------------- os::KernelListener
+    Cycles onRequestCheckpoint(Tick tick, Pid pid) override;
+    void onDynCodeDeclared(Pid pid, Addr base,
+                           std::uint64_t len) override;
+
+  private:
+    /** Everything needed to serve one process's request. */
+    struct ServiceRefs
+    {
+        ServiceSlot *slot;
+        net::ServiceApplication *app;
+        ckpt::CheckpointPolicy *policy;
+        ckpt::MacroCheckpoint *macro;
+        RecoveryManager *recovery;
+        Pid pid;
+        std::uint64_t *requestsSinceMacro;
+    };
+
+    ServiceRefs refsForMain(std::size_t slot_idx);
+    ServiceRefs refsForCo(std::size_t slot_idx, std::size_t co_idx);
+
+    /** The service owning @p pid (main or co-located). */
+    ServiceRefs refsForPid(Pid pid);
+
+    /** Core of the request-processing loop, shared by all services. */
+    net::RequestOutcome runOneRequest(const ServiceRefs &refs,
+                                      const net::ServiceRequest &req);
+
+    /** Drive the fault/crash recovery path for one request. */
+    void handleFailure(const ServiceRefs &refs,
+                       net::RequestOutcome &out, Tick fail_tick,
+                       bool detected, mon::Violation violation);
+
+    SystemConfig cfg;
+    stats::StatGroup statRoot;
+    std::unique_ptr<mem::PhysicalMemory> phys;
+    std::unique_ptr<mem::MemWatchdog> watchdogPtr;
+    std::unique_ptr<os::Kernel> kernelPtr;
+    std::vector<std::unique_ptr<ServiceSlot>> slots;
+    bool isBooted = false;
+    std::uint64_t rtsFrames = 0;
+    std::vector<Pfn> resurrectorPrivate;
+};
+
+} // namespace indra::core
+
+#endif // INDRA_CORE_SYSTEM_HH

@@ -1,0 +1,69 @@
+#include "cpu/filter_cam.hh"
+
+namespace indra::cpu
+{
+
+FilterCam::FilterCam(std::uint32_t entries_count,
+                     stats::StatGroup &parent)
+    : cap(entries_count), entries(entries_count),
+      statGroup(parent, "filter_cam"),
+      statLookups(statGroup, "lookups", "page-address lookups"),
+      statHits(statGroup, "hits", "lookups waived by the CAM")
+{
+}
+
+bool
+FilterCam::lookupInsert(Addr page_addr)
+{
+    ++statLookups;
+    if (cap == 0)
+        return false;
+
+    Entry *victim = nullptr;
+    for (Entry &e : entries) {
+        if (e.valid && e.page == page_addr) {
+            e.lastUse = ++useClock;
+            ++statHits;
+            return true;
+        }
+        if (!e.valid) {
+            if (!victim || victim->valid)
+                victim = &e;
+        } else if (!victim || (victim->valid &&
+                               e.lastUse < victim->lastUse)) {
+            victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->page = page_addr;
+    victim->lastUse = ++useClock;
+    return false;
+}
+
+void
+FilterCam::invalidate()
+{
+    for (Entry &e : entries)
+        e.valid = false;
+}
+
+std::uint64_t
+FilterCam::lookups() const
+{
+    return static_cast<std::uint64_t>(statLookups.value());
+}
+
+std::uint64_t
+FilterCam::hits() const
+{
+    return static_cast<std::uint64_t>(statHits.value());
+}
+
+double
+FilterCam::missRatio() const
+{
+    double l = statLookups.value();
+    return l > 0 ? (l - statHits.value()) / l : 0.0;
+}
+
+} // namespace indra::cpu

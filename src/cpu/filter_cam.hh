@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The code-origin filter CAM (Section 3.2.2).
+ *
+ * A small fully-associative content-addressable memory on the
+ * resurrectee holding recently checked code-page addresses. On an L1I
+ * fill the core looks the block's page address up; a hit means the
+ * page was recently verified and no record is sent, which the paper
+ * shows removes >90% of code-origin checks with only 32 entries.
+ */
+
+#ifndef INDRA_CPU_FILTER_CAM_HH
+#define INDRA_CPU_FILTER_CAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace indra::cpu
+{
+
+/** Fully-associative LRU CAM of page addresses. */
+class FilterCam
+{
+  public:
+    /**
+     * @param entries capacity; 0 disables filtering (every lookup
+     *                misses and nothing is remembered)
+     */
+    FilterCam(std::uint32_t entries, stats::StatGroup &parent);
+
+    /**
+     * Look up @p page_addr; inserts it on miss.
+     * @return true on hit (check can be waived).
+     */
+    bool lookupInsert(Addr page_addr);
+
+    /** Drop all entries (context switch or recovery). */
+    void invalidate();
+
+    std::uint32_t capacity() const { return cap; }
+    std::uint64_t lookups() const;
+    std::uint64_t hits() const;
+
+    /** Fraction of lookups that still need a monitor check. */
+    double missRatio() const;
+
+  private:
+    struct Entry
+    {
+        Addr page = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint32_t cap;
+    std::vector<Entry> entries;
+    std::uint64_t useClock = 0;
+
+    stats::StatGroup statGroup;
+    stats::Scalar statLookups;
+    stats::Scalar statHits;
+};
+
+} // namespace indra::cpu
+
+#endif // INDRA_CPU_FILTER_CAM_HH

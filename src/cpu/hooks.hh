@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Abstract interfaces through which a core reaches the higher layers
+ * without depending on them: the checkpoint engine's load/store hooks
+ * and the OS syscall handler. Implemented in src/checkpoint and
+ * src/os respectively; wired together by src/core.
+ */
+
+#ifndef INDRA_CPU_HOOKS_HH
+#define INDRA_CPU_HOOKS_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace indra::cpu
+{
+
+/**
+ * Memory-state backup hooks invoked around every architectural data
+ * access (Figures 4 and 5 of the paper). The hook performs the
+ * engine's functional work (copy old line to the backup page, or
+ * recover a rolled-back line) and returns the extra cycles the access
+ * pays for it.
+ */
+class CheckpointHooks
+{
+  public:
+    virtual ~CheckpointHooks() = default;
+
+    /**
+     * About to write @p bytes at @p vaddr; the old value is still in
+     * memory. Returns the backup cost in cycles.
+     */
+    virtual Cycles onStore(Tick tick, Pid pid, Addr vaddr,
+                           std::uint32_t bytes) = 0;
+
+    /**
+     * About to read @p bytes at @p vaddr. For the delta engine this is
+     * where rollback-on-demand happens (Figure 5). Returns the
+     * recovery cost in cycles.
+     */
+    virtual Cycles onLoad(Tick tick, Pid pid, Addr vaddr,
+                          std::uint32_t bytes) = 0;
+};
+
+/** Outcome of a syscall as seen by the core. */
+struct SyscallResult
+{
+    Cycles cycles = 0;          //!< time spent in the kernel
+    bool terminated = false;    //!< the service crashed / was killed
+    std::uint64_t value = 0;    //!< return value
+};
+
+/**
+ * OS entry point for Op::Syscall instructions.
+ */
+class SyscallHandler
+{
+  public:
+    virtual ~SyscallHandler() = default;
+
+    virtual SyscallResult syscall(Tick tick, Pid pid,
+                                  std::uint32_t sysno,
+                                  std::uint64_t arg0,
+                                  std::uint64_t arg1) = 0;
+};
+
+} // namespace indra::cpu
+
+#endif // INDRA_CPU_HOOKS_HH

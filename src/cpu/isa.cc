@@ -1,0 +1,56 @@
+#include "cpu/isa.hh"
+
+#include <sstream>
+
+namespace indra::cpu
+{
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Alu:
+        return "alu";
+      case Op::Load:
+        return "load";
+      case Op::Store:
+        return "store";
+      case Op::Call:
+        return "call";
+      case Op::CallInd:
+        return "call.ind";
+      case Op::Return:
+        return "ret";
+      case Op::Jump:
+        return "jmp";
+      case Op::JumpInd:
+        return "jmp.ind";
+      case Op::Setjmp:
+        return "setjmp";
+      case Op::Longjmp:
+        return "longjmp";
+      case Op::Syscall:
+        return "syscall";
+      case Op::IoWrite:
+        return "io.write";
+      case Op::Halt:
+        return "halt";
+    }
+    return "??";
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << std::hex << "0x" << pc << ": " << opName(op);
+    if (isControlTransfer(op))
+        os << " -> 0x" << target;
+    if (op == Op::Load || op == Op::Store)
+        os << " [0x" << effAddr << "]";
+    if (op == Op::Syscall)
+        os << " #" << std::dec << imm;
+    return os.str();
+}
+
+} // namespace indra::cpu

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * MiniIsa: the small RISC-style instruction set the simulated cores
+ * execute.
+ *
+ * The paper's evaluation runs x86 binaries under Bochs/TAXI; what the
+ * INDRA mechanisms observe, however, is only a handful of
+ * architectural event classes — instruction-block fetches, calls,
+ * returns, computed transfers, setjmp/longjmp, loads/stores, syscalls
+ * and I/O writes. MiniIsa captures exactly those classes; workload
+ * generators (src/net) emit MiniIsa streams whose statistics match the
+ * paper's measured daemon profiles.
+ */
+
+#ifndef INDRA_CPU_ISA_HH
+#define INDRA_CPU_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace indra::cpu
+{
+
+/** Instruction classes observable by the INDRA monitor. */
+enum class Op : std::uint8_t
+{
+    Alu,      //!< integer/logic op; no memory, no transfer
+    Load,     //!< memory read at effAddr
+    Store,    //!< memory write of `value` at effAddr
+    Call,     //!< direct call to target; return address is pc + 4
+    CallInd,  //!< indirect (function-pointer / virtual) call to target
+    Return,   //!< return; target is the address actually jumped to
+    Jump,     //!< direct jump to target
+    JumpInd,  //!< computed jump to target
+    Setjmp,   //!< registers env (imm) with resume pc
+    Longjmp,  //!< jumps to the env's resume point (target)
+    Syscall,  //!< system call number in imm; args in value/effAddr
+    IoWrite,  //!< I/O-memory or DMA write (monitor sync point)
+    Halt,     //!< stop the stream (end of request)
+};
+
+/** Printable opcode mnemonic. */
+const char *opName(Op op);
+
+/** True for ops that transfer control. */
+constexpr bool
+isControlTransfer(Op op)
+{
+    switch (op) {
+      case Op::Call:
+      case Op::CallInd:
+      case Op::Return:
+      case Op::Jump:
+      case Op::JumpInd:
+      case Op::Longjmp:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** System-call numbers understood by the INDRA OS layer. */
+enum class SyscallNo : std::uint32_t
+{
+    RequestCheckpoint = 1,  //!< new service request: increment the GTS
+    OpenFile = 2,
+    CloseFile = 3,
+    SpawnChild = 4,
+    AllocPages = 5,         //!< grow the heap by `value` pages
+    WriteLog = 6,           //!< append to the (never rolled back) log
+    Crash = 7,              //!< model a DoS-induced service failure
+    DeclareDynCode = 8,     //!< register a self-modifying-code region
+};
+
+/** One decoded MiniIsa instruction. */
+struct Instruction
+{
+    Op op = Op::Alu;
+    Addr pc = 0;        //!< this instruction's address
+    Addr target = 0;    //!< control-transfer destination
+    Addr effAddr = 0;   //!< load/store effective address
+    std::uint64_t value = 0;  //!< store data / syscall argument
+    std::uint32_t imm = 0;    //!< syscall number / setjmp env id
+    std::uint16_t bytes = 8;  //!< memory access width
+
+    /** Fall-through successor address. */
+    Addr nextPc() const { return pc + 4; }
+
+    /** Debug rendering. */
+    std::string toString() const;
+};
+
+/** Architected instruction size (fixed, like most RISCs). */
+constexpr std::uint32_t instrBytes = 4;
+
+} // namespace indra::cpu
+
+#endif // INDRA_CPU_ISA_HH

@@ -1,0 +1,26 @@
+#include "cpu/trace.hh"
+
+namespace indra::cpu
+{
+
+const char *
+traceKindName(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::CodeOrigin:
+        return "code-origin";
+      case TraceKind::Call:
+        return "call";
+      case TraceKind::Return:
+        return "return";
+      case TraceKind::CtrlTransfer:
+        return "ctrl-transfer";
+      case TraceKind::Setjmp:
+        return "setjmp";
+      case TraceKind::Longjmp:
+        return "longjmp";
+    }
+    return "??";
+}
+
+} // namespace indra::cpu

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared front-side memory bus: 8 bytes per beat at 200MHz (Table 4).
+ *
+ * First-come-first-served occupancy: a transfer holds the bus for
+ * ceil(bytes / width) bus clocks; later requests queue behind it. The
+ * bus is the shared resource between the resurrectee cores' cache-miss
+ * traffic and checkpoint write-back traffic.
+ */
+
+#ifndef INDRA_MEM_BUS_HH
+#define INDRA_MEM_BUS_HH
+
+#include <cstdint>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace indra::mem
+{
+
+/** Timing outcome of one bus transfer. */
+struct BusResult
+{
+    Tick startTick = 0;
+    Tick doneTick = 0;
+};
+
+/** The shared memory bus. */
+class MemoryBus
+{
+  public:
+    /**
+     * @param bus_ratio core clocks per bus clock
+     * @param width_bytes bytes per beat
+     */
+    MemoryBus(std::uint32_t bus_ratio, std::uint32_t width_bytes,
+              stats::StatGroup &parent);
+
+    /**
+     * Occupy the bus to move @p bytes starting no earlier than
+     * @p tick.
+     */
+    BusResult transfer(Tick tick, std::uint32_t bytes);
+
+    /** First tick at which the bus is free. */
+    Tick freeAt() const { return busyUntil; }
+
+    /** Reset occupancy (not stats). */
+    void drain() { busyUntil = 0; }
+
+  private:
+    std::uint32_t ratio;
+    std::uint32_t width;
+    Tick busyUntil = 0;
+
+    stats::StatGroup statGroup;
+    stats::Scalar statTransfers;
+    stats::Scalar statBytes;
+    stats::Scalar statWaitCycles;
+};
+
+} // namespace indra::mem
+
+#endif // INDRA_MEM_BUS_HH

@@ -1,0 +1,152 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace indra::mem
+{
+
+Cache::Cache(const CacheConfig &cfg, stats::StatGroup &parent)
+    : config(cfg), numSets(cfg.numSets()), ways(cfg.associativity),
+      lineShift(floorLog2(cfg.lineBytes)),
+      lines(numSets * ways),
+      statGroup(parent, cfg.name),
+      statAccesses(statGroup, "accesses", "total accesses"),
+      statMisses(statGroup, "misses", "misses"),
+      statWritebacks(statGroup, "writebacks", "dirty victims evicted"),
+      statMissRate(statGroup, "miss_rate", "misses / accesses",
+                   [this] {
+                       double a = statAccesses.value();
+                       return a > 0 ? statMisses.value() / a : 0.0;
+                   })
+{
+    panic_if(!isPowerOf2(numSets), "cache set count must be a power of 2");
+}
+
+std::uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> lineShift) & (numSets - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> lineShift >> floorLog2(numSets);
+}
+
+Addr
+Cache::lineAddr(Addr tag, std::uint64_t set) const
+{
+    return ((tag << floorLog2(numSets)) | set) << lineShift;
+}
+
+CacheResult
+Cache::access(Addr addr, bool is_write)
+{
+    ++statAccesses;
+    CacheResult result;
+    std::uint64_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    Line *base = &lines[set * ways];
+
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = ++useClock;
+            if (is_write && config.writeBack)
+                line.dirty = true;
+            result.hit = true;
+            return result;
+        }
+    }
+
+    // Miss: pick an invalid way if one exists, otherwise the LRU way.
+    ++statMisses;
+    Line *victim = nullptr;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        Line &line = base[w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    if (victim->valid && victim->dirty) {
+        result.writeback = true;
+        result.victimAddr = lineAddr(victim->tag, set);
+        ++statWritebacks;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = is_write && config.writeBack;
+    victim->lastUse = ++useClock;
+    result.filled = true;
+    return result;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    std::uint64_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    const Line *base = &lines[set * ways];
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (Line &line : lines) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+bool
+Cache::invalidateLine(Addr addr)
+{
+    std::uint64_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    Line *base = &lines[set * ways];
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            bool was_dirty = line.dirty;
+            line.valid = false;
+            line.dirty = false;
+            return was_dirty;
+        }
+    }
+    return false;
+}
+
+std::uint64_t
+Cache::accesses() const
+{
+    return static_cast<std::uint64_t>(statAccesses.value());
+}
+
+std::uint64_t
+Cache::misses() const
+{
+    return static_cast<std::uint64_t>(statMisses.value());
+}
+
+double
+Cache::missRate() const
+{
+    return statMissRate.value();
+}
+
+std::uint64_t
+Cache::writebacks() const
+{
+    return static_cast<std::uint64_t>(statWritebacks.value());
+}
+
+} // namespace indra::mem

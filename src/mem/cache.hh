@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A set-associative cache timing model with true-LRU replacement and
+ * write-back dirty-line tracking.
+ *
+ * The model is tag-only: data values live in PhysicalMemory; the cache
+ * decides hit/miss, tracks dirty lines, and reports evictions so the
+ * next level (and the DRAM model) can be charged for fills and
+ * write-backs. Used for L1I, L1D, and the per-core unified L2.
+ */
+
+#ifndef INDRA_MEM_CACHE_HH
+#define INDRA_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace indra::mem
+{
+
+/** What a single cache access did. */
+struct CacheResult
+{
+    bool hit = false;
+    /** A dirty victim was evicted and must be written back. */
+    bool writeback = false;
+    /** Line address of the evicted dirty victim (valid iff writeback). */
+    Addr victimAddr = invalidAddr;
+    /** The access allocated a new line (it was a miss). */
+    bool filled = false;
+};
+
+/**
+ * One cache level. Addresses are line-aligned internally; callers pass
+ * byte addresses.
+ */
+class Cache
+{
+  public:
+    Cache(const CacheConfig &cfg, stats::StatGroup &parent);
+
+    /**
+     * Access the cache at @p addr.
+     * @param addr byte address
+     * @param is_write marks the line dirty on hit/fill (write-back)
+     * @return hit/miss plus any dirty victim information
+     */
+    CacheResult access(Addr addr, bool is_write);
+
+    /**
+     * Probe without side effects.
+     * @return true if the line holding @p addr is present.
+     */
+    bool contains(Addr addr) const;
+
+    /** Invalidate the whole cache (context switch, recovery). */
+    void invalidateAll();
+
+    /**
+     * Invalidate one line if present.
+     * @return true if the line was present and dirty.
+     */
+    bool invalidateLine(Addr addr);
+
+    std::uint32_t lineBytes() const { return config.lineBytes; }
+    const CacheConfig &params() const { return config; }
+
+    std::uint64_t accesses() const;
+    std::uint64_t misses() const;
+    double missRate() const;
+    std::uint64_t writebacks() const;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Addr lineAddr(Addr tag, std::uint64_t set) const;
+
+    CacheConfig config;
+    std::uint64_t numSets;
+    std::uint32_t ways;
+    unsigned lineShift;
+    std::vector<Line> lines;  //!< numSets * ways, set-major
+    std::uint64_t useClock = 0;
+
+    stats::StatGroup statGroup;
+    stats::Scalar statAccesses;
+    stats::Scalar statMisses;
+    stats::Scalar statWritebacks;
+    stats::Formula statMissRate;
+};
+
+} // namespace indra::mem
+
+#endif // INDRA_MEM_CACHE_HH

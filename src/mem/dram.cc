@@ -1,0 +1,92 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace indra::mem
+{
+
+DramModel::DramModel(const DramConfig &cfg, std::uint32_t bus_ratio,
+                     std::uint32_t bus_width_bytes,
+                     stats::StatGroup &parent)
+    : config(cfg), ratio(bus_ratio), busWidth(bus_width_bytes),
+      banks(cfg.numBanks),
+      statGroup(parent, "dram"),
+      statAccesses(statGroup, "accesses", "DRAM accesses"),
+      statRowHits(statGroup, "row_hits", "open-row page hits"),
+      statRowMisses(statGroup, "row_misses", "row-closed page misses"),
+      statRowConflicts(statGroup, "row_conflicts",
+                       "different-row page conflicts"),
+      statLatency(statGroup, "latency", "access latency, core cycles")
+{
+    panic_if(ratio == 0, "bus ratio must be nonzero");
+    panic_if(busWidth == 0, "bus width must be nonzero");
+}
+
+DramResult
+DramModel::access(Tick tick, Addr addr, std::uint32_t bytes)
+{
+    ++statAccesses;
+    std::uint64_t row = addr / config.rowBytes;
+    Bank &bank = banks[row & (config.numBanks - 1)];
+
+    // Command latency in bus clocks depends on the row-buffer state.
+    std::uint32_t cmd_bus_clocks;
+    if (bank.rowOpen && bank.openRow == row) {
+        cmd_bus_clocks = config.casLatency;
+        ++statRowHits;
+    } else if (!bank.rowOpen) {
+        cmd_bus_clocks = config.rasToCasLatency + config.casLatency;
+        ++statRowMisses;
+    } else {
+        cmd_bus_clocks = config.prechargeLatency +
+            config.rasToCasLatency + config.casLatency;
+        ++statRowConflicts;
+    }
+    bank.rowOpen = true;
+    bank.openRow = row;
+
+    std::uint32_t beats = (bytes + busWidth - 1) / busWidth;
+    if (beats == 0)
+        beats = 1;
+    Cycles service =
+        static_cast<Cycles>(cmd_bus_clocks + beats) * ratio;
+
+    DramResult result;
+    result.startTick = std::max(tick, bank.busyUntil);
+    result.doneTick = result.startTick + service;
+    result.latency = result.doneTick - tick;
+    bank.busyUntil = result.doneTick;
+    statLatency.sample(static_cast<double>(result.latency));
+    return result;
+}
+
+std::uint64_t
+DramModel::rowHits() const
+{
+    return static_cast<std::uint64_t>(statRowHits.value());
+}
+
+std::uint64_t
+DramModel::rowMisses() const
+{
+    return static_cast<std::uint64_t>(statRowMisses.value());
+}
+
+std::uint64_t
+DramModel::rowConflicts() const
+{
+    return static_cast<std::uint64_t>(statRowConflicts.value());
+}
+
+void
+DramModel::drain()
+{
+    for (Bank &b : banks) {
+        b.rowOpen = false;
+        b.busyUntil = 0;
+    }
+}
+
+} // namespace indra::mem

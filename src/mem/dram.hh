@@ -1,0 +1,85 @@
+/**
+ * @file
+ * PC-SDRAM timing model after Gries & Romer [16], as integrated in the
+ * paper's simulator: per-bank row buffers with page-hit / page-miss /
+ * page-conflict latencies built from the CAS / RP / RCD parameters of
+ * Table 4, plus burst transfer time over the 8-byte 200MHz bus.
+ *
+ * The model is lazily event-driven: each access carries its request
+ * tick; per-bank busy-until times serialize conflicting requests
+ * without a global tick loop.
+ */
+
+#ifndef INDRA_MEM_DRAM_HH
+#define INDRA_MEM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace indra::mem
+{
+
+/** Timing outcome of one DRAM access. */
+struct DramResult
+{
+    Tick startTick = 0;    //!< when the bank began servicing
+    Tick doneTick = 0;     //!< when the last beat arrived
+    Cycles latency = 0;    //!< doneTick - request tick
+};
+
+/**
+ * Multi-bank SDRAM with open-row policy.
+ */
+class DramModel
+{
+  public:
+    /**
+     * @param cfg     DRAM geometry and timings (bus clocks)
+     * @param bus_ratio core clocks per bus clock
+     * @param bus_width_bytes bytes per bus beat
+     * @param parent  stat group to register under
+     */
+    DramModel(const DramConfig &cfg, std::uint32_t bus_ratio,
+              std::uint32_t bus_width_bytes, stats::StatGroup &parent);
+
+    /**
+     * Access @p bytes at physical address @p addr at time @p tick.
+     * @return start/done ticks and total latency in core cycles.
+     */
+    DramResult access(Tick tick, Addr addr, std::uint32_t bytes);
+
+    std::uint64_t rowHits() const;
+    std::uint64_t rowMisses() const;
+    std::uint64_t rowConflicts() const;
+
+    /** Reset bank state (not stats); used between measurement runs. */
+    void drain();
+
+  private:
+    struct Bank
+    {
+        bool rowOpen = false;
+        std::uint64_t openRow = 0;
+        Tick busyUntil = 0;
+    };
+
+    DramConfig config;
+    std::uint32_t ratio;       //!< core clocks per bus clock
+    std::uint32_t busWidth;
+    std::vector<Bank> banks;
+
+    stats::StatGroup statGroup;
+    stats::Scalar statAccesses;
+    stats::Scalar statRowHits;
+    stats::Scalar statRowMisses;
+    stats::Scalar statRowConflicts;
+    stats::Distribution statLatency;
+};
+
+} // namespace indra::mem
+
+#endif // INDRA_MEM_DRAM_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Per-core memory hierarchy: I/D TLBs, split L1s, a private unified
+ * L2, and the shared bus + DRAM behind them (Table 4 geometry).
+ *
+ * The hierarchy is a timing model over virtual addresses (the private
+ * caches are virtually indexed/tagged; a context switch flushes).
+ * Functional data lives in PhysicalMemory; translation is supplied by
+ * the OS through the Translator interface, and every translated access
+ * from a low-privilege core passes the memory watchdog.
+ */
+
+#ifndef INDRA_MEM_HIERARCHY_HH
+#define INDRA_MEM_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "mem/bus.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/tlb.hh"
+#include "mem/watchdog.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace indra::mem
+{
+
+/**
+ * vpn -> pfn translation source (implemented by os::AddressSpace).
+ */
+class Translator
+{
+  public:
+    virtual ~Translator() = default;
+
+    /** @return the frame for (@p pid, @p vpn), or invalidPfn. */
+    virtual Pfn translate(Pid pid, Vpn vpn) const = 0;
+};
+
+/** Architectural faults an access can raise. */
+enum class MemFault : std::uint8_t
+{
+    None,        //!< completed normally
+    Unmapped,    //!< no translation (segfault)
+    Protection,  //!< watchdog denial (touched a private frame)
+};
+
+/** Timing + event outcome of one access. */
+struct MemOutcome
+{
+    Cycles latency = 0;
+    MemFault fault = MemFault::None;
+    /** An instruction fetch filled a new L1I line (L2->IL1 interface). */
+    bool l1iFill = false;
+    /** The access missed all on-chip caches and went to DRAM. */
+    bool wentToDram = false;
+};
+
+/**
+ * The hierarchy owned by one core.
+ */
+class MemHierarchy
+{
+  public:
+    /**
+     * @param cfg     full system configuration
+     * @param core    owning core's id
+     * @param priv    owning core's privilege level
+     * @param xlate   translation source
+     * @param watchdog shared watchdog (may be nullptr for the
+     *                resurrector, which is unconstrained)
+     * @param bus     shared memory bus
+     * @param dram    shared DRAM
+     * @param parent  stat group to register under
+     */
+    MemHierarchy(const SystemConfig &cfg, CoreId core, Privilege priv,
+                 const Translator &xlate, MemWatchdog *watchdog,
+                 MemoryBus &bus, DramModel &dram,
+                 stats::StatGroup &parent);
+
+    /** Instruction fetch touching the block at @p vaddr. */
+    MemOutcome fetch(Tick tick, Pid pid, Addr vaddr);
+
+    /** Data load of up to one line at @p vaddr. */
+    MemOutcome load(Tick tick, Pid pid, Addr vaddr);
+
+    /** Data store of up to one line at @p vaddr. */
+    MemOutcome store(Tick tick, Pid pid, Addr vaddr);
+
+    /**
+     * Move one backup-granularity line through the data path on behalf
+     * of a checkpoint engine (active-page read or backup-page write).
+     * @p cache_addr is a synthetic address that must not collide with
+     * application virtual addresses; use backupAddr() for frames.
+     */
+    Cycles lineTransfer(Tick tick, Addr cache_addr, bool is_write);
+
+    /**
+     * Synthetic cache address for byte @p offset of physical frame
+     * @p pfn, disjoint from the application's virtual address range.
+     */
+    Addr backupAddr(Pfn pfn, std::uint32_t offset) const;
+
+    /**
+     * Move one line over the bus to/from DRAM without touching the
+     * caches (DMA-style page copies used by the whole-page checkpoint
+     * schemes). Returns the latency in cycles.
+     */
+    Cycles uncachedLineTransfer(Tick tick, Addr addr);
+
+    /** Flush L1s and L2 (context switch / recovery / reboot). */
+    void flushCaches();
+
+    /** Flush both TLBs. */
+    void flushTlbs();
+
+    Cache &l1iCache() { return l1i; }
+    Cache &l1dCache() { return l1d; }
+    Cache &l2Cache() { return l2; }
+    Tlb &iTlb() { return itlb; }
+    Tlb &dTlb() { return dtlb; }
+
+    CoreId coreId() const { return core; }
+    Privilege privilege() const { return priv; }
+
+  private:
+    /** Shared L2-and-beyond path for both instruction and data. */
+    MemOutcome l2Path(Tick tick, Addr vaddr, bool is_write,
+                      Cycles latency_so_far);
+
+    /** Translate and watchdog-check; fills fault on failure. */
+    MemFault translateAndCheck(Pid pid, Addr vaddr) const;
+
+    const SystemConfig &config;
+    CoreId core;
+    Privilege priv;
+    const Translator &xlate;
+    MemWatchdog *watchdog;
+    MemoryBus &bus;
+    DramModel &dram;
+
+    stats::StatGroup statGroup;
+    Cache l1i;
+    Cache l1d;
+    Cache l2;
+    Tlb itlb;
+    Tlb dtlb;
+    stats::Scalar statFaults;
+};
+
+} // namespace indra::mem
+
+#endif // INDRA_MEM_HIERARCHY_HH

@@ -1,0 +1,147 @@
+#include "mem/phys_mem.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace indra::mem
+{
+
+PhysicalMemory::PhysicalMemory(std::uint64_t size_bytes,
+                               std::uint32_t page_bytes)
+    : frameBytes(page_bytes), frameCount(size_bytes / page_bytes)
+{
+    panic_if(!isPowerOf2(page_bytes), "frame size must be a power of 2");
+    fatal_if(frameCount == 0, "physical memory smaller than one frame");
+}
+
+Pfn
+PhysicalMemory::allocFrame()
+{
+    Pfn pfn;
+    if (!freeList.empty()) {
+        pfn = freeList.back();
+        freeList.pop_back();
+    } else {
+        fatal_if(nextFresh >= frameCount,
+                 "out of physical memory (", frameCount, " frames)");
+        pfn = nextFresh++;
+    }
+    live[pfn] = true;
+    ++allocated;
+    return pfn;
+}
+
+void
+PhysicalMemory::freeFrame(Pfn pfn)
+{
+    checkFrame(pfn);
+    auto it = live.find(pfn);
+    panic_if(it == live.end() || !it->second,
+             "freeing unallocated frame ", pfn);
+    it->second = false;
+    frames.erase(pfn);
+    freeList.push_back(pfn);
+    --allocated;
+}
+
+bool
+PhysicalMemory::isAllocated(Pfn pfn) const
+{
+    auto it = live.find(pfn);
+    return it != live.end() && it->second;
+}
+
+void
+PhysicalMemory::checkFrame(Pfn pfn) const
+{
+    panic_if(pfn >= frameCount, "frame ", pfn, " out of range");
+}
+
+std::vector<std::uint8_t> &
+PhysicalMemory::materialize(Pfn pfn)
+{
+    auto it = frames.find(pfn);
+    if (it == frames.end())
+        it = frames.emplace(pfn,
+                            std::vector<std::uint8_t>(frameBytes, 0)).first;
+    return it->second;
+}
+
+const std::vector<std::uint8_t> *
+PhysicalMemory::peek(Pfn pfn) const
+{
+    auto it = frames.find(pfn);
+    return it == frames.end() ? nullptr : &it->second;
+}
+
+void
+PhysicalMemory::read(Pfn pfn, std::uint32_t offset, void *out,
+                     std::uint32_t len) const
+{
+    checkFrame(pfn);
+    panic_if(offset + len > frameBytes, "read crosses frame boundary");
+    const auto *data = peek(pfn);
+    if (!data) {
+        std::memset(out, 0, len);
+        return;
+    }
+    std::memcpy(out, data->data() + offset, len);
+}
+
+void
+PhysicalMemory::write(Pfn pfn, std::uint32_t offset, const void *in,
+                      std::uint32_t len)
+{
+    checkFrame(pfn);
+    panic_if(offset + len > frameBytes, "write crosses frame boundary");
+    auto &data = materialize(pfn);
+    std::memcpy(data.data() + offset, in, len);
+}
+
+std::uint64_t
+PhysicalMemory::read64(Pfn pfn, std::uint32_t offset) const
+{
+    std::uint64_t v;
+    read(pfn, offset, &v, sizeof(v));
+    return v;
+}
+
+void
+PhysicalMemory::write64(Pfn pfn, std::uint32_t offset, std::uint64_t value)
+{
+    write(pfn, offset, &value, sizeof(value));
+}
+
+void
+PhysicalMemory::copy(Pfn dst_pfn, std::uint32_t dst_off, Pfn src_pfn,
+                     std::uint32_t src_off, std::uint32_t len)
+{
+    checkFrame(dst_pfn);
+    checkFrame(src_pfn);
+    panic_if(src_off + len > frameBytes || dst_off + len > frameBytes,
+             "copy crosses frame boundary");
+    const auto *src = peek(src_pfn);
+    if (!src) {
+        // Source is an all-zero lazy frame.
+        std::vector<std::uint8_t> zeros(len, 0);
+        write(dst_pfn, dst_off, zeros.data(), len);
+        return;
+    }
+    // Copy via a temporary so that self-copy within one frame is safe.
+    std::vector<std::uint8_t> tmp(src->begin() + src_off,
+                                  src->begin() + src_off + len);
+    write(dst_pfn, dst_off, tmp.data(), len);
+}
+
+std::vector<std::uint8_t>
+PhysicalMemory::snapshotFrame(Pfn pfn) const
+{
+    checkFrame(pfn);
+    const auto *data = peek(pfn);
+    if (!data)
+        return std::vector<std::uint8_t>(frameBytes, 0);
+    return *data;
+}
+
+} // namespace indra::mem

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Physical memory: a sparse frame store with a frame allocator.
+ *
+ * Functional state lives here — every byte a resurrectee writes is
+ * really stored, which lets the checkpoint engines be verified for
+ * *correctness* (does rollback restore the exact bytes?), not just for
+ * timing.
+ */
+
+#ifndef INDRA_MEM_PHYS_MEM_HH
+#define INDRA_MEM_PHYS_MEM_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace indra::mem
+{
+
+/**
+ * Sparse physical memory. Frames are allocated from a bump-plus-free-
+ * list allocator; frame contents are materialized lazily (all-zero
+ * until first written).
+ */
+class PhysicalMemory
+{
+  public:
+    /** @param size_bytes capacity; @param page_bytes frame size. */
+    PhysicalMemory(std::uint64_t size_bytes, std::uint32_t page_bytes);
+
+    /** Frame size in bytes. */
+    std::uint32_t pageBytes() const { return frameBytes; }
+
+    /** Total number of frames. */
+    std::uint64_t numFrames() const { return frameCount; }
+
+    /** Number of frames currently allocated. */
+    std::uint64_t framesAllocated() const { return allocated; }
+
+    /**
+     * Allocate one frame.
+     * @return the new frame number.
+     * Calls fatal() when physical memory is exhausted.
+     */
+    Pfn allocFrame();
+
+    /** Return @p pfn to the allocator. Contents are discarded. */
+    void freeFrame(Pfn pfn);
+
+    /** True if @p pfn is currently allocated. */
+    bool isAllocated(Pfn pfn) const;
+
+    /** Read @p len bytes at (@p pfn, @p offset) into @p out. */
+    void read(Pfn pfn, std::uint32_t offset, void *out,
+              std::uint32_t len) const;
+
+    /** Write @p len bytes from @p in at (@p pfn, @p offset). */
+    void write(Pfn pfn, std::uint32_t offset, const void *in,
+               std::uint32_t len);
+
+    /** Convenience: read one 64-bit word. */
+    std::uint64_t read64(Pfn pfn, std::uint32_t offset) const;
+
+    /** Convenience: write one 64-bit word. */
+    void write64(Pfn pfn, std::uint32_t offset, std::uint64_t value);
+
+    /**
+     * Copy @p len bytes from (@p src_pfn, @p src_off) to
+     * (@p dst_pfn, @p dst_off). Used by checkpoint engines.
+     */
+    void copy(Pfn dst_pfn, std::uint32_t dst_off, Pfn src_pfn,
+              std::uint32_t src_off, std::uint32_t len);
+
+    /** Snapshot an entire frame's bytes (for tests / verification). */
+    std::vector<std::uint8_t> snapshotFrame(Pfn pfn) const;
+
+  private:
+    /** Backing store for a frame, created on first write. */
+    std::vector<std::uint8_t> &materialize(Pfn pfn);
+    const std::vector<std::uint8_t> *peek(Pfn pfn) const;
+
+    void checkFrame(Pfn pfn) const;
+
+    std::uint32_t frameBytes;
+    std::uint64_t frameCount;
+    std::uint64_t nextFresh = 0;
+    std::uint64_t allocated = 0;
+    std::vector<Pfn> freeList;
+    std::unordered_map<Pfn, std::vector<std::uint8_t>> frames;
+    std::unordered_map<Pfn, bool> live;
+};
+
+} // namespace indra::mem
+
+#endif // INDRA_MEM_PHYS_MEM_HH

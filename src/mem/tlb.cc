@@ -1,0 +1,111 @@
+#include "mem/tlb.hh"
+
+#include "sim/logging.hh"
+
+namespace indra::mem
+{
+
+Tlb::Tlb(const TlbConfig &cfg, stats::StatGroup &parent)
+    : config(cfg), numSets(cfg.entries / cfg.associativity),
+      ways(cfg.associativity), entries(cfg.entries),
+      statGroup(parent, cfg.name),
+      statAccesses(statGroup, "accesses", "total lookups"),
+      statMisses(statGroup, "misses", "lookup misses"),
+      statMissRate(statGroup, "miss_rate", "misses / accesses",
+                   [this] {
+                       double a = statAccesses.value();
+                       return a > 0 ? statMisses.value() / a : 0.0;
+                   })
+{
+    panic_if(!isPowerOf2(numSets), "TLB set count must be a power of 2");
+}
+
+std::uint64_t
+Tlb::setIndex(Vpn vpn) const
+{
+    return vpn & (numSets - 1);
+}
+
+TlbResult
+Tlb::access(Pid pid, Vpn vpn)
+{
+    ++statAccesses;
+    TlbResult result;
+    Entry *base = &entries[setIndex(vpn) * ways];
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.pid == pid && e.vpn == vpn) {
+            e.lastUse = ++useClock;
+            result.hit = true;
+            return result;
+        }
+    }
+
+    ++statMisses;
+    Entry *victim = nullptr;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        Entry &e = base[w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (!victim || e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    if (victim->valid) {
+        result.evicted = true;
+        result.victimVpn = victim->vpn;
+    }
+    victim->valid = true;
+    victim->pid = pid;
+    victim->vpn = vpn;
+    victim->lastUse = ++useClock;
+    return result;
+}
+
+bool
+Tlb::contains(Pid pid, Vpn vpn) const
+{
+    const Entry *base = &entries[setIndex(vpn) * ways];
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        if (base[w].valid && base[w].pid == pid && base[w].vpn == vpn)
+            return true;
+    }
+    return false;
+}
+
+void
+Tlb::flushPid(Pid pid)
+{
+    for (Entry &e : entries) {
+        if (e.valid && e.pid == pid)
+            e.valid = false;
+    }
+}
+
+void
+Tlb::flushAll()
+{
+    for (Entry &e : entries)
+        e.valid = false;
+}
+
+std::uint64_t
+Tlb::accesses() const
+{
+    return static_cast<std::uint64_t>(statAccesses.value());
+}
+
+std::uint64_t
+Tlb::misses() const
+{
+    return static_cast<std::uint64_t>(statMisses.value());
+}
+
+double
+Tlb::missRate() const
+{
+    return statMissRate.value();
+}
+
+} // namespace indra::mem

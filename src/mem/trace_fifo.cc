@@ -1,0 +1,83 @@
+#include "mem/trace_fifo.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace indra::mem
+{
+
+TraceFifo::TraceFifo(std::uint32_t capacity, stats::StatGroup &parent)
+    : cap(capacity),
+      statGroup(parent, "trace_fifo"),
+      statPushes(statGroup, "pushes", "records pushed"),
+      statStalls(statGroup, "stalls", "pushes that stalled (FIFO full)"),
+      statStallCycles(statGroup, "stall_cycles",
+                      "producer cycles lost to a full FIFO"),
+      statOccupancy(statGroup, "occupancy", "entries in use at push time")
+{
+    panic_if(cap == 0, "FIFO capacity must be nonzero");
+}
+
+FifoPushResult
+TraceFifo::push(Tick tick, Cycles service_cost)
+{
+    ++statPushes;
+    FifoPushResult result;
+
+    // Occupancy seen by the producer: records whose service has not yet
+    // started by `tick`.
+    std::uint64_t occupied = 0;
+    for (auto it = inFlightStarts.rbegin(); it != inFlightStarts.rend();
+         ++it) {
+        if (*it > tick)
+            ++occupied;
+        else
+            break;
+    }
+    statOccupancy.sample(static_cast<double>(occupied));
+
+    result.pushDoneTick = tick;
+    if (occupied >= cap) {
+        // Wait until the oldest in-flight record is pulled out.
+        Tick frees_at =
+            inFlightStarts[inFlightStarts.size() - cap];
+        if (frees_at > tick) {
+            result.stallCycles = frees_at - tick;
+            result.pushDoneTick = frees_at;
+            ++statStalls;
+            statStallCycles += static_cast<double>(result.stallCycles);
+        }
+    }
+
+    result.serviceStartTick =
+        std::max(result.pushDoneTick, lastServiceEnd);
+    result.serviceEndTick = result.serviceStartTick + service_cost;
+    lastServiceEnd = result.serviceEndTick;
+
+    inFlightStarts.push_back(result.serviceStartTick);
+    if (inFlightStarts.size() > cap)
+        inFlightStarts.pop_front();
+    return result;
+}
+
+std::uint64_t
+TraceFifo::pushes() const
+{
+    return static_cast<std::uint64_t>(statPushes.value());
+}
+
+Cycles
+TraceFifo::totalStallCycles() const
+{
+    return static_cast<Cycles>(statStallCycles.value());
+}
+
+void
+TraceFifo::reset()
+{
+    lastServiceEnd = 0;
+    inFlightStarts.clear();
+}
+
+} // namespace indra::mem

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The hardware trace FIFO between a resurrectee and the resurrector
+ * (Sections 2.3.2, 3.2, 3.2.5 of the paper).
+ *
+ * The resurrectee pushes monitor records; the resurrector drains them
+ * serially, spending a record-dependent number of its own cycles on
+ * each. The coupling is solved analytically rather than in lockstep:
+ *
+ *   serviceStart(i) = max(pushDone(i), serviceEnd(i - 1))
+ *   serviceEnd(i)   = serviceStart(i) + cost(i)
+ *
+ * A slot is freed when the resurrector *starts* processing the record
+ * (it "pulls the record out" through its input registers). A producer
+ * finding the FIFO full therefore stalls until serviceStart of the
+ * record `capacity` positions earlier — exactly the third
+ * synchronization rule of Section 3.2.5.
+ */
+
+#ifndef INDRA_MEM_TRACE_FIFO_HH
+#define INDRA_MEM_TRACE_FIFO_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace indra::mem
+{
+
+/** What one push into the FIFO experienced. */
+struct FifoPushResult
+{
+    Tick pushDoneTick = 0;     //!< producer resumes at this tick
+    Cycles stallCycles = 0;    //!< producer stall due to a full FIFO
+    Tick serviceStartTick = 0; //!< consumer begins this record
+    Tick serviceEndTick = 0;   //!< record fully verified at this tick
+};
+
+/**
+ * Timing model of a bounded hardware FIFO with a serial consumer.
+ */
+class TraceFifo
+{
+  public:
+    TraceFifo(std::uint32_t capacity, stats::StatGroup &parent);
+
+    /**
+     * Push a record at @p tick whose verification will occupy the
+     * consumer for @p service_cost cycles.
+     */
+    FifoPushResult push(Tick tick, Cycles service_cost);
+
+    /**
+     * Tick by which every record pushed so far has been verified.
+     * Used for the I/O and syscall synchronization rules.
+     */
+    Tick drainTick() const { return lastServiceEnd; }
+
+    /** Records pushed so far. */
+    std::uint64_t pushes() const;
+
+    /** Total producer stall cycles caused by a full FIFO. */
+    Cycles totalStallCycles() const;
+
+    std::uint32_t capacity() const { return cap; }
+
+    /** Forget all queued work (system reset between runs). */
+    void reset();
+
+  private:
+    std::uint32_t cap;
+    Tick lastServiceEnd = 0;
+    /** serviceStart ticks of the last `cap` records, oldest first. */
+    std::deque<Tick> inFlightStarts;
+
+    stats::StatGroup statGroup;
+    stats::Scalar statPushes;
+    stats::Scalar statStalls;
+    stats::Scalar statStallCycles;
+    stats::Distribution statOccupancy;
+};
+
+} // namespace indra::mem
+
+#endif // INDRA_MEM_TRACE_FIFO_HH

@@ -1,0 +1,70 @@
+#include "mem/watchdog.hh"
+
+#include "sim/logging.hh"
+
+namespace indra::mem
+{
+
+MemWatchdog::MemWatchdog(stats::StatGroup &parent)
+    : statGroup(parent, "watchdog"),
+      checks(statGroup, "checks", "accesses checked"),
+      denied(statGroup, "denied", "accesses denied")
+{
+}
+
+void
+MemWatchdog::grant(Pfn pfn, CoreId core)
+{
+    panic_if(core >= 64, "watchdog supports at most 64 cores");
+    grants[pfn] |= (1ULL << core);
+}
+
+void
+MemWatchdog::revoke(Pfn pfn, CoreId core)
+{
+    auto it = grants.find(pfn);
+    if (it == grants.end())
+        return;
+    it->second &= ~(1ULL << core);
+    if (it->second == 0)
+        grants.erase(it);
+}
+
+void
+MemWatchdog::revokeAll(Pfn pfn)
+{
+    grants.erase(pfn);
+}
+
+WatchdogVerdict
+MemWatchdog::check(CoreId core, Privilege priv, Pfn pfn)
+{
+    ++checks;
+    if (priv == Privilege::High)
+        return WatchdogVerdict::Allowed;
+    auto it = grants.find(pfn);
+    if (it == grants.end()) {
+        ++denied;
+        return WatchdogVerdict::DeniedPrivate;
+    }
+    if (!(it->second & (1ULL << core))) {
+        ++denied;
+        return WatchdogVerdict::DeniedWrongCore;
+    }
+    return WatchdogVerdict::Allowed;
+}
+
+bool
+MemWatchdog::isGranted(Pfn pfn, CoreId core) const
+{
+    auto it = grants.find(pfn);
+    return it != grants.end() && (it->second & (1ULL << core));
+}
+
+std::uint64_t
+MemWatchdog::denials() const
+{
+    return static_cast<std::uint64_t>(denied.value());
+}
+
+} // namespace indra::mem

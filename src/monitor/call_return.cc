@@ -1,0 +1,68 @@
+#include "monitor/call_return.hh"
+
+namespace indra::mon
+{
+
+void
+CallReturnInspector::onCall(const cpu::TraceRecord &rec)
+{
+    shadow[rec.pid].push_back(Frame{rec.retAddr, rec.sp});
+}
+
+void
+CallReturnInspector::onSetjmp(const cpu::TraceRecord &rec)
+{
+    envs[rec.pid][rec.env] =
+        Env{rec.target, shadow[rec.pid].size()};
+}
+
+Verdict
+CallReturnInspector::onReturn(const cpu::TraceRecord &rec)
+{
+    auto &stack = shadow[rec.pid];
+    if (stack.empty()) {
+        // A return with no matching call: control state is corrupt.
+        return Verdict{Violation::StackSmash};
+    }
+    Frame frame = stack.back();
+    stack.pop_back();
+    if (rec.target != frame.retAddr)
+        return Verdict{Violation::StackSmash};
+    return Verdict{};
+}
+
+Verdict
+CallReturnInspector::onLongjmp(const cpu::TraceRecord &rec)
+{
+    auto pid_envs = envs.find(rec.pid);
+    if (pid_envs == envs.end())
+        return Verdict{Violation::BadLongjmp};
+    auto env = pid_envs->second.find(rec.env);
+    if (env == pid_envs->second.end())
+        return Verdict{Violation::BadLongjmp};
+    if (rec.target != env->second.resumePc)
+        return Verdict{Violation::BadLongjmp};
+
+    // Unwind the shadow stack to the setjmp point so call/return
+    // monitoring resumes from the instruction after setjmp.
+    auto &stack = shadow[rec.pid];
+    if (stack.size() > env->second.stackDepth)
+        stack.resize(env->second.stackDepth);
+    return Verdict{};
+}
+
+std::size_t
+CallReturnInspector::depth(Pid pid) const
+{
+    auto it = shadow.find(pid);
+    return it == shadow.end() ? 0 : it->second.size();
+}
+
+void
+CallReturnInspector::resetProcess(Pid pid)
+{
+    shadow[pid].clear();
+    envs[pid].clear();
+}
+
+} // namespace indra::mon

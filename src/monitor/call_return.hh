@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Function call/return inspection (Section 3.2.1): a per-process
+ * shadow stack on the resurrector. Every call pushes (return address,
+ * stack pointer); every return must target the return address of the
+ * matching frame. setjmp registers a legal non-local resume point
+ * with the shadow-stack depth to unwind to; longjmp is validated
+ * against the registered env and unwinds the shadow stack so
+ * monitoring resumes at the instruction after setjmp.
+ */
+
+#ifndef INDRA_MON_CALL_RETURN_HH
+#define INDRA_MON_CALL_RETURN_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "monitor/inspector.hh"
+#include "sim/types.hh"
+
+namespace indra::mon
+{
+
+/** Shadow-stack return-address verifier. */
+class CallReturnInspector
+{
+  public:
+    CallReturnInspector() = default;
+
+    /** Process a Call record. */
+    void onCall(const cpu::TraceRecord &rec);
+
+    /** Process a Setjmp record. */
+    void onSetjmp(const cpu::TraceRecord &rec);
+
+    /** Verify a Return record against the shadow stack. */
+    Verdict onReturn(const cpu::TraceRecord &rec);
+
+    /** Verify a Longjmp record against registered envs. */
+    Verdict onLongjmp(const cpu::TraceRecord &rec);
+
+    /** Depth of the shadow stack for @p pid. */
+    std::size_t depth(Pid pid) const;
+
+    /**
+     * Reset @p pid's shadow stack (service recovery resumes execution
+     * from a known good point, so stale frames must go).
+     */
+    void resetProcess(Pid pid);
+
+  private:
+    struct Frame
+    {
+        Addr retAddr;
+        Addr sp;
+    };
+
+    struct Env
+    {
+        Addr resumePc;
+        std::size_t stackDepth;
+    };
+
+    std::unordered_map<Pid, std::vector<Frame>> shadow;
+    std::unordered_map<Pid, std::unordered_map<std::uint32_t, Env>> envs;
+};
+
+} // namespace indra::mon
+
+#endif // INDRA_MON_CALL_RETURN_HH

@@ -1,0 +1,24 @@
+#include "monitor/inspector.hh"
+
+namespace indra::mon
+{
+
+const char *
+violationName(Violation v)
+{
+    switch (v) {
+      case Violation::None:
+        return "none";
+      case Violation::StackSmash:
+        return "stack-smash";
+      case Violation::InjectedCode:
+        return "injected-code";
+      case Violation::IllegalTransfer:
+        return "illegal-transfer";
+      case Violation::BadLongjmp:
+        return "bad-longjmp";
+    }
+    return "??";
+}
+
+} // namespace indra::mon

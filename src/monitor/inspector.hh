@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Common inspector types for the resurrector's security monitor
+ * (Section 3.2, Table 2 of the paper).
+ */
+
+#ifndef INDRA_MON_INSPECTOR_HH
+#define INDRA_MON_INSPECTOR_HH
+
+#include <cstdint>
+
+#include "cpu/trace.hh"
+#include "sim/types.hh"
+
+namespace indra::mon
+{
+
+/** Classes of detected corruption. */
+enum class Violation : std::uint8_t
+{
+    None = 0,
+    StackSmash,      //!< return went somewhere other than the call site
+    InjectedCode,    //!< instructions fetched from a non-code page
+    IllegalTransfer, //!< indirect transfer to an unsanctioned target
+    BadLongjmp,      //!< longjmp to an unregistered env
+};
+
+/** Printable violation name. */
+const char *violationName(Violation v);
+
+/** The outcome of inspecting one trace record. */
+struct Verdict
+{
+    Violation violation = Violation::None;
+
+    bool ok() const { return violation == Violation::None; }
+};
+
+} // namespace indra::mon
+
+#endif // INDRA_MON_INSPECTOR_HH

@@ -1,0 +1,164 @@
+#include "monitor/monitor.hh"
+
+#include "sim/logging.hh"
+
+namespace indra::mon
+{
+
+Monitor::Monitor(const SystemConfig &cfg, stats::StatGroup &parent)
+    : config(cfg),
+      traceFifo(cfg.traceFifoEntries, parent),
+      codeOriginInspector(cfg.pageBytes),
+      statGroup(parent, "monitor"),
+      statRecords(statGroup, "records", "trace records processed"),
+      statCodeOriginChecks(statGroup, "code_origin_checks",
+                           "code-origin verifications"),
+      statCallRetChecks(statGroup, "call_ret_checks",
+                        "call/return verifications"),
+      statCtrlChecks(statGroup, "ctrl_checks",
+                     "control-transfer verifications"),
+      statViolations(statGroup, "violations", "violations detected"),
+      statBusyCycles(statGroup, "busy_cycles",
+                     "resurrector cycles spent verifying"),
+      statDetectionLatency(statGroup, "detection_latency",
+                           "cycles from violating record push to "
+                           "detection")
+{
+}
+
+void
+Monitor::registerCodePage(Pid pid, Addr page_addr)
+{
+    codeOriginInspector.registerCodePage(pid, page_addr);
+}
+
+void
+Monitor::registerFunctionEntry(Pid pid, Addr entry)
+{
+    ctrlInspector.registerFunctionEntry(pid, entry);
+}
+
+void
+Monitor::registerLibraryEntry(Pid pid, Addr entry)
+{
+    ctrlInspector.registerLibraryEntry(pid, entry);
+}
+
+void
+Monitor::registerDynCodeRegion(Pid pid, Addr base, std::uint64_t len)
+{
+    codeOriginInspector.registerDynCodeRegion(pid, base, len);
+    ctrlInspector.registerDynCodeRegion(pid, base, len);
+}
+
+void
+Monitor::forgetProcess(Pid pid)
+{
+    codeOriginInspector.forgetProcess(pid);
+    ctrlInspector.forgetProcess(pid);
+    callReturnInspector.resetProcess(pid);
+}
+
+Cycles
+Monitor::costOf(cpu::TraceKind kind) const
+{
+    // When one resurrector multiplexes every resurrectee, each
+    // record effectively waits through the other cores' time slices.
+    Cycles slices =
+        config.sharedResurrector ? config.numResurrectees : 1;
+    switch (kind) {
+      case cpu::TraceKind::CodeOrigin:
+        return (config.recordDequeueCycles +
+                config.codeOriginCheckCycles) * slices;
+      case cpu::TraceKind::Call:
+      case cpu::TraceKind::Return:
+      case cpu::TraceKind::Setjmp:
+        return (config.recordDequeueCycles +
+                config.callReturnCheckCycles) * slices;
+      case cpu::TraceKind::CtrlTransfer:
+      case cpu::TraceKind::Longjmp:
+        return (config.recordDequeueCycles +
+                config.ctrlTransferCheckCycles) * slices;
+    }
+    panic("unknown trace kind");
+}
+
+Tick
+Monitor::submit(const cpu::TraceRecord &rec, Tick tick)
+{
+    ++statRecords;
+    Cycles cost = costOf(rec.kind);
+    statBusyCycles += static_cast<double>(cost);
+    mem::FifoPushResult push = traceFifo.push(tick, cost);
+
+    Verdict verdict;
+    switch (rec.kind) {
+      case cpu::TraceKind::CodeOrigin:
+        ++statCodeOriginChecks;
+        verdict = codeOriginInspector.inspect(rec);
+        break;
+      case cpu::TraceKind::Call:
+        ++statCallRetChecks;
+        callReturnInspector.onCall(rec);
+        break;
+      case cpu::TraceKind::Return:
+        ++statCallRetChecks;
+        verdict = callReturnInspector.onReturn(rec);
+        break;
+      case cpu::TraceKind::Setjmp:
+        ++statCallRetChecks;
+        callReturnInspector.onSetjmp(rec);
+        break;
+      case cpu::TraceKind::Longjmp:
+        ++statCtrlChecks;
+        verdict = callReturnInspector.onLongjmp(rec);
+        break;
+      case cpu::TraceKind::CtrlTransfer:
+        ++statCtrlChecks;
+        verdict = ctrlInspector.inspect(rec);
+        break;
+    }
+
+    if (!verdict.ok()) {
+        ++statViolations;
+        statDetectionLatency.sample(
+            static_cast<double>(push.serviceEndTick - tick));
+        if (!pending) {
+            pending = DetectionEvent{verdict.violation, rec,
+                                     push.serviceEndTick};
+        }
+    }
+    return push.pushDoneTick;
+}
+
+Tick
+Monitor::drainTick() const
+{
+    return traceFifo.drainTick();
+}
+
+void
+Monitor::onRecovery(Pid pid)
+{
+    callReturnInspector.resetProcess(pid);
+}
+
+void
+Monitor::resetTiming()
+{
+    traceFifo.reset();
+}
+
+std::uint64_t
+Monitor::recordsProcessed() const
+{
+    return static_cast<std::uint64_t>(statRecords.value());
+}
+
+std::uint64_t
+Monitor::violationsDetected() const
+{
+    return static_cast<std::uint64_t>(statViolations.value());
+}
+
+} // namespace indra::mon

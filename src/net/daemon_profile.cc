@@ -1,0 +1,151 @@
+#include "net/daemon_profile.hh"
+
+#include "sim/logging.hh"
+
+namespace indra::net
+{
+
+namespace
+{
+
+DaemonProfile
+makeFtpd()
+{
+    DaemonProfile p;
+    p.name = "ftpd";
+    p.totalFunctions = 320;
+    p.hotFunctions = 36;
+    p.fnBlocks = 12;
+    p.blockRepeat = 2.4;
+    p.coldCallFraction = 0.10;
+    p.instrPerRequest = 800000;
+    p.pagesPerRequest = 46;
+    p.dirtyLineFraction = 0.15;
+    p.dataPages = 448;
+    p.filesPerRequest = 3;
+    p.ioWritesPerRequest = 6;
+    return p;
+}
+
+DaemonProfile
+makeHttpd()
+{
+    DaemonProfile p;
+    p.name = "httpd";
+    p.totalFunctions = 520;
+    p.hotFunctions = 48;
+    p.fnBlocks = 12;
+    p.blockRepeat = 2.2;
+    p.coldCallFraction = 0.18;
+    p.instrPerRequest = 1200000;
+    p.pagesPerRequest = 56;
+    p.dirtyLineFraction = 0.18;
+    p.dataPages = 640;
+    p.indirectCallFraction = 0.12;
+    p.filesPerRequest = 2;
+    p.ioWritesPerRequest = 8;
+    return p;
+}
+
+DaemonProfile
+makeBind()
+{
+    DaemonProfile p;
+    p.name = "bind";
+    p.totalFunctions = 680;
+    p.hotFunctions = 56;
+    p.fnBlocks = 14;
+    p.blockRepeat = 1.9;
+    p.coldCallFraction = 0.42;
+    p.instrPerRequest = 150000;
+    p.pagesPerRequest = 40;
+    p.dirtyLineFraction = 0.45;
+    p.dataPages = 384;
+    p.dataZipf = 0.6;
+    p.filesPerRequest = 0;
+    p.ioWritesPerRequest = 2;
+    p.heapAllocProb = 0.15;
+    return p;
+}
+
+DaemonProfile
+makeSendmail()
+{
+    DaemonProfile p;
+    p.name = "sendmail";
+    p.totalFunctions = 760;
+    p.hotFunctions = 64;
+    p.fnBlocks = 13;
+    p.blockRepeat = 1.9;
+    p.coldCallFraction = 0.28;
+    p.instrPerRequest = 2300000;
+    p.pagesPerRequest = 62;
+    p.dirtyLineFraction = 0.22;
+    p.dataPages = 704;
+    p.filesPerRequest = 4;
+    p.ioWritesPerRequest = 6;
+    p.heapAllocProb = 0.20;
+    return p;
+}
+
+DaemonProfile
+makeImap()
+{
+    DaemonProfile p;
+    p.name = "imap";
+    p.totalFunctions = 540;
+    p.hotFunctions = 52;
+    p.fnBlocks = 12;
+    p.blockRepeat = 2.1;
+    p.coldCallFraction = 0.21;
+    p.instrPerRequest = 1500000;
+    p.pagesPerRequest = 50;
+    p.dirtyLineFraction = 0.17;
+    p.dataPages = 576;
+    p.filesPerRequest = 3;
+    p.ioWritesPerRequest = 5;
+    return p;
+}
+
+DaemonProfile
+makeNfs()
+{
+    DaemonProfile p;
+    p.name = "nfs";
+    p.totalFunctions = 460;
+    p.hotFunctions = 44;
+    p.fnBlocks = 13;
+    p.blockRepeat = 1.9;
+    p.coldCallFraction = 0.33;
+    p.instrPerRequest = 500000;
+    p.pagesPerRequest = 48;
+    p.dirtyLineFraction = 0.12;
+    p.dataPages = 512;
+    p.filesPerRequest = 2;
+    p.ioWritesPerRequest = 10;
+    return p;
+}
+
+} // anonymous namespace
+
+const std::vector<DaemonProfile> &
+standardDaemons()
+{
+    static const std::vector<DaemonProfile> daemons = {
+        makeFtpd(), makeHttpd(), makeBind(),
+        makeSendmail(), makeImap(), makeNfs(),
+    };
+    return daemons;
+}
+
+const DaemonProfile &
+daemonByName(const std::string &name)
+{
+    for (const DaemonProfile &p : standardDaemons()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown daemon '", name, "'");
+}
+
+} // namespace indra::net

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Workload profiles for the six network server daemons the paper
+ * evaluates (ftpd, httpd/apache, bind, sendmail, imapd, nfsd).
+ *
+ * The paper runs the real daemons under Bochs and reports their
+ * measured characteristics; here those measurements parameterize
+ * synthetic instruction-stream generators. Targets taken from the
+ * paper: Fig. 9 (low single-digit IL1 miss rates), Fig. 13 (1e5-2.5e6
+ * instructions between requests, bind lowest at ~150k), Fig. 15
+ * (small fraction of lines dirty per touched page, bind the heavy
+ * writer), and ~50 pages touched per request (Section 3.3.1).
+ */
+
+#ifndef INDRA_NET_DAEMON_PROFILE_HH
+#define INDRA_NET_DAEMON_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace indra::net
+{
+
+/** Statistical shape of one daemon's request processing. */
+struct DaemonProfile
+{
+    std::string name;
+
+    // ------------------------------------------------- program shape
+    /** Application functions in the binary. */
+    std::uint32_t totalFunctions = 400;
+    /** Frequently executed subset (request parsing / fast path). */
+    std::uint32_t hotFunctions = 40;
+    /** Shared-library entry points (imports). */
+    std::uint32_t libraryFunctions = 64;
+    /** Instruction blocks (I-cache lines) per function body. */
+    std::uint32_t fnBlocks = 12;
+    /** Mean repeats of each block (loops within a function). */
+    double blockRepeat = 2.0;
+    /** Probability a call leaves the hot set for a cold function. */
+    double coldCallFraction = 0.25;
+    /** Zipf exponent for hot-function popularity. */
+    double hotZipf = 1.1;
+    /** Max call nesting below the dispatcher. */
+    std::uint32_t maxCallDepth = 6;
+    /** Fraction of calls made through pointers (indirect). */
+    double indirectCallFraction = 0.08;
+    /** Fraction of indirect calls that enter shared libraries. */
+    double libraryCallFraction = 0.4;
+
+    // --------------------------------------------------- per request
+    /** Mean instructions to process one request (Fig. 13). */
+    std::uint64_t instrPerRequest = 1000000;
+    /** Coefficient of variation of the request length. */
+    double instrCv = 0.10;
+    /** Data pages touched per request (~50 in the paper). */
+    std::uint32_t pagesPerRequest = 50;
+    /** Fraction of a touched page's lines that get written (Fig 15). */
+    double dirtyLineFraction = 0.20;
+    /** Resident data working set, in pages. */
+    std::uint32_t dataPages = 512;
+    /** Zipf exponent for data page popularity. */
+    double dataZipf = 0.8;
+    /** Probability an instruction slot is a load. */
+    double loadFraction = 0.24;
+    /** Probability an instruction slot is a store. */
+    double storeFraction = 0.12;
+    /** Fraction of stores that hit the stack instead of data pages. */
+    double stackStoreFraction = 0.30;
+    /** Files opened (and closed) while serving one request. */
+    std::uint32_t filesPerRequest = 2;
+    /** I/O-memory writes per request (response transmission). */
+    std::uint32_t ioWritesPerRequest = 4;
+    /** Probability a request grows the heap by one page. */
+    double heapAllocProb = 0.10;
+    /** Probability a request uses setjmp/longjmp error handling. */
+    double longjmpProb = 0.01;
+};
+
+/** The six daemons of the paper's evaluation, in its order. */
+const std::vector<DaemonProfile> &standardDaemons();
+
+/** Look up a standard daemon by name; fatal() if unknown. */
+const DaemonProfile &daemonByName(const std::string &name);
+
+} // namespace indra::net
+
+#endif // INDRA_NET_DAEMON_PROFILE_HH

@@ -1,0 +1,77 @@
+#include "net/request.hh"
+
+#include "sim/logging.hh"
+
+namespace indra::net
+{
+
+AttackKind
+attackKindFromName(const std::string &name)
+{
+    for (AttackKind k :
+         {AttackKind::None, AttackKind::StackSmash,
+          AttackKind::CodeInjection, AttackKind::FuncPtrHijack,
+          AttackKind::FormatString, AttackKind::DosFlood,
+          AttackKind::Dormant}) {
+        if (name == attackKindName(k))
+            return k;
+    }
+    fatal("unknown attack kind '", name, "'");
+}
+
+const char *
+attackKindName(AttackKind k)
+{
+    switch (k) {
+      case AttackKind::None:
+        return "benign";
+      case AttackKind::StackSmash:
+        return "stack-smash";
+      case AttackKind::CodeInjection:
+        return "code-injection";
+      case AttackKind::FuncPtrHijack:
+        return "func-ptr-hijack";
+      case AttackKind::FormatString:
+        return "format-string";
+      case AttackKind::DosFlood:
+        return "dos-flood";
+      case AttackKind::Dormant:
+        return "dormant";
+    }
+    return "??";
+}
+
+mon::Violation
+expectedViolation(AttackKind k)
+{
+    switch (k) {
+      case AttackKind::StackSmash:
+        return mon::Violation::StackSmash;
+      case AttackKind::CodeInjection:
+      case AttackKind::FuncPtrHijack:
+      case AttackKind::FormatString:
+        return mon::Violation::IllegalTransfer;
+      default:
+        return mon::Violation::None;
+    }
+}
+
+const char *
+requestStatusName(RequestStatus s)
+{
+    switch (s) {
+      case RequestStatus::Served:
+        return "served";
+      case RequestStatus::DetectedRecovered:
+        return "detected+recovered";
+      case RequestStatus::CrashedRecovered:
+        return "crashed+recovered";
+      case RequestStatus::MacroRecovered:
+        return "macro-recovered";
+      case RequestStatus::Lost:
+        return "lost";
+    }
+    return "??";
+}
+
+} // namespace indra::net

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Network requests and their outcomes. A request either is benign or
+ * carries one of the exploit payloads of Section 2.1 / Table 2; the
+ * service application turns it into an instruction stream (benign) or
+ * an instruction stream with the exploit's architectural effects
+ * spliced in (malicious).
+ */
+
+#ifndef INDRA_NET_REQUEST_HH
+#define INDRA_NET_REQUEST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "monitor/inspector.hh"
+#include "sim/types.hh"
+
+namespace indra::net
+{
+
+/** Exploit classes a request can carry. */
+enum class AttackKind : std::uint8_t
+{
+    None = 0,       //!< benign request
+    StackSmash,     //!< overflow rewrites the return address
+    CodeInjection,  //!< shellcode written to the stack and jumped to
+    FuncPtrHijack,  //!< function pointer / vtable entry overwritten
+    FormatString,   //!< %n-style arbitrary write, then hijacked call
+    DosFlood,       //!< teardrop-style corruption; crash, no hijack
+    Dormant,        //!< plants damage that surfaces requests later
+};
+
+/** Printable attack name. */
+const char *attackKindName(AttackKind k);
+
+/** Parse an attack name ("stack-smash", ...); fatal if unknown. */
+AttackKind attackKindFromName(const std::string &name);
+
+/**
+ * Which violation each attack is expected to raise first (Table 2);
+ * Violation::None for attacks that only manifest as a crash.
+ */
+mon::Violation expectedViolation(AttackKind k);
+
+/** One inbound request. */
+struct ServiceRequest
+{
+    std::uint64_t seq = 0;    //!< arrival order
+    AttackKind attack = AttackKind::None;
+    /** Relative size/complexity multiplier (1.0 = typical). */
+    double weight = 1.0;
+};
+
+/** How a request was disposed of. */
+enum class RequestStatus : std::uint8_t
+{
+    Served,            //!< completed normally
+    DetectedRecovered, //!< exploit detected, micro recovery succeeded
+    CrashedRecovered,  //!< service crashed, recovery succeeded
+    MacroRecovered,    //!< needed the macro (application) checkpoint
+    Lost,              //!< no recovery mechanism; service went down
+};
+
+/** Printable status name. */
+const char *requestStatusName(RequestStatus s);
+
+/** Measured outcome of one request. */
+struct RequestOutcome
+{
+    std::uint64_t seq = 0;
+    AttackKind attack = AttackKind::None;
+    RequestStatus status = RequestStatus::Served;
+    mon::Violation violation = mon::Violation::None;
+    Tick startTick = 0;
+    Tick endTick = 0;
+    std::uint64_t instructions = 0;
+
+    Cycles responseTime() const { return endTick - startTick; }
+};
+
+} // namespace indra::net
+
+#endif // INDRA_NET_REQUEST_HH

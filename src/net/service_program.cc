@@ -1,0 +1,91 @@
+#include "net/service_program.hh"
+
+#include "monitor/monitor.hh"
+#include "sim/logging.hh"
+
+namespace indra::net
+{
+
+ServiceProgram::ServiceProgram(const DaemonProfile &profile,
+                               std::uint64_t seed,
+                               std::uint32_t page_bytes)
+    : _profile(profile), pageBytes(page_bytes),
+      appFns(profile.totalFunctions)
+{
+    Pcg32 rng(seed ^ 0x5e41c301ULL,
+              std::hash<std::string>{}(profile.name));
+
+    std::uint32_t total = profile.totalFunctions +
+        profile.libraryFunctions;
+    fns.reserve(total);
+    std::uint32_t max_blocks = fnStrideBytes / blockBytes;  // 16
+    for (std::uint32_t i = 0; i < total; ++i) {
+        ProgramFunction fn;
+        std::uint32_t lo = profile.fnBlocks > 4 ? profile.fnBlocks - 4 : 2;
+        std::uint32_t hi = profile.fnBlocks + 2;
+        if (hi >= max_blocks)
+            hi = max_blocks - 1;
+        fn.blocks = static_cast<std::uint32_t>(rng.uniform(lo, hi));
+        // Scatter the entry within the stride (line-aligned) so
+        // direct-mapped index bits are not pathologically identical
+        // across functions; keep the whole body inside the stride.
+        std::uint32_t slack = max_blocks - 1 - fn.blocks;
+        std::uint32_t offset_lines = slack
+            ? static_cast<std::uint32_t>(rng.uniform(0, slack))
+            : 0;
+        fn.entry = os::layout::codeBase +
+            static_cast<Addr>(i + 1) * fnStrideBytes +
+            static_cast<Addr>(offset_lines) * blockBytes;
+        fn.library = (i >= appFns);
+        fns.push_back(fn);
+        if (fn.library)
+            libEntries.push_back(fn.entry);
+    }
+
+    Addr text_end = os::layout::codeBase +
+        static_cast<Addr>(total + 1) * fnStrideBytes;
+    for (Addr page = os::layout::codeBase; page < text_end;
+         page += pageBytes) {
+        codePageAddrs.push_back(page);
+    }
+}
+
+const ProgramFunction &
+ServiceProgram::function(std::uint32_t idx) const
+{
+    panic_if(idx >= fns.size(), "function index out of range");
+    return fns[idx];
+}
+
+Addr
+ServiceProgram::stackBase() const
+{
+    return os::layout::stackTop -
+        static_cast<Addr>(stackPages) * pageBytes;
+}
+
+void
+ServiceProgram::loadInto(os::AddressSpace &space) const
+{
+    for (Addr page : codePageAddrs)
+        space.mapPage(page / pageBytes, os::Region::Code);
+    space.mapRegion(dataBase(), _profile.dataPages, os::Region::Data);
+    space.mapRegion(stackBase(), stackPages, os::Region::Stack);
+}
+
+void
+ServiceProgram::registerWith(mon::Monitor &monitor, Pid pid) const
+{
+    for (Addr page : codePageAddrs)
+        monitor.registerCodePage(pid, page);
+    for (const ProgramFunction &fn : fns) {
+        if (fn.library)
+            monitor.registerLibraryEntry(pid, fn.entry);
+        else
+            monitor.registerFunctionEntry(pid, fn.entry);
+    }
+    // The dispatcher itself is a legal indirect target.
+    monitor.registerFunctionEntry(pid, dispatcherAddr());
+}
+
+} // namespace indra::net

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The static image of a service application: function layout in the
+ * text region, shared-library entry points, symbol table, and the
+ * data/stack regions. Built deterministically from a DaemonProfile.
+ *
+ * The program knows how to load itself into an address space (mapping
+ * code/data/stack pages) and how to post its metadata to the
+ * resurrector's monitor — the code pages for code-origin inspection
+ * and the symbol table + export/import lists for control-transfer
+ * inspection (Sections 3.2.2, 3.2.3).
+ */
+
+#ifndef INDRA_NET_SERVICE_PROGRAM_HH
+#define INDRA_NET_SERVICE_PROGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/daemon_profile.hh"
+#include "os/address_space.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace indra::mon
+{
+class Monitor;
+}
+
+namespace indra::net
+{
+
+/** One function in the text image. */
+struct ProgramFunction
+{
+    Addr entry = 0;
+    std::uint32_t blocks = 0;  //!< body size in I-cache lines
+    bool library = false;
+};
+
+/** Static program image. */
+class ServiceProgram
+{
+  public:
+    /**
+     * Functions are spaced this many bytes apart in the text. The
+     * stride (together with padding, alignment, and literal pools in
+     * real binaries) determines how many text pages a request sweeps
+     * and therefore the code-origin filter CAM's churn.
+     */
+    static constexpr std::uint32_t fnStrideBytes = 1024;
+    /** One instruction block == one 32B I-cache line. */
+    static constexpr std::uint32_t blockBytes = 32;
+    /** Stack region size in pages. */
+    static constexpr std::uint32_t stackPages = 16;
+
+    ServiceProgram(const DaemonProfile &profile, std::uint64_t seed,
+                   std::uint32_t page_bytes);
+
+    const DaemonProfile &profile() const { return _profile; }
+
+    /** Application + library functions; libraries come last. */
+    const std::vector<ProgramFunction> &functions() const
+    {
+        return fns;
+    }
+
+    std::uint32_t appFunctionCount() const { return appFns; }
+    std::uint32_t libFunctionCount() const
+    {
+        return static_cast<std::uint32_t>(fns.size()) - appFns;
+    }
+
+    const ProgramFunction &function(std::uint32_t idx) const;
+
+    /** The dispatcher loop's address (request accept loop). */
+    Addr dispatcherAddr() const { return os::layout::codeBase; }
+
+    /** Every text page of the image. */
+    const std::vector<Addr> &codePages() const { return codePageAddrs; }
+
+    /** Entry addresses of the shared-library functions. */
+    const std::vector<Addr> &libraryEntries() const { return libEntries; }
+
+    Addr dataBase() const { return os::layout::dataBase; }
+    std::uint32_t dataPages() const { return _profile.dataPages; }
+    Addr stackBase() const;
+    Addr stackTop() const { return os::layout::stackTop; }
+
+    /** Map all static regions into @p space. */
+    void loadInto(os::AddressSpace &space) const;
+
+    /** Post code pages, symbols, and library lists for @p pid. */
+    void registerWith(mon::Monitor &monitor, Pid pid) const;
+
+  private:
+    DaemonProfile _profile;
+    std::uint32_t pageBytes;
+    std::uint32_t appFns;
+    std::vector<ProgramFunction> fns;
+    std::vector<Addr> codePageAddrs;
+    std::vector<Addr> libEntries;
+};
+
+} // namespace indra::net
+
+#endif // INDRA_NET_SERVICE_PROGRAM_HH

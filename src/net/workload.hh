@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The service application and its per-request instruction-stream
+ * generator.
+ *
+ * A RequestExecution is a pull-based generator: the system asks it
+ * for one MiniIsa instruction at a time and feeds that instruction to
+ * the resurrectee core. The stream models request processing as the
+ * paper's daemons exhibit it — a dispatcher loop calling into a hot
+ * set of handler functions (with loops, nested calls, indirect and
+ * library calls), loads/stores over a ~50-page working set with a
+ * controlled dirty-line density, interspersed syscalls and I/O
+ * writes, and, for malicious requests, the architectural effects of
+ * the exploit payload.
+ */
+
+#ifndef INDRA_NET_WORKLOAD_HH
+#define INDRA_NET_WORKLOAD_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "cpu/isa.hh"
+#include "net/request.hh"
+#include "net/service_program.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace indra::net
+{
+
+/** Generator of one request's instruction stream. */
+class RequestExecution
+{
+  public:
+    /**
+     * @param prog       static program image
+     * @param rng        per-request random stream
+     * @param attack     payload carried by the request
+     * @param surface_dormant this benign request trips previously
+     *                   planted dormant damage (crashes mid-body)
+     * @param page_bytes system page size
+     * @param weight     request length multiplier
+     */
+    RequestExecution(const ServiceProgram &prog, Pcg32 rng,
+                     AttackKind attack, bool surface_dormant,
+                     std::uint32_t page_bytes, double weight = 1.0);
+
+    /**
+     * Produce the next instruction.
+     * @return false when the stream is exhausted.
+     */
+    bool next(cpu::Instruction &out);
+
+    /** Instructions emitted so far. */
+    std::uint64_t emitted() const { return count; }
+
+    /** Data pages this request planned to touch (for tests). */
+    std::vector<Vpn> plannedPages() const;
+
+  private:
+    enum class Phase : std::uint8_t
+    {
+        Prologue,
+        Body,
+        Exploit,
+        Unwind,
+        Epilogue,
+        Done,
+    };
+
+    struct Frame
+    {
+        std::uint32_t fnIdx = 0;
+        Addr entry = 0;
+        std::uint32_t blocks = 0;
+        std::uint32_t curBlock = 0;
+        std::uint32_t repsLeft = 1;
+        std::uint32_t instrInBlock = 0;
+        Addr retAddr = 0;
+        Addr spAtEntry = 0;
+    };
+
+    struct PagePlan
+    {
+        Addr base = 0;
+        std::vector<std::uint16_t> writableLines;
+    };
+
+    enum class EvKind : std::uint8_t
+    {
+        Open,
+        Close,
+        IoWrite,
+        Log,
+        Alloc,
+    };
+
+    void planPages();
+    void buildEventQueue();
+    std::uint32_t pickFunction();
+    std::uint32_t drawRepeats();
+    void pushCall(cpu::Instruction &out, Addr call_pc, bool indirect);
+    void emitReturn(cpu::Instruction &out);
+    void emitBodyInstr(cpu::Instruction &out);
+    void emitEvent(cpu::Instruction &out, Addr pc);
+    void buildExploit();
+    Addr randomDataLineAddr(bool writable);
+    Addr nextLoadAddr();
+    Addr nextStoreAddr();
+    Addr stackScratchAddr();
+
+    const ServiceProgram &prog;
+    const DaemonProfile &profile;
+    Pcg32 rng;
+    AttackKind attack;
+    bool surfaceDormant;
+    std::uint32_t pageBytes;
+
+    Phase phase = Phase::Prologue;
+    std::uint32_t prologueStep = 0;
+    std::uint64_t budget = 0;
+    std::uint64_t triggerBudget = 0;
+    std::uint64_t count = 0;
+    Addr sp = 0;
+    std::vector<Frame> frames;
+    std::vector<PagePlan> pages;
+    std::deque<EvKind> events;
+    std::uint64_t topCalls = 0;
+    std::vector<cpu::Instruction> exploitSeq;
+    std::size_t exploitIdx = 0;
+    bool exploitDone = false;
+    bool crashEmitted = false;
+    std::uint32_t linesPerPage;
+    /** Sequential-access cursors (parsers stream through buffers). */
+    Addr seqLoadAddr = 0;
+    Addr seqStoreAddr = 0;
+    /** Remaining calls in the current leaf-call run. */
+    std::uint32_t burstCallsLeft = 0;
+    /** Budget threshold at which this request longjmps (0 = never). */
+    std::uint64_t longjmpAtBudget = 0;
+    bool longjmpDone = false;
+};
+
+/**
+ * The running service: program image + dormant-damage bookkeeping +
+ * the per-request generator factory.
+ */
+class ServiceApplication
+{
+  public:
+    /**
+     * @param profile daemon shape
+     * @param seed    top-level seed (determines everything)
+     * @param page_bytes system page size
+     */
+    ServiceApplication(const DaemonProfile &profile, std::uint64_t seed,
+                       std::uint32_t page_bytes);
+
+    const ServiceProgram &program() const { return prog; }
+    const DaemonProfile &profile() const { return _profile; }
+
+    /** Number of requests after a dormant plant before it surfaces. */
+    static constexpr std::uint64_t dormantDelay = 3;
+
+    /** Begin processing @p req; returns its instruction generator. */
+    RequestExecution beginRequest(const ServiceRequest &req);
+
+    /** True if planted damage is still live. */
+    bool hasDormantDamage() const { return dormantSurfaceAt.has_value(); }
+
+    /** Macro recovery restored a pre-plant image. */
+    void healDormantDamage() { dormantSurfaceAt.reset(); }
+
+  private:
+    DaemonProfile _profile;
+    ServiceProgram prog;
+    Pcg32 rng;
+    std::uint32_t pageBytes;
+    std::optional<std::uint64_t> dormantSurfaceAt;
+};
+
+} // namespace indra::net
+
+#endif // INDRA_NET_WORKLOAD_HH

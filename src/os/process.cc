@@ -1,0 +1,24 @@
+#include "os/process.hh"
+
+namespace indra::os
+{
+
+ProcessContext::ProcessContext(Pid pid, std::string name)
+    : _pid(pid), _name(std::move(name))
+{
+}
+
+ProcessContext::Snapshot
+ProcessContext::snapshot() const
+{
+    return Snapshot{_regs, _gts};
+}
+
+void
+ProcessContext::restore(const Snapshot &snap)
+{
+    _regs = snap.regs;
+    _gts = snap.gts;
+}
+
+} // namespace indra::os

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Process context: the execution state INDRA snapshots at each request
+ * boundary and restores on recovery (Section 3.3 — "application's
+ * execution state (register context and program counter)").
+ */
+
+#ifndef INDRA_OS_PROCESS_HH
+#define INDRA_OS_PROCESS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace indra::os
+{
+
+/** Architected register state of a MiniIsa core. */
+struct RegContext
+{
+    Addr pc = 0;
+    Addr sp = 0;
+    std::array<std::uint64_t, 8> gpr{};
+
+    bool operator==(const RegContext &) const = default;
+};
+
+/**
+ * Per-process state. The GTS register is part of the process context
+ * and is saved/restored across context switches (paper footnote 5).
+ */
+class ProcessContext
+{
+  public:
+    ProcessContext(Pid pid, std::string name);
+
+    Pid pid() const { return _pid; }
+    const std::string &name() const { return _name; }
+
+    RegContext &regs() { return _regs; }
+    const RegContext &regs() const { return _regs; }
+
+    /** Global TimeStamp: the per-process checkpoint counter. */
+    std::uint64_t gts() const { return _gts; }
+    void incrementGts() { ++_gts; }
+    void setGts(std::uint64_t v) { _gts = v; }
+
+    /** Capture pc/sp/gpr + GTS for later restoration. */
+    struct Snapshot
+    {
+        RegContext regs;
+        std::uint64_t gts = 0;
+    };
+
+    Snapshot snapshot() const;
+    void restore(const Snapshot &snap);
+
+  private:
+    Pid _pid;
+    std::string _name;
+    RegContext _regs;
+    std::uint64_t _gts = 0;
+};
+
+} // namespace indra::os
+
+#endif // INDRA_OS_PROCESS_HH

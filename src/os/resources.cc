@@ -1,0 +1,138 @@
+#include "os/resources.hh"
+
+#include <algorithm>
+
+#include "os/address_space.hh"
+#include "sim/logging.hh"
+
+namespace indra::os
+{
+
+SystemResources::SystemResources(Pid owner_pid)
+    : owner(owner_pid), nextChildPid(owner_pid * 1000 + 1),
+      heapBreakVpn(layout::heapBase / 4096)
+{
+}
+
+std::int32_t
+SystemResources::openFile(const std::string &path)
+{
+    std::int32_t fd = nextFd++;
+    files[fd] = OpenFile{fd, path};
+    return fd;
+}
+
+bool
+SystemResources::closeFile(std::int32_t fd)
+{
+    return files.erase(fd) != 0;
+}
+
+bool
+SystemResources::closeNewestFile()
+{
+    if (files.empty())
+        return false;
+    files.erase(std::prev(files.end()));
+    return true;
+}
+
+Pid
+SystemResources::spawnChild()
+{
+    Pid child = nextChildPid++;
+    children.push_back(child);
+    return child;
+}
+
+Vpn
+SystemResources::growHeap(AddressSpace &space, std::uint64_t pages)
+{
+    // Recompute the break against the actual page size the first time
+    // a space is supplied (constructor assumed 4KB).
+    if (heapPagesMapped == 0)
+        heapBreakVpn = layout::heapBase / space.pageBytes();
+    Vpn first = heapBreakVpn;
+    for (std::uint64_t i = 0; i < pages; ++i)
+        space.mapPage(heapBreakVpn + i, Region::Heap);
+    heapBreakVpn += pages;
+    heapPagesMapped += pages;
+    return first;
+}
+
+void
+SystemResources::appendLog(std::string line)
+{
+    auditLog.push_back(std::move(line));
+}
+
+std::uint32_t
+SystemResources::openFileCount() const
+{
+    return static_cast<std::uint32_t>(files.size());
+}
+
+std::uint32_t
+SystemResources::childCount() const
+{
+    return static_cast<std::uint32_t>(children.size());
+}
+
+bool
+SystemResources::isOpen(std::int32_t fd) const
+{
+    return files.count(fd) != 0;
+}
+
+ResourceSnapshot
+SystemResources::snapshot() const
+{
+    ResourceSnapshot snap;
+    snap.nextFd = nextFd;
+    for (const auto &[fd, f] : files)
+        snap.openFds.push_back(fd);
+    snap.children = children;
+    snap.heapPages = heapPagesMapped;
+    return snap;
+}
+
+RestoreActions
+SystemResources::restoreTo(const ResourceSnapshot &snap,
+                           AddressSpace &space)
+{
+    RestoreActions actions;
+
+    // Close files opened after the snapshot; leave older ones open.
+    std::vector<std::int32_t> to_close;
+    for (const auto &[fd, f] : files) {
+        bool existed = std::find(snap.openFds.begin(), snap.openFds.end(),
+                                 fd) != snap.openFds.end();
+        if (!existed)
+            to_close.push_back(fd);
+    }
+    for (std::int32_t fd : to_close) {
+        files.erase(fd);
+        ++actions.filesClosed;
+    }
+    nextFd = snap.nextFd;
+
+    // Kill children spawned after the snapshot (possibly malicious).
+    while (children.size() > snap.children.size()) {
+        children.pop_back();
+        ++actions.childrenKilled;
+    }
+
+    // Reclaim heap pages mapped after the snapshot.
+    panic_if(heapPagesMapped < snap.heapPages,
+             "heap shrank below the snapshot");
+    std::uint64_t excess = heapPagesMapped - snap.heapPages;
+    for (std::uint64_t i = 0; i < excess; ++i) {
+        --heapBreakVpn;
+        space.unmapPage(heapBreakVpn);
+        ++actions.pagesReclaimed;
+    }
+    heapPagesMapped = snap.heapPages;
+    return actions;
+}
+
+} // namespace indra::os

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * System resource allocation state and its snapshot/restore, per
+ * Section 3.3.3 of the paper: on recovery, resources allocated after
+ * the backup request are freed — files opened after the checkpoint are
+ * closed (files opened before stay open), child processes spawned
+ * after the backup are killed, and newly allocated memory pages are
+ * reclaimed. Log writes and messages already sent are NOT rolled back.
+ */
+
+#ifndef INDRA_OS_RESOURCES_HH
+#define INDRA_OS_RESOURCES_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace indra::os
+{
+
+class AddressSpace;
+
+/** One open file descriptor. */
+struct OpenFile
+{
+    std::int32_t fd = -1;
+    std::string path;
+};
+
+/** Point-in-time view of a process's resource allocations. */
+struct ResourceSnapshot
+{
+    std::int32_t nextFd = 3;
+    std::vector<std::int32_t> openFds;
+    std::vector<Pid> children;
+    std::uint64_t heapPages = 0;
+};
+
+/** What a restore had to undo (for costing and for tests). */
+struct RestoreActions
+{
+    std::uint32_t filesClosed = 0;
+    std::uint32_t childrenKilled = 0;
+    std::uint64_t pagesReclaimed = 0;
+};
+
+/**
+ * Per-process resource table.
+ */
+class SystemResources
+{
+  public:
+    explicit SystemResources(Pid owner);
+
+    /** Open a file; returns the new descriptor. */
+    std::int32_t openFile(const std::string &path);
+
+    /** Close a descriptor; false if it was not open. */
+    bool closeFile(std::int32_t fd);
+
+    /** Close the most recently opened descriptor; false if none. */
+    bool closeNewestFile();
+
+    /** Record a spawned child process. */
+    Pid spawnChild();
+
+    /**
+     * Grow the heap by @p pages pages mapped into @p space starting at
+     * the current heap break. Returns the first new vpn.
+     */
+    Vpn growHeap(AddressSpace &space, std::uint64_t pages);
+
+    /** Append to the audit log (never rolled back, Section 3.3.3). */
+    void appendLog(std::string line);
+
+    std::uint32_t openFileCount() const;
+    std::uint32_t childCount() const;
+    std::uint64_t heapPages() const { return heapPagesMapped; }
+    const std::vector<std::string> &log() const { return auditLog; }
+    bool isOpen(std::int32_t fd) const;
+
+    /** Capture the current allocation state. */
+    ResourceSnapshot snapshot() const;
+
+    /**
+     * Undo every allocation made after @p snap: close newer files,
+     * kill newer children, reclaim newer heap pages from @p space.
+     * Files open in @p snap remain open. The audit log is untouched.
+     */
+    RestoreActions restoreTo(const ResourceSnapshot &snap,
+                             AddressSpace &space);
+
+  private:
+    Pid owner;
+    std::int32_t nextFd = 3;
+    Pid nextChildPid;
+    std::map<std::int32_t, OpenFile> files;
+    std::vector<Pid> children;
+    std::uint64_t heapPagesMapped = 0;
+    Vpn heapBreakVpn;
+    std::vector<std::string> auditLog;
+};
+
+} // namespace indra::os
+
+#endif // INDRA_OS_RESOURCES_HH

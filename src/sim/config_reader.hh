@@ -1,0 +1,42 @@
+/**
+ * @file
+ * key=value configuration parsing for SystemConfig, used by the CLI
+ * driver and scriptable examples. Keys mirror the SystemConfig field
+ * names (e.g.\ "traceFifoEntries=64 checkpointScheme=delta-backup").
+ */
+
+#ifndef INDRA_SIM_CONFIG_READER_HH
+#define INDRA_SIM_CONFIG_READER_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace indra
+{
+
+/** Parse a scheme name ("delta-backup", "none", ...); fatal if bad. */
+CheckpointScheme checkpointSchemeFromName(const std::string &name);
+
+/**
+ * Apply one "key=value" setting.
+ * @return true if the key was recognized.
+ */
+bool applySetting(SystemConfig &cfg, const std::string &key,
+                  const std::string &value);
+
+/**
+ * Apply every "key=value" token in @p args; tokens without '=' are
+ * ignored (callers handle their own positional arguments). Unknown
+ * keys are fatal so typos don't silently run a default config.
+ */
+void applySettings(SystemConfig &cfg,
+                   const std::vector<std::string> &args);
+
+/** All recognized keys, for --help text. */
+std::vector<std::string> knownSettingKeys();
+
+} // namespace indra
+
+#endif // INDRA_SIM_CONFIG_READER_HH

@@ -1,0 +1,63 @@
+#include "sim/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace indra
+{
+
+namespace
+{
+
+int verbosity = 2;
+
+} // anonymous namespace
+
+int
+logVerbosity()
+{
+    return verbosity;
+}
+
+void
+setLogVerbosity(int level)
+{
+    verbosity = level;
+}
+
+namespace logging_detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (verbosity >= 1)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (verbosity >= 2)
+        std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace logging_detail
+
+} // namespace indra

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Status and error reporting, following the gem5 conventions:
+ *
+ *  - panic():  an internal simulator invariant was violated (a bug in
+ *              INDRA itself). Aborts.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, invalid arguments). Exits cleanly.
+ *  - warn():   something may be modelled imperfectly but execution can
+ *              continue.
+ *  - inform(): plain status output.
+ */
+
+#ifndef INDRA_SIM_LOGGING_HH
+#define INDRA_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace indra
+{
+
+namespace logging_detail
+{
+
+/** Concatenate all arguments through an ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace logging_detail
+
+/** Abort: an INDRA invariant was violated (simulator bug). */
+#define panic(...)                                                         \
+    ::indra::logging_detail::panicImpl(                                    \
+        __FILE__, __LINE__, ::indra::logging_detail::concat(__VA_ARGS__))
+
+/** Exit: the user asked for something the simulator cannot do. */
+#define fatal(...)                                                         \
+    ::indra::logging_detail::fatalImpl(                                    \
+        __FILE__, __LINE__, ::indra::logging_detail::concat(__VA_ARGS__))
+
+/** Panic if @p cond is false. */
+#define panic_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond)                                                          \
+            panic(__VA_ARGS__);                                            \
+    } while (0)
+
+/** Fatal if @p cond is true. */
+#define fatal_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond)                                                          \
+            fatal(__VA_ARGS__);                                            \
+    } while (0)
+
+/** Non-fatal warning to stderr. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    logging_detail::warnImpl(
+        logging_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Informational message to stdout. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    logging_detail::informImpl(
+        logging_detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Global verbosity switch. Tests and benches silence inform()/warn()
+ * noise by lowering this. 0 = quiet, 1 = warn only, 2 = all.
+ */
+int logVerbosity();
+void setLogVerbosity(int level);
+
+} // namespace indra
+
+#endif // INDRA_SIM_LOGGING_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic choice in the simulator draws from a seeded PCG32
+ * stream so that simulations are exactly reproducible. Never use
+ * std::rand or hardware entropy inside simulation code.
+ */
+
+#ifndef INDRA_SIM_RANDOM_HH
+#define INDRA_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace indra
+{
+
+/**
+ * PCG32 (O'Neill's pcg32_random_r): small, fast, statistically strong,
+ * and fully deterministic from (seed, stream).
+ */
+class Pcg32
+{
+  public:
+    /** Construct a generator from a seed and an optional stream id. */
+    explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                   std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+    /** Next raw 32-bit value. */
+    std::uint32_t next();
+
+    /** Uniform integer in [0, bound); @p bound must be nonzero. */
+    std::uint32_t nextBounded(std::uint32_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Bernoulli trial: true with probability @p p. */
+    bool bernoulli(double p);
+
+    /** Geometric: number of failures before first success, prob p. */
+    std::uint32_t geometric(double p);
+
+    /**
+     * Zipf-distributed integer in [0, n) with exponent @p s, via
+     * rejection-inversion. Used for skewed page/function popularity.
+     */
+    std::uint32_t zipf(std::uint32_t n, double s);
+
+    /** Fork a child generator with an independent stream. */
+    Pcg32 fork();
+
+  private:
+    std::uint64_t state;
+    std::uint64_t inc;
+};
+
+} // namespace indra
+
+#endif // INDRA_SIM_RANDOM_HH

@@ -1,0 +1,248 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace indra::stats
+{
+
+// ---------------------------------------------------------------- StatBase
+
+StatBase::StatBase(StatGroup &parent, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    parent.addStat(this);
+}
+
+namespace
+{
+
+void
+printLine(std::ostream &os, const std::string &key, double value,
+          const std::string &desc)
+{
+    std::ostringstream val;
+    val << std::setprecision(12) << value;
+    os << std::left << std::setw(44) << key << " " << std::right
+       << std::setw(16) << val.str();
+    if (!desc.empty())
+        os << "  # " << desc;
+    os << "\n";
+}
+
+} // anonymous namespace
+
+// ------------------------------------------------------------------ Scalar
+
+Scalar::Scalar(StatGroup &parent, std::string name, std::string desc)
+    : StatBase(parent, std::move(name), std::move(desc))
+{
+}
+
+void
+Scalar::dump(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix + name(), _value, desc());
+}
+
+// ----------------------------------------------------------------- Formula
+
+Formula::Formula(StatGroup &parent, std::string name, std::string desc,
+                 Fn fn)
+    : StatBase(parent, std::move(name), std::move(desc)), fn(std::move(fn))
+{
+}
+
+void
+Formula::dump(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix + name(), value(), desc());
+}
+
+// ------------------------------------------------------------ Distribution
+
+Distribution::Distribution(StatGroup &parent, std::string name,
+                           std::string desc)
+    : StatBase(parent, std::move(name), std::move(desc))
+{
+}
+
+void
+Distribution::sample(double v)
+{
+    if (n == 0) {
+        lo = hi = v;
+    } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    ++n;
+    total += v;
+    squares += v * v;
+}
+
+double
+Distribution::stddev() const
+{
+    if (n < 2)
+        return 0.0;
+    double m = mean();
+    double var = squares / n - m * m;
+    return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Distribution::dump(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix + name() + ".count",
+              static_cast<double>(n), desc());
+    printLine(os, prefix + name() + ".mean", mean(), "");
+    printLine(os, prefix + name() + ".min", minValue(), "");
+    printLine(os, prefix + name() + ".max", maxValue(), "");
+    printLine(os, prefix + name() + ".stddev", stddev(), "");
+}
+
+void
+Distribution::reset()
+{
+    n = 0;
+    total = squares = lo = hi = 0;
+}
+
+// --------------------------------------------------------------- Histogram
+
+Histogram::Histogram(StatGroup &parent, std::string name, std::string desc,
+                     double bucket_width, std::size_t num_buckets)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      width(bucket_width), bins(num_buckets, 0)
+{
+    panic_if(bucket_width <= 0, "Histogram bucket width must be positive");
+    panic_if(num_buckets == 0, "Histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++n;
+    if (v < 0) {
+        ++bins[0];
+        return;
+    }
+    std::size_t idx = static_cast<std::size_t>(v / width);
+    if (idx >= bins.size())
+        ++over;
+    else
+        ++bins[idx];
+}
+
+void
+Histogram::dump(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix + name() + ".count",
+              static_cast<double>(n), desc());
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        if (bins[i] == 0)
+            continue;
+        std::ostringstream key;
+        key << prefix << name() << ".bucket[" << i * width << ","
+            << (i + 1) * width << ")";
+        printLine(os, key.str(), static_cast<double>(bins[i]), "");
+    }
+    if (over)
+        printLine(os, prefix + name() + ".overflow",
+                  static_cast<double>(over), "");
+}
+
+void
+Histogram::reset()
+{
+    std::fill(bins.begin(), bins.end(), 0);
+    over = 0;
+    n = 0;
+}
+
+// --------------------------------------------------------------- StatGroup
+
+StatGroup::StatGroup(std::string name) : _name(std::move(name))
+{
+}
+
+StatGroup::StatGroup(StatGroup &parent_group, std::string name)
+    : _name(std::move(name)), parent(&parent_group)
+{
+    parent->addChild(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent)
+        parent->removeChild(this);
+}
+
+void
+StatGroup::addStat(StatBase *s)
+{
+    panic_if(statIndex.count(s->name()),
+             "duplicate stat '", s->name(), "' in group '", _name, "'");
+    statList.push_back(s);
+    statIndex[s->name()] = s;
+}
+
+void
+StatGroup::addChild(StatGroup *g)
+{
+    children.push_back(g);
+}
+
+void
+StatGroup::removeChild(StatGroup *g)
+{
+    children.erase(std::remove(children.begin(), children.end(), g),
+                   children.end());
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string here = prefix.empty() ? _name + "." : prefix + _name + ".";
+    for (const StatBase *s : statList)
+        s->dump(os, here);
+    for (const StatGroup *g : children)
+        g->dump(os, here);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (StatBase *s : statList)
+        s->reset();
+    for (StatGroup *g : children)
+        g->resetAll();
+}
+
+const StatBase *
+StatGroup::find(const std::string &stat_name) const
+{
+    auto it = statIndex.find(stat_name);
+    return it == statIndex.end() ? nullptr : it->second;
+}
+
+const StatBase *
+StatGroup::findPath(const std::string &path) const
+{
+    auto dot = path.find('.');
+    if (dot == std::string::npos)
+        return find(path);
+    std::string head = path.substr(0, dot);
+    std::string tail = path.substr(dot + 1);
+    for (const StatGroup *g : children) {
+        if (g->name() == head)
+            return g->findPath(tail);
+    }
+    return nullptr;
+}
+
+} // namespace indra::stats

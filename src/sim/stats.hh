@@ -1,0 +1,194 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's Stats.
+ *
+ * Components own StatGroup instances; scalar counters, averages, and
+ * distributions register themselves with their group by name. Groups
+ * nest, and a whole tree can be dumped as an aligned text table, which
+ * is what the bench binaries print.
+ */
+
+#ifndef INDRA_SIM_STATS_HH
+#define INDRA_SIM_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace indra::stats
+{
+
+class StatGroup;
+
+/** Base class for every named statistic. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup &parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Render the value(s) to @p os, one line per value. */
+    virtual void dump(std::ostream &os, const std::string &prefix) const = 0;
+
+    /** Reset to the post-construction state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A monotonically updated scalar counter. */
+class Scalar : public StatBase
+{
+  public:
+    Scalar(StatGroup &parent, std::string name, std::string desc);
+
+    Scalar &operator++() { ++_value; return *this; }
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    void set(double v) { _value = v; }
+    double value() const { return _value; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { _value = 0; }
+
+  private:
+    double _value = 0;
+};
+
+/**
+ * A derived value computed on demand from other stats (gem5 Formula).
+ */
+class Formula : public StatBase
+{
+  public:
+    using Fn = std::function<double()>;
+
+    Formula(StatGroup &parent, std::string name, std::string desc, Fn fn);
+
+    double value() const { return fn ? fn() : 0.0; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override {}
+
+  private:
+    Fn fn;
+};
+
+/**
+ * Sample distribution: tracks count, sum, min, max, and enough moments
+ * for mean and standard deviation.
+ */
+class Distribution : public StatBase
+{
+  public:
+    Distribution(StatGroup &parent, std::string name, std::string desc);
+
+    void sample(double v);
+
+    std::uint64_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const { return n ? total / n : 0.0; }
+    double minValue() const { return n ? lo : 0.0; }
+    double maxValue() const { return n ? hi : 0.0; }
+    double stddev() const;
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    std::uint64_t n = 0;
+    double total = 0;
+    double squares = 0;
+    double lo = 0;
+    double hi = 0;
+};
+
+/**
+ * Fixed-bucket histogram over [0, bucketWidth * numBuckets), with an
+ * overflow bucket. Used for FIFO occupancy and latency profiles.
+ */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(StatGroup &parent, std::string name, std::string desc,
+              double bucket_width, std::size_t num_buckets);
+
+    void sample(double v);
+
+    std::uint64_t count() const { return n; }
+    const std::vector<std::uint64_t> &buckets() const { return bins; }
+    std::uint64_t overflow() const { return over; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    double width;
+    std::vector<std::uint64_t> bins;
+    std::uint64_t over = 0;
+    std::uint64_t n = 0;
+};
+
+/**
+ * A named, nestable collection of statistics. Owning components embed
+ * a StatGroup and register their stats against it; the root group of a
+ * system dumps the whole tree.
+ */
+class StatGroup
+{
+  public:
+    /** Construct a root group. */
+    explicit StatGroup(std::string name);
+
+    /** Construct a child group attached to @p parent. */
+    StatGroup(StatGroup &parent, std::string name);
+
+    ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return _name; }
+
+    /** Dump this group and all children to @p os. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Reset all stats in this group and its children. */
+    void resetAll();
+
+    /** Look up a direct child stat by name; nullptr if absent. */
+    const StatBase *find(const std::string &stat_name) const;
+
+    /**
+     * Look up a stat by dotted path relative to this group, e.g.\
+     * "l1i.misses". Returns nullptr if any path element is missing.
+     */
+    const StatBase *findPath(const std::string &path) const;
+
+  private:
+    friend class StatBase;
+
+    void addStat(StatBase *s);
+    void addChild(StatGroup *g);
+    void removeChild(StatGroup *g);
+
+    std::string _name;
+    StatGroup *parent = nullptr;
+    std::vector<StatBase *> statList;
+    std::map<std::string, StatBase *> statIndex;
+    std::vector<StatGroup *> children;
+};
+
+} // namespace indra::stats
+
+#endif // INDRA_SIM_STATS_HH

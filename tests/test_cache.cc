@@ -1,0 +1,202 @@
+/** @file Tests for the set-associative cache model. */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "mem/cache.hh"
+#include "sim/stats.hh"
+
+using namespace indra;
+using mem::Cache;
+using mem::CacheResult;
+
+namespace
+{
+
+CacheConfig
+cfg4x64(std::uint64_t size, std::uint32_t line, std::uint32_t ways,
+        bool wb = true)
+{
+    return CacheConfig{"c", size, line, ways, 1, wb};
+}
+
+} // anonymous namespace
+
+TEST(Cache, MissThenHit)
+{
+    stats::StatGroup g("t");
+    Cache c(cfg4x64(1024, 64, 2), g);
+    EXPECT_FALSE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x13f, false).hit);  // same line
+    EXPECT_FALSE(c.access(0x140, false).hit); // next line
+}
+
+TEST(Cache, DirectMappedConflict)
+{
+    stats::StatGroup g("t");
+    // 1KB direct mapped, 64B lines -> 16 sets; addresses 1KB apart
+    // conflict.
+    Cache c(cfg4x64(1024, 64, 1), g);
+    EXPECT_FALSE(c.access(0x0, false).hit);
+    EXPECT_FALSE(c.access(0x400, false).hit);  // evicts 0x0
+    EXPECT_FALSE(c.access(0x0, false).hit);    // conflict miss
+}
+
+TEST(Cache, TwoWayHoldsBothConflictingLines)
+{
+    stats::StatGroup g("t");
+    Cache c(cfg4x64(1024, 64, 2), g);
+    c.access(0x0, false);
+    c.access(0x200, false);  // same set (8 sets), other way
+    EXPECT_TRUE(c.access(0x0, false).hit);
+    EXPECT_TRUE(c.access(0x200, false).hit);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    stats::StatGroup g("t");
+    Cache c(cfg4x64(1024, 64, 2), g);  // 8 sets
+    c.access(0x0, false);     // way A
+    c.access(0x200, false);   // way B
+    c.access(0x0, false);     // touch A (B is now LRU)
+    c.access(0x400, false);   // evicts B
+    EXPECT_TRUE(c.access(0x0, false).hit);
+    EXPECT_FALSE(c.access(0x200, false).hit);
+}
+
+TEST(Cache, WritebackOnDirtyEviction)
+{
+    stats::StatGroup g("t");
+    Cache c(cfg4x64(1024, 64, 1), g);  // 16 sets DM
+    c.access(0x0, true);  // dirty
+    CacheResult r = c.access(0x400, false);  // evicts dirty 0x0
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.victimAddr, 0x0u);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback)
+{
+    stats::StatGroup g("t");
+    Cache c(cfg4x64(1024, 64, 1), g);
+    c.access(0x0, false);
+    CacheResult r = c.access(0x400, false);
+    EXPECT_FALSE(r.writeback);
+}
+
+TEST(Cache, WriteThroughConfigNeverDirty)
+{
+    stats::StatGroup g("t");
+    Cache c(cfg4x64(1024, 64, 1, false), g);  // not write-back
+    c.access(0x0, true);
+    CacheResult r = c.access(0x400, false);
+    EXPECT_FALSE(r.writeback);
+}
+
+TEST(Cache, HitOnWriteMarksDirty)
+{
+    stats::StatGroup g("t");
+    Cache c(cfg4x64(1024, 64, 1), g);
+    c.access(0x0, false);  // clean fill
+    c.access(0x0, true);   // dirty on hit
+    CacheResult r = c.access(0x400, false);
+    EXPECT_TRUE(r.writeback);
+}
+
+TEST(Cache, ContainsProbesWithoutSideEffects)
+{
+    stats::StatGroup g("t");
+    Cache c(cfg4x64(1024, 64, 2), g);
+    std::uint64_t before = c.accesses();
+    EXPECT_FALSE(c.contains(0x0));
+    EXPECT_EQ(c.accesses(), before);
+    c.access(0x0, false);
+    EXPECT_TRUE(c.contains(0x0));
+}
+
+TEST(Cache, InvalidateAll)
+{
+    stats::StatGroup g("t");
+    Cache c(cfg4x64(1024, 64, 2), g);
+    c.access(0x0, true);
+    c.invalidateAll();
+    EXPECT_FALSE(c.contains(0x0));
+    // Dirty state is dropped too: the refill evicts nothing.
+    EXPECT_FALSE(c.access(0x0, false).writeback);
+}
+
+TEST(Cache, InvalidateLineReportsDirty)
+{
+    stats::StatGroup g("t");
+    Cache c(cfg4x64(1024, 64, 2), g);
+    c.access(0x0, true);
+    c.access(0x40, false);
+    EXPECT_TRUE(c.invalidateLine(0x0));
+    EXPECT_FALSE(c.invalidateLine(0x40));  // present but clean
+    EXPECT_FALSE(c.invalidateLine(0x80));  // absent
+}
+
+TEST(Cache, MissRateAccounting)
+{
+    stats::StatGroup g("t");
+    Cache c(cfg4x64(1024, 64, 2), g);
+    c.access(0x0, false);  // miss
+    c.access(0x0, false);  // hit
+    c.access(0x0, false);  // hit
+    c.access(0x40, false); // miss
+    EXPECT_EQ(c.accesses(), 4u);
+    EXPECT_EQ(c.misses(), 2u);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.5);
+}
+
+TEST(Cache, FilledFlagOnlyOnMiss)
+{
+    stats::StatGroup g("t");
+    Cache c(cfg4x64(1024, 64, 2), g);
+    EXPECT_TRUE(c.access(0x0, false).filled);
+    EXPECT_FALSE(c.access(0x0, false).filled);
+}
+
+// Parameterized sweep: capacity/LRU invariants across geometries.
+class CacheGeometry
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::uint32_t, std::uint32_t>>
+{
+};
+
+TEST_P(CacheGeometry, WorkingSetWithinCapacityAlwaysHitsAfterWarmup)
+{
+    auto [size, line, ways] = GetParam();
+    stats::StatGroup g("t");
+    Cache c(CacheConfig{"c", size, line, ways, 1, true}, g);
+    std::uint64_t lines = size / line;
+    // Touch exactly `lines` distinct line addresses twice; second pass
+    // must be all hits regardless of geometry.
+    for (std::uint64_t i = 0; i < lines; ++i)
+        c.access(i * line, false);
+    for (std::uint64_t i = 0; i < lines; ++i)
+        EXPECT_TRUE(c.access(i * line, false).hit) << "line " << i;
+}
+
+TEST_P(CacheGeometry, OverCapacityCausesEvictions)
+{
+    auto [size, line, ways] = GetParam();
+    stats::StatGroup g("t");
+    Cache c(CacheConfig{"c", size, line, ways, 1, true}, g);
+    std::uint64_t lines = size / line;
+    for (std::uint64_t i = 0; i < lines * 2; ++i)
+        c.access(i * line, false);
+    EXPECT_EQ(c.misses(), lines * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(
+        std::make_tuple(16u * 1024, 32u, 1u),   // paper L1
+        std::make_tuple(512u * 1024, 64u, 4u),  // paper L2
+        std::make_tuple(1024u, 64u, 2u),
+        std::make_tuple(4096u, 32u, 4u),
+        std::make_tuple(2048u, 64u, 8u),
+        std::make_tuple(8192u, 128u, 2u)));

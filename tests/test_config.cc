@@ -1,0 +1,110 @@
+/** @file Tests for SystemConfig: Table 4 defaults and validation. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/config.hh"
+
+using namespace indra;
+
+TEST(Config, Table4Defaults)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.fetchWidth, 8u);
+    EXPECT_EQ(cfg.commitWidth, 8u);
+    EXPECT_EQ(cfg.l1i.sizeBytes, 16u * 1024);
+    EXPECT_EQ(cfg.l1i.lineBytes, 32u);
+    EXPECT_EQ(cfg.l1i.associativity, 1u);  // direct mapped
+    EXPECT_EQ(cfg.l1d.sizeBytes, 16u * 1024);
+    EXPECT_EQ(cfg.l2.sizeBytes, 512u * 1024);
+    EXPECT_EQ(cfg.l2.lineBytes, 64u);
+    EXPECT_EQ(cfg.l2.associativity, 4u);
+    EXPECT_EQ(cfg.l2.hitLatency, 8u);
+    EXPECT_EQ(cfg.l1i.hitLatency, 1u);
+    EXPECT_EQ(cfg.itlb.entries, 128u);
+    EXPECT_EQ(cfg.itlb.associativity, 4u);
+    EXPECT_EQ(cfg.dtlb.entries, 256u);
+    EXPECT_EQ(cfg.busClockMHz, 200u);
+    EXPECT_EQ(cfg.busWidthBytes, 8u);
+    EXPECT_EQ(cfg.dram.casLatency, 20u);
+    EXPECT_EQ(cfg.dram.prechargeLatency, 7u);
+    EXPECT_EQ(cfg.dram.rasToCasLatency, 7u);
+}
+
+TEST(Config, DerivedGeometry)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.l1i.numLines(), 512u);
+    EXPECT_EQ(cfg.l1i.numSets(), 512u);
+    EXPECT_EQ(cfg.l2.numLines(), 8192u);
+    EXPECT_EQ(cfg.l2.numSets(), 2048u);
+    EXPECT_EQ(cfg.busRatio(), 5u);
+}
+
+TEST(Config, DefaultsValidate)
+{
+    SystemConfig cfg;
+    EXPECT_NO_FATAL_FAILURE(cfg.validate());
+}
+
+TEST(ConfigDeath, RejectsNonPow2CacheSize)
+{
+    SystemConfig cfg;
+    cfg.l1d.sizeBytes = 15000;
+    EXPECT_DEATH(cfg.validate(), "power of 2");
+}
+
+TEST(ConfigDeath, RejectsZeroResurrectees)
+{
+    SystemConfig cfg;
+    cfg.numResurrectees = 0;
+    EXPECT_DEATH(cfg.validate(), "resurrectee");
+}
+
+TEST(ConfigDeath, RejectsNonDivisibleClocks)
+{
+    SystemConfig cfg;
+    cfg.coreClockMHz = 1001;
+    EXPECT_DEATH(cfg.validate(), "multiple");
+}
+
+TEST(ConfigDeath, RejectsZeroFifo)
+{
+    SystemConfig cfg;
+    cfg.traceFifoEntries = 0;
+    EXPECT_DEATH(cfg.validate(), "FIFO");
+}
+
+TEST(ConfigDeath, RejectsBadBackupLine)
+{
+    SystemConfig cfg;
+    cfg.backupLineBytes = 48;
+    EXPECT_DEATH(cfg.validate(), "backup line");
+}
+
+TEST(Config, SchemeNames)
+{
+    EXPECT_STREQ(checkpointSchemeName(CheckpointScheme::DeltaBackup),
+                 "delta-backup");
+    EXPECT_STREQ(checkpointSchemeName(CheckpointScheme::None), "none");
+    EXPECT_STREQ(
+        checkpointSchemeName(CheckpointScheme::VirtualCheckpoint),
+        "virtual-checkpoint");
+    EXPECT_STREQ(
+        checkpointSchemeName(CheckpointScheme::MemoryUpdateLog),
+        "memory-update-log");
+    EXPECT_STREQ(
+        checkpointSchemeName(CheckpointScheme::SoftwareCheckpoint),
+        "software-checkpoint");
+}
+
+TEST(Config, PrintMentionsKeyParameters)
+{
+    SystemConfig cfg;
+    std::ostringstream os;
+    cfg.print(os);
+    EXPECT_NE(os.str().find("16KB"), std::string::npos);
+    EXPECT_NE(os.str().find("200MHz"), std::string::npos);
+    EXPECT_NE(os.str().find("delta-backup"), std::string::npos);
+}

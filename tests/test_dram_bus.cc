@@ -1,0 +1,145 @@
+/** @file Tests for the DRAM timing model and the memory bus. */
+
+#include <gtest/gtest.h>
+
+#include "mem/bus.hh"
+#include "mem/dram.hh"
+#include "sim/stats.hh"
+
+using namespace indra;
+using mem::DramModel;
+using mem::MemoryBus;
+
+namespace
+{
+
+DramConfig
+dcfg()
+{
+    DramConfig d;
+    d.numBanks = 4;
+    d.rowBytes = 4096;
+    d.casLatency = 20;
+    d.prechargeLatency = 7;
+    d.rasToCasLatency = 7;
+    return d;
+}
+
+} // anonymous namespace
+
+TEST(Dram, FirstAccessIsRowMiss)
+{
+    stats::StatGroup g("t");
+    DramModel dram(dcfg(), 5, 8, g);
+    // Row closed: RCD + CAS = 27 bus clocks, + 8 beats for 64B.
+    auto r = dram.access(0, 0x0, 64);
+    EXPECT_EQ(dram.rowMisses(), 1u);
+    EXPECT_EQ(r.latency, (27u + 8u) * 5u);
+}
+
+TEST(Dram, OpenRowHitIsCasOnly)
+{
+    stats::StatGroup g("t");
+    DramModel dram(dcfg(), 5, 8, g);
+    dram.access(0, 0x0, 64);
+    auto r = dram.access(10000, 0x40, 64);  // same row
+    EXPECT_EQ(dram.rowHits(), 1u);
+    EXPECT_EQ(r.latency, (20u + 8u) * 5u);
+}
+
+TEST(Dram, RowConflictAddsPrecharge)
+{
+    stats::StatGroup g("t");
+    DramModel dram(dcfg(), 5, 8, g);
+    dram.access(0, 0x0, 64);
+    // Same bank (rows 4 apart with 4 banks), different row.
+    auto r = dram.access(10000, 4ull * 4096, 64);
+    EXPECT_EQ(dram.rowConflicts(), 1u);
+    EXPECT_EQ(r.latency, (7u + 7u + 20u + 8u) * 5u);
+}
+
+TEST(Dram, DifferentBanksDontConflict)
+{
+    stats::StatGroup g("t");
+    DramModel dram(dcfg(), 5, 8, g);
+    dram.access(0, 0x0, 64);
+    dram.access(10000, 4096, 64);  // row 1 -> bank 1
+    EXPECT_EQ(dram.rowConflicts(), 0u);
+    EXPECT_EQ(dram.rowMisses(), 2u);
+}
+
+TEST(Dram, BankBusySerializesBackToBack)
+{
+    stats::StatGroup g("t");
+    DramModel dram(dcfg(), 5, 8, g);
+    auto r1 = dram.access(0, 0x0, 64);
+    auto r2 = dram.access(0, 0x40, 64);  // same bank, same tick
+    EXPECT_EQ(r2.startTick, r1.doneTick);
+    EXPECT_GT(r2.latency, (20u + 8u) * 5u);
+}
+
+TEST(Dram, DrainClosesRows)
+{
+    stats::StatGroup g("t");
+    DramModel dram(dcfg(), 5, 8, g);
+    dram.access(0, 0x0, 64);
+    dram.drain();
+    dram.access(10000, 0x40, 64);
+    EXPECT_EQ(dram.rowHits(), 0u);
+    EXPECT_EQ(dram.rowMisses(), 2u);
+}
+
+TEST(Dram, SmallTransfersStillOneBeat)
+{
+    stats::StatGroup g("t");
+    DramModel dram(dcfg(), 5, 8, g);
+    auto r = dram.access(0, 0x0, 4);
+    EXPECT_EQ(r.latency, (27u + 1u) * 5u);
+}
+
+TEST(Bus, TransferOccupiesBus)
+{
+    stats::StatGroup g("t");
+    MemoryBus bus(5, 8, g);
+    auto r1 = bus.transfer(0, 64);  // 8 beats x 5 = 40 cycles
+    EXPECT_EQ(r1.startTick, 0u);
+    EXPECT_EQ(r1.doneTick, 40u);
+    EXPECT_EQ(bus.freeAt(), 40u);
+}
+
+TEST(Bus, SecondTransferQueues)
+{
+    stats::StatGroup g("t");
+    MemoryBus bus(5, 8, g);
+    bus.transfer(0, 64);
+    auto r2 = bus.transfer(10, 64);
+    EXPECT_EQ(r2.startTick, 40u);
+    EXPECT_EQ(r2.doneTick, 80u);
+}
+
+TEST(Bus, NoQueueWhenIdle)
+{
+    stats::StatGroup g("t");
+    MemoryBus bus(5, 8, g);
+    bus.transfer(0, 8);
+    auto r = bus.transfer(100, 8);
+    EXPECT_EQ(r.startTick, 100u);
+    EXPECT_EQ(r.doneTick, 105u);
+}
+
+TEST(Bus, BeatsRoundUp)
+{
+    stats::StatGroup g("t");
+    MemoryBus bus(5, 8, g);
+    auto r = bus.transfer(0, 9);  // 2 beats
+    EXPECT_EQ(r.doneTick, 10u);
+}
+
+TEST(Bus, DrainFrees)
+{
+    stats::StatGroup g("t");
+    MemoryBus bus(5, 8, g);
+    bus.transfer(0, 64);
+    bus.drain();
+    EXPECT_EQ(bus.freeAt(), 0u);
+}

@@ -1,0 +1,325 @@
+/** @file Tests for the resurrector's security monitor and its three
+ * inspectors (Section 3.2, Table 2). */
+
+#include <gtest/gtest.h>
+
+#include "monitor/monitor.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+using namespace indra;
+using mon::Monitor;
+using mon::Violation;
+
+namespace
+{
+
+cpu::TraceRecord
+record(cpu::TraceKind kind, Pid pid = 1)
+{
+    cpu::TraceRecord r;
+    r.kind = kind;
+    r.pid = pid;
+    return r;
+}
+
+class MonitorTest : public ::testing::Test
+{
+  protected:
+    MonitorTest() : stats("t"), monitor(cfg, stats)
+    {
+        monitor.registerCodePage(1, 0x00400000);
+        monitor.registerCodePage(1, 0x00401000);
+        monitor.registerFunctionEntry(1, 0x00400200);
+        monitor.registerLibraryEntry(1, 0x00401800);
+    }
+
+    SystemConfig cfg;
+    stats::StatGroup stats;
+    Monitor monitor;
+};
+
+} // anonymous namespace
+
+// ------------------------------------------------------- code origin
+
+TEST_F(MonitorTest, RegisteredCodePagePasses)
+{
+    auto r = record(cpu::TraceKind::CodeOrigin);
+    r.target = 0x00400000;
+    r.pc = 0x00400040;
+    monitor.submit(r, 0);
+    EXPECT_FALSE(monitor.pendingDetection().has_value());
+}
+
+TEST_F(MonitorTest, StackPageFetchDetected)
+{
+    auto r = record(cpu::TraceKind::CodeOrigin);
+    r.target = 0x7ffe0000;  // stack page: never registered
+    r.pc = 0x7ffe0100;
+    monitor.submit(r, 0);
+    ASSERT_TRUE(monitor.pendingDetection().has_value());
+    EXPECT_EQ(monitor.pendingDetection()->violation,
+              Violation::InjectedCode);
+}
+
+TEST_F(MonitorTest, DynCodeRegionPasses)
+{
+    monitor.registerDynCodeRegion(1, 0x30000000, 8192);
+    auto r = record(cpu::TraceKind::CodeOrigin);
+    r.target = 0x30000000;
+    r.pc = 0x30000400;
+    monitor.submit(r, 0);
+    EXPECT_FALSE(monitor.pendingDetection().has_value());
+}
+
+TEST_F(MonitorTest, OtherProcessPagesDontLeak)
+{
+    auto r = record(cpu::TraceKind::CodeOrigin, 2);
+    r.target = 0x00400000;  // registered for pid 1 only
+    monitor.submit(r, 0);
+    EXPECT_TRUE(monitor.pendingDetection().has_value());
+}
+
+// ------------------------------------------------------- call/return
+
+TEST_F(MonitorTest, MatchedCallReturnPasses)
+{
+    auto call = record(cpu::TraceKind::Call);
+    call.pc = 0x00400100;
+    call.target = 0x00400200;
+    call.retAddr = 0x00400104;
+    monitor.submit(call, 0);
+
+    auto ret = record(cpu::TraceKind::Return);
+    ret.pc = 0x00400280;
+    ret.target = 0x00400104;
+    monitor.submit(ret, 0);
+    EXPECT_FALSE(monitor.pendingDetection().has_value());
+}
+
+TEST_F(MonitorTest, SmashedReturnDetected)
+{
+    auto call = record(cpu::TraceKind::Call);
+    call.retAddr = 0x00400104;
+    monitor.submit(call, 0);
+
+    auto ret = record(cpu::TraceKind::Return);
+    ret.target = 0x7ffe0200;  // hijacked
+    monitor.submit(ret, 0);
+    ASSERT_TRUE(monitor.pendingDetection().has_value());
+    EXPECT_EQ(monitor.pendingDetection()->violation,
+              Violation::StackSmash);
+}
+
+TEST_F(MonitorTest, ReturnWithoutCallDetected)
+{
+    auto ret = record(cpu::TraceKind::Return);
+    ret.target = 0x00400104;
+    monitor.submit(ret, 0);
+    EXPECT_TRUE(monitor.pendingDetection().has_value());
+}
+
+TEST_F(MonitorTest, NestedCallsUnwindInOrder)
+{
+    for (Addr pc : {0x100, 0x200, 0x300}) {
+        auto call = record(cpu::TraceKind::Call);
+        call.pc = 0x00400000 + pc;
+        call.retAddr = 0x00400000 + pc + 4;
+        monitor.submit(call, 0);
+    }
+    for (Addr pc : {0x304, 0x204, 0x104}) {
+        auto ret = record(cpu::TraceKind::Return);
+        ret.target = 0x00400000 + pc;
+        monitor.submit(ret, 0);
+        EXPECT_FALSE(monitor.pendingDetection().has_value());
+    }
+}
+
+TEST_F(MonitorTest, SetjmpLongjmpUnwindsShadowStack)
+{
+    auto sj = record(cpu::TraceKind::Setjmp);
+    sj.env = 1;
+    sj.target = 0x00400108;  // resume pc
+    monitor.submit(sj, 0);
+
+    // Two nested calls after setjmp.
+    auto c1 = record(cpu::TraceKind::Call);
+    c1.retAddr = 0x00400204;
+    monitor.submit(c1, 0);
+    auto c2 = record(cpu::TraceKind::Call);
+    c2.retAddr = 0x00400304;
+    monitor.submit(c2, 0);
+
+    // longjmp back to the env: valid, and unwinds both frames.
+    auto lj = record(cpu::TraceKind::Longjmp);
+    lj.env = 1;
+    lj.target = 0x00400108;
+    monitor.submit(lj, 0);
+    EXPECT_FALSE(monitor.pendingDetection().has_value());
+    EXPECT_EQ(monitor.callReturn().depth(1), 0u);
+}
+
+TEST_F(MonitorTest, LongjmpToWrongTargetDetected)
+{
+    auto sj = record(cpu::TraceKind::Setjmp);
+    sj.env = 1;
+    sj.target = 0x00400108;
+    monitor.submit(sj, 0);
+
+    auto lj = record(cpu::TraceKind::Longjmp);
+    lj.env = 1;
+    lj.target = 0x7ffe0000;  // forged
+    monitor.submit(lj, 0);
+    ASSERT_TRUE(monitor.pendingDetection().has_value());
+    EXPECT_EQ(monitor.pendingDetection()->violation,
+              Violation::BadLongjmp);
+}
+
+TEST_F(MonitorTest, LongjmpToUnregisteredEnvDetected)
+{
+    auto lj = record(cpu::TraceKind::Longjmp);
+    lj.env = 42;
+    lj.target = 0x00400108;
+    monitor.submit(lj, 0);
+    EXPECT_TRUE(monitor.pendingDetection().has_value());
+}
+
+// -------------------------------------------------- control transfer
+
+TEST_F(MonitorTest, IndirectCallToFunctionEntryPasses)
+{
+    auto x = record(cpu::TraceKind::CtrlTransfer);
+    x.target = 0x00400200;
+    monitor.submit(x, 0);
+    EXPECT_FALSE(monitor.pendingDetection().has_value());
+}
+
+TEST_F(MonitorTest, IndirectCallToLibraryEntryPasses)
+{
+    auto x = record(cpu::TraceKind::CtrlTransfer);
+    x.target = 0x00401800;
+    monitor.submit(x, 0);
+    EXPECT_FALSE(monitor.pendingDetection().has_value());
+}
+
+TEST_F(MonitorTest, IndirectCallIntoFunctionBodyDetected)
+{
+    auto x = record(cpu::TraceKind::CtrlTransfer);
+    x.target = 0x00400208;  // mid-function, not an entry
+    monitor.submit(x, 0);
+    ASSERT_TRUE(monitor.pendingDetection().has_value());
+    EXPECT_EQ(monitor.pendingDetection()->violation,
+              Violation::IllegalTransfer);
+}
+
+TEST_F(MonitorTest, IndirectCallToDataDetected)
+{
+    auto x = record(cpu::TraceKind::CtrlTransfer);
+    x.target = 0x10000800;
+    monitor.submit(x, 0);
+    EXPECT_TRUE(monitor.pendingDetection().has_value());
+}
+
+TEST_F(MonitorTest, DynCodeRegionIsLegalTransferTarget)
+{
+    monitor.registerDynCodeRegion(1, 0x30000000, 4096);
+    auto x = record(cpu::TraceKind::CtrlTransfer);
+    x.target = 0x30000040;
+    monitor.submit(x, 0);
+    EXPECT_FALSE(monitor.pendingDetection().has_value());
+}
+
+// ----------------------------------------------------- monitor logic
+
+TEST_F(MonitorTest, FirstDetectionIsKept)
+{
+    auto bad1 = record(cpu::TraceKind::CtrlTransfer);
+    bad1.target = 0x10000800;
+    bad1.pc = 0x1;
+    monitor.submit(bad1, 0);
+    auto bad2 = record(cpu::TraceKind::CtrlTransfer);
+    bad2.target = 0x10000900;
+    bad2.pc = 0x2;
+    monitor.submit(bad2, 0);
+    ASSERT_TRUE(monitor.pendingDetection().has_value());
+    EXPECT_EQ(monitor.pendingDetection()->record.pc, 0x1u);
+    EXPECT_EQ(monitor.violationsDetected(), 2u);
+}
+
+TEST_F(MonitorTest, DetectionTickIsServiceEnd)
+{
+    auto bad = record(cpu::TraceKind::CtrlTransfer);
+    bad.target = 0x10000800;
+    monitor.submit(bad, 1000);
+    ASSERT_TRUE(monitor.pendingDetection().has_value());
+    EXPECT_EQ(monitor.pendingDetection()->detectTick,
+              1000 + cfg.recordDequeueCycles +
+                  cfg.ctrlTransferCheckCycles);
+}
+
+TEST_F(MonitorTest, ClearDetectionResets)
+{
+    auto bad = record(cpu::TraceKind::CtrlTransfer);
+    bad.target = 0x10000800;
+    monitor.submit(bad, 0);
+    monitor.clearDetection();
+    EXPECT_FALSE(monitor.pendingDetection().has_value());
+}
+
+TEST_F(MonitorTest, OnRecoveryResetsShadowStack)
+{
+    auto call = record(cpu::TraceKind::Call);
+    call.retAddr = 0x00400104;
+    monitor.submit(call, 0);
+    EXPECT_EQ(monitor.callReturn().depth(1), 1u);
+    monitor.onRecovery(1);
+    EXPECT_EQ(monitor.callReturn().depth(1), 0u);
+}
+
+TEST_F(MonitorTest, SubmitReturnsBackpressuredTick)
+{
+    // Saturate a tiny FIFO and verify push-done ticks move out.
+    SystemConfig small = cfg;
+    small.traceFifoEntries = 2;
+    stats::StatGroup g2("t2");
+    Monitor m2(small, g2);
+    Tick done = 0;
+    for (int i = 0; i < 16; ++i) {
+        auto r = record(cpu::TraceKind::CodeOrigin);
+        r.target = 0x00400000;
+        done = m2.submit(r, 0);
+    }
+    EXPECT_GT(done, 0u);
+}
+
+TEST_F(MonitorTest, DrainTickAdvancesWithWork)
+{
+    EXPECT_EQ(monitor.drainTick(), 0u);
+    auto r = record(cpu::TraceKind::CodeOrigin);
+    r.target = 0x00400000;
+    monitor.submit(r, 100);
+    EXPECT_EQ(monitor.drainTick(),
+              100 + cfg.recordDequeueCycles +
+                  cfg.codeOriginCheckCycles);
+}
+
+TEST_F(MonitorTest, ForgetProcessDropsMetadata)
+{
+    monitor.forgetProcess(1);
+    auto r = record(cpu::TraceKind::CodeOrigin);
+    r.target = 0x00400000;
+    monitor.submit(r, 0);
+    EXPECT_TRUE(monitor.pendingDetection().has_value());
+}
+
+TEST_F(MonitorTest, RecordAndCheckCountsTracked)
+{
+    auto co = record(cpu::TraceKind::CodeOrigin);
+    co.target = 0x00400000;
+    monitor.submit(co, 0);
+    auto call = record(cpu::TraceKind::Call);
+    call.retAddr = 0x4;
+    monitor.submit(call, 0);
+    EXPECT_EQ(monitor.recordsProcessed(), 2u);
+}

@@ -1,0 +1,344 @@
+/** @file Tests for the OS layer: process context, address space,
+ * resources, and kernel syscall dispatch. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/isa.hh"
+#include "os/kernel.hh"
+#include "test_util.hh"
+
+using namespace indra;
+using testutil::MemoryRig;
+
+// ---------------------------------------------------- ProcessContext
+
+TEST(ProcessContext, SnapshotRestoreRoundTrip)
+{
+    os::ProcessContext ctx(5, "svc");
+    ctx.regs().pc = 0x1000;
+    ctx.regs().sp = 0x7000;
+    ctx.regs().gpr[3] = 77;
+    ctx.incrementGts();
+    ctx.incrementGts();
+    auto snap = ctx.snapshot();
+
+    ctx.regs().pc = 0xdead;
+    ctx.regs().gpr[3] = 0;
+    ctx.incrementGts();
+    ctx.restore(snap);
+
+    EXPECT_EQ(ctx.regs().pc, 0x1000u);
+    EXPECT_EQ(ctx.regs().sp, 0x7000u);
+    EXPECT_EQ(ctx.regs().gpr[3], 77u);
+    EXPECT_EQ(ctx.gts(), 2u);
+}
+
+TEST(ProcessContext, GtsStartsAtZero)
+{
+    os::ProcessContext ctx(5, "svc");
+    EXPECT_EQ(ctx.gts(), 0u);
+    ctx.setGts(41);
+    ctx.incrementGts();
+    EXPECT_EQ(ctx.gts(), 42u);
+}
+
+// ------------------------------------------------------ AddressSpace
+
+TEST(AddressSpace, MapTranslateUnmap)
+{
+    MemoryRig rig;
+    Pfn pfn = rig.space->mapPage(100, os::Region::Data);
+    EXPECT_EQ(rig.space->translate(1, 100), pfn);
+    EXPECT_TRUE(rig.space->isMapped(100));
+    rig.space->unmapPage(100);
+    EXPECT_EQ(rig.space->translate(1, 100), invalidPfn);
+}
+
+TEST(AddressSpace, WrongPidDoesNotTranslate)
+{
+    MemoryRig rig;
+    rig.space->mapPage(100, os::Region::Data);
+    EXPECT_EQ(rig.space->translate(2, 100), invalidPfn);
+}
+
+TEST(AddressSpace, RegionAttributes)
+{
+    MemoryRig rig;
+    rig.space->mapPage(1, os::Region::Code);
+    rig.space->mapPage(2, os::Region::Data);
+    rig.space->mapPage(3, os::Region::Stack);
+    rig.space->mapPage(4, os::Region::DynCode);
+    EXPECT_TRUE(rig.space->pageInfo(1).executable);
+    EXPECT_FALSE(rig.space->pageInfo(2).executable);
+    EXPECT_FALSE(rig.space->pageInfo(3).executable);
+    EXPECT_TRUE(rig.space->pageInfo(4).executable);
+}
+
+TEST(AddressSpace, MapRegionMapsContiguousPages)
+{
+    MemoryRig rig;
+    rig.space->mapRegion(0x10000, 4, os::Region::Heap);
+    for (Vpn vpn = 0x10; vpn < 0x14; ++vpn)
+        EXPECT_TRUE(rig.space->isMapped(vpn));
+    EXPECT_EQ(rig.space->pageCount(), 4u);
+}
+
+TEST(AddressSpace, RemapPointsAtNewFrame)
+{
+    MemoryRig rig;
+    Pfn original = rig.space->mapPage(9, os::Region::Data);
+    Pfn fresh = rig.phys.allocFrame();
+    rig.phys.write64(fresh, 0, 0xabc);
+    Pfn old = rig.space->remapPage(9, fresh);
+    EXPECT_EQ(old, original);
+    EXPECT_EQ(rig.space->translate(1, 9), fresh);
+    EXPECT_FALSE(rig.phys.isAllocated(old));
+    EXPECT_EQ(rig.peek64(9 * 4096), 0xabcu);
+}
+
+TEST(AddressSpace, WatchdogGrantsFollowMapAndRemap)
+{
+    MemoryRig rig(testutil::smallConfig(), true);
+    Pfn pfn = rig.space->mapPage(5, os::Region::Data);
+    EXPECT_TRUE(rig.watchdog->isGranted(pfn, 1));
+    Pfn fresh = rig.phys.allocFrame();
+    rig.space->remapPage(5, fresh);
+    EXPECT_TRUE(rig.watchdog->isGranted(fresh, 1));
+    EXPECT_FALSE(rig.watchdog->isGranted(pfn, 1));
+}
+
+TEST(AddressSpace, DestructorFreesFrames)
+{
+    MemoryRig rig;
+    std::uint64_t before = rig.phys.framesAllocated();
+    {
+        os::AddressSpace tmp(9, rig.phys, 4096, nullptr, 2);
+        tmp.mapRegion(0, 16, os::Region::Data);
+        EXPECT_EQ(rig.phys.framesAllocated(), before + 16);
+    }
+    EXPECT_EQ(rig.phys.framesAllocated(), before);
+}
+
+TEST(AddressSpaceDeath, DoubleMapPanics)
+{
+    MemoryRig rig;
+    rig.space->mapPage(3, os::Region::Data);
+    EXPECT_DEATH(rig.space->mapPage(3, os::Region::Data),
+                 "already mapped");
+}
+
+// --------------------------------------------------- SystemResources
+
+TEST(Resources, OpenCloseFiles)
+{
+    os::SystemResources res(1);
+    std::int32_t fd1 = res.openFile("a");
+    std::int32_t fd2 = res.openFile("b");
+    EXPECT_NE(fd1, fd2);
+    EXPECT_EQ(res.openFileCount(), 2u);
+    EXPECT_TRUE(res.closeFile(fd1));
+    EXPECT_FALSE(res.closeFile(fd1));
+    EXPECT_EQ(res.openFileCount(), 1u);
+}
+
+TEST(Resources, CloseNewest)
+{
+    os::SystemResources res(1);
+    std::int32_t fd1 = res.openFile("a");
+    std::int32_t fd2 = res.openFile("b");
+    EXPECT_TRUE(res.closeNewestFile());
+    EXPECT_TRUE(res.isOpen(fd1));
+    EXPECT_FALSE(res.isOpen(fd2));
+}
+
+TEST(Resources, RestoreClosesOnlyNewerFiles)
+{
+    MemoryRig rig;
+    os::SystemResources res(1);
+    std::int32_t before_fd = res.openFile("kept");
+    auto snap = res.snapshot();
+    res.openFile("doomed1");
+    res.openFile("doomed2");
+    auto actions = res.restoreTo(snap, *rig.space);
+    EXPECT_EQ(actions.filesClosed, 2u);
+    EXPECT_TRUE(res.isOpen(before_fd));
+    EXPECT_EQ(res.openFileCount(), 1u);
+}
+
+TEST(Resources, RestoreKillsNewChildren)
+{
+    MemoryRig rig;
+    os::SystemResources res(1);
+    res.spawnChild();
+    auto snap = res.snapshot();
+    res.spawnChild();
+    res.spawnChild();
+    auto actions = res.restoreTo(snap, *rig.space);
+    EXPECT_EQ(actions.childrenKilled, 2u);
+    EXPECT_EQ(res.childCount(), 1u);
+}
+
+TEST(Resources, RestoreReclaimsHeapPages)
+{
+    MemoryRig rig;
+    os::SystemResources res(1);
+    res.growHeap(*rig.space, 2);
+    auto snap = res.snapshot();
+    res.growHeap(*rig.space, 3);
+    EXPECT_EQ(res.heapPages(), 5u);
+    std::uint64_t mapped_before = rig.space->pageCount();
+    auto actions = res.restoreTo(snap, *rig.space);
+    EXPECT_EQ(actions.pagesReclaimed, 3u);
+    EXPECT_EQ(res.heapPages(), 2u);
+    EXPECT_EQ(rig.space->pageCount(), mapped_before - 3);
+}
+
+TEST(Resources, AuditLogSurvivesRestore)
+{
+    MemoryRig rig;
+    os::SystemResources res(1);
+    auto snap = res.snapshot();
+    res.appendLog("malicious request observed");
+    res.restoreTo(snap, *rig.space);
+    ASSERT_EQ(res.log().size(), 1u);
+    EXPECT_EQ(res.log()[0], "malicious request observed");
+}
+
+TEST(Resources, HeapGrowsContiguously)
+{
+    MemoryRig rig;
+    os::SystemResources res(1);
+    Vpn first = res.growHeap(*rig.space, 2);
+    Vpn second = res.growHeap(*rig.space, 1);
+    EXPECT_EQ(second, first + 2);
+}
+
+// ------------------------------------------------------------ Kernel
+
+class KernelTest : public ::testing::Test
+{
+  protected:
+    KernelTest()
+        : rig(), kernel(rig.phys, rig.cfg.pageBytes, nullptr, rig.stats)
+    {
+        pid = kernel.createProcess("svc", 1);
+    }
+
+    cpu::SyscallResult
+    sys(cpu::SyscallNo no, std::uint64_t a0 = 0, std::uint64_t a1 = 0)
+    {
+        return kernel.syscall(0, pid,
+                              static_cast<std::uint32_t>(no), a0, a1);
+    }
+
+    MemoryRig rig;
+    os::Kernel kernel;
+    Pid pid = 0;
+};
+
+TEST_F(KernelTest, CreateProcessAssignsDistinctPids)
+{
+    Pid other = kernel.createProcess("svc2", 2);
+    EXPECT_NE(pid, other);
+    EXPECT_TRUE(kernel.hasProcess(pid));
+    EXPECT_TRUE(kernel.hasProcess(other));
+}
+
+TEST_F(KernelTest, RequestCheckpointIncrementsGts)
+{
+    EXPECT_EQ(kernel.process(pid).context->gts(), 0u);
+    auto r = sys(cpu::SyscallNo::RequestCheckpoint);
+    EXPECT_EQ(kernel.process(pid).context->gts(), 1u);
+    EXPECT_EQ(r.value, 1u);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST_F(KernelTest, OpenReturnsFd)
+{
+    auto r = sys(cpu::SyscallNo::OpenFile, 7);
+    EXPECT_GE(r.value, 3u);
+    EXPECT_EQ(kernel.process(pid).resources->openFileCount(), 1u);
+}
+
+TEST_F(KernelTest, CloseZeroClosesNewest)
+{
+    sys(cpu::SyscallNo::OpenFile, 1);
+    sys(cpu::SyscallNo::OpenFile, 2);
+    sys(cpu::SyscallNo::CloseFile, 0);
+    EXPECT_EQ(kernel.process(pid).resources->openFileCount(), 1u);
+}
+
+TEST_F(KernelTest, SpawnChildTracked)
+{
+    sys(cpu::SyscallNo::SpawnChild);
+    EXPECT_EQ(kernel.process(pid).resources->childCount(), 1u);
+}
+
+TEST_F(KernelTest, AllocPagesMapsHeap)
+{
+    auto r = sys(cpu::SyscallNo::AllocPages, 3);
+    EXPECT_EQ(kernel.process(pid).resources->heapPages(), 3u);
+    Vpn vpn = r.value / rig.cfg.pageBytes;
+    EXPECT_TRUE(kernel.process(pid).space->isMapped(vpn));
+}
+
+TEST_F(KernelTest, CrashTerminates)
+{
+    auto r = sys(cpu::SyscallNo::Crash);
+    EXPECT_TRUE(r.terminated);
+}
+
+TEST_F(KernelTest, WriteLogAppends)
+{
+    sys(cpu::SyscallNo::WriteLog, 5);
+    EXPECT_EQ(kernel.process(pid).resources->log().size(), 1u);
+}
+
+TEST_F(KernelTest, ListenerReceivesRequestCheckpoint)
+{
+    struct Listener : os::KernelListener
+    {
+        int checkpoints = 0;
+        Cycles
+        onRequestCheckpoint(Tick, Pid) override
+        {
+            ++checkpoints;
+            return 123;
+        }
+        void onDynCodeDeclared(Pid, Addr, std::uint64_t) override {}
+    } listener;
+    kernel.setListener(&listener);
+    auto r = sys(cpu::SyscallNo::RequestCheckpoint);
+    EXPECT_EQ(listener.checkpoints, 1);
+    EXPECT_GE(r.cycles, 123u);
+}
+
+TEST_F(KernelTest, ListenerReceivesDynCode)
+{
+    struct Listener : os::KernelListener
+    {
+        Addr base = 0;
+        std::uint64_t len = 0;
+        Cycles onRequestCheckpoint(Tick, Pid) override { return 0; }
+        void
+        onDynCodeDeclared(Pid, Addr b, std::uint64_t l) override
+        {
+            base = b;
+            len = l;
+        }
+    } listener;
+    kernel.setListener(&listener);
+    sys(cpu::SyscallNo::DeclareDynCode, 0x30000000, 8192);
+    EXPECT_EQ(listener.base, 0x30000000u);
+    EXPECT_EQ(listener.len, 8192u);
+}
+
+TEST_F(KernelTest, DestroyProcessFreesPages)
+{
+    std::uint64_t before = rig.phys.framesAllocated();
+    Pid tmp = kernel.createProcess("tmp", 3);
+    kernel.process(tmp).space->mapRegion(0, 8, os::Region::Data);
+    kernel.destroyProcess(tmp);
+    EXPECT_EQ(rig.phys.framesAllocated(), before);
+    EXPECT_FALSE(kernel.hasProcess(tmp));
+}

@@ -1,0 +1,138 @@
+/** @file Tests for the sparse physical memory. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mem/phys_mem.hh"
+
+using namespace indra;
+using mem::PhysicalMemory;
+
+TEST(PhysMem, AllocatesDistinctFrames)
+{
+    PhysicalMemory pm(1 << 20, 4096);
+    Pfn a = pm.allocFrame();
+    Pfn b = pm.allocFrame();
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(pm.isAllocated(a));
+    EXPECT_TRUE(pm.isAllocated(b));
+    EXPECT_EQ(pm.framesAllocated(), 2u);
+}
+
+TEST(PhysMem, FreeAndReuse)
+{
+    PhysicalMemory pm(1 << 20, 4096);
+    Pfn a = pm.allocFrame();
+    pm.freeFrame(a);
+    EXPECT_FALSE(pm.isAllocated(a));
+    Pfn b = pm.allocFrame();
+    EXPECT_EQ(a, b);  // free list reuse
+}
+
+TEST(PhysMem, FreshFramesReadZero)
+{
+    PhysicalMemory pm(1 << 20, 4096);
+    Pfn a = pm.allocFrame();
+    EXPECT_EQ(pm.read64(a, 0), 0u);
+    EXPECT_EQ(pm.read64(a, 4088), 0u);
+}
+
+TEST(PhysMem, WriteReadRoundTrip)
+{
+    PhysicalMemory pm(1 << 20, 4096);
+    Pfn a = pm.allocFrame();
+    pm.write64(a, 128, 0xdeadbeef12345678ULL);
+    EXPECT_EQ(pm.read64(a, 128), 0xdeadbeef12345678ULL);
+    EXPECT_EQ(pm.read64(a, 120), 0u);
+    EXPECT_EQ(pm.read64(a, 136), 0u);
+}
+
+TEST(PhysMem, FreeDiscardsContents)
+{
+    PhysicalMemory pm(1 << 20, 4096);
+    Pfn a = pm.allocFrame();
+    pm.write64(a, 0, 42);
+    pm.freeFrame(a);
+    Pfn b = pm.allocFrame();
+    ASSERT_EQ(a, b);
+    EXPECT_EQ(pm.read64(b, 0), 0u);
+}
+
+TEST(PhysMem, CopyBetweenFrames)
+{
+    PhysicalMemory pm(1 << 20, 4096);
+    Pfn src = pm.allocFrame();
+    Pfn dst = pm.allocFrame();
+    pm.write64(src, 64, 0x1111);
+    pm.write64(src, 72, 0x2222);
+    pm.copy(dst, 64, src, 64, 16);
+    EXPECT_EQ(pm.read64(dst, 64), 0x1111u);
+    EXPECT_EQ(pm.read64(dst, 72), 0x2222u);
+}
+
+TEST(PhysMem, CopyFromLazyFrameZeroes)
+{
+    PhysicalMemory pm(1 << 20, 4096);
+    Pfn src = pm.allocFrame();  // never written: lazy zero
+    Pfn dst = pm.allocFrame();
+    pm.write64(dst, 0, 99);
+    pm.copy(dst, 0, src, 0, 64);
+    EXPECT_EQ(pm.read64(dst, 0), 0u);
+}
+
+TEST(PhysMem, CopyWithinOneFrame)
+{
+    PhysicalMemory pm(1 << 20, 4096);
+    Pfn a = pm.allocFrame();
+    pm.write64(a, 0, 7);
+    pm.copy(a, 512, a, 0, 8);
+    EXPECT_EQ(pm.read64(a, 512), 7u);
+    EXPECT_EQ(pm.read64(a, 0), 7u);
+}
+
+TEST(PhysMem, SnapshotFrame)
+{
+    PhysicalMemory pm(1 << 20, 4096);
+    Pfn a = pm.allocFrame();
+    pm.write64(a, 8, 0xabcd);
+    auto snap = pm.snapshotFrame(a);
+    ASSERT_EQ(snap.size(), 4096u);
+    pm.write64(a, 8, 0);
+    std::uint64_t v;
+    std::memcpy(&v, snap.data() + 8, 8);
+    EXPECT_EQ(v, 0xabcdu);
+}
+
+TEST(PhysMem, SnapshotLazyFrameIsZero)
+{
+    PhysicalMemory pm(1 << 20, 4096);
+    Pfn a = pm.allocFrame();
+    auto snap = pm.snapshotFrame(a);
+    for (std::uint8_t byte : snap)
+        ASSERT_EQ(byte, 0);
+}
+
+TEST(PhysMemDeath, ExhaustionIsFatal)
+{
+    PhysicalMemory pm(8192, 4096);  // two frames only
+    pm.allocFrame();
+    pm.allocFrame();
+    EXPECT_DEATH(pm.allocFrame(), "out of physical memory");
+}
+
+TEST(PhysMemDeath, DoubleFreePanics)
+{
+    PhysicalMemory pm(1 << 20, 4096);
+    Pfn a = pm.allocFrame();
+    pm.freeFrame(a);
+    EXPECT_DEATH(pm.freeFrame(a), "unallocated");
+}
+
+TEST(PhysMemDeath, CrossBoundaryWritePanics)
+{
+    PhysicalMemory pm(1 << 20, 4096);
+    Pfn a = pm.allocFrame();
+    std::uint64_t v = 1;
+    EXPECT_DEATH(pm.write(a, 4092, &v, 8), "boundary");
+}

@@ -1,0 +1,175 @@
+/** @file Tests for the deterministic PCG32 generator. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/random.hh"
+
+using namespace indra;
+
+TEST(Pcg32, DeterministicFromSeed)
+{
+    Pcg32 a(123, 9);
+    Pcg32 b(123, 9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer)
+{
+    Pcg32 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, DifferentStreamsDiffer)
+{
+    Pcg32 a(1, 10), b(1, 11);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, BoundedStaysInBounds)
+{
+    Pcg32 rng(5);
+    for (std::uint32_t bound : {1u, 2u, 7u, 100u, 1u << 20}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Pcg32, BoundedOneAlwaysZero)
+{
+    Pcg32 rng(5);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.nextBounded(1), 0u);
+}
+
+TEST(Pcg32, UniformInclusiveRange)
+{
+    Pcg32 rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        std::uint64_t v = rng.uniform(10, 13);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 13u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);  // all values reachable
+}
+
+TEST(Pcg32, UniformDegenerateRange)
+{
+    Pcg32 rng(11);
+    EXPECT_EQ(rng.uniform(42, 42), 42u);
+}
+
+TEST(Pcg32, UniformRealInHalfOpenUnit)
+{
+    Pcg32 rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniformReal();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Pcg32, BernoulliExtremes)
+{
+    Pcg32 rng(3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Pcg32, BernoulliFrequencyNearP)
+{
+    Pcg32 rng(17);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.bernoulli(0.3))
+            ++hits;
+    }
+    double freq = static_cast<double>(hits) / n;
+    EXPECT_NEAR(freq, 0.3, 0.02);
+}
+
+TEST(Pcg32, GeometricMeanNearExpectation)
+{
+    Pcg32 rng(19);
+    double sum = 0;
+    const int n = 20000;
+    const double p = 0.25;
+    for (int i = 0; i < n; ++i)
+        sum += rng.geometric(p);
+    // E[failures before success] = (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.2);
+}
+
+TEST(Pcg32, GeometricOneIsZero)
+{
+    Pcg32 rng(19);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Pcg32, ZipfInRange)
+{
+    Pcg32 rng(23);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_LT(rng.zipf(40, 1.1), 40u);
+}
+
+TEST(Pcg32, ZipfSkewsTowardZero)
+{
+    Pcg32 rng(23);
+    int low = 0, high = 0;
+    for (int i = 0; i < 10000; ++i) {
+        std::uint32_t v = rng.zipf(100, 1.2);
+        if (v < 10)
+            ++low;
+        if (v >= 90)
+            ++high;
+    }
+    EXPECT_GT(low, high * 4);
+}
+
+TEST(Pcg32, ZipfSingleton)
+{
+    Pcg32 rng(23);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(rng.zipf(1, 1.0), 0u);
+}
+
+TEST(Pcg32, ForkIsIndependent)
+{
+    Pcg32 parent(31);
+    Pcg32 child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (parent.next() == child.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, ForkDeterministic)
+{
+    Pcg32 p1(31), p2(31);
+    Pcg32 c1 = p1.fork();
+    Pcg32 c2 = p2.fork();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(c1.next(), c2.next());
+}

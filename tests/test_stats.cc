@@ -1,0 +1,149 @@
+/** @file Tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace indra::stats;
+
+TEST(Scalar, StartsAtZeroAndCounts)
+{
+    StatGroup g("g");
+    Scalar s(g, "s", "desc");
+    EXPECT_EQ(s.value(), 0.0);
+    ++s;
+    s += 4.5;
+    EXPECT_DOUBLE_EQ(s.value(), 5.5);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(Formula, ComputesOnDemand)
+{
+    StatGroup g("g");
+    Scalar a(g, "a", "");
+    Scalar b(g, "b", "");
+    Formula f(g, "ratio", "", [&] {
+        return b.value() > 0 ? a.value() / b.value() : 0.0;
+    });
+    EXPECT_EQ(f.value(), 0.0);
+    a += 3;
+    b += 4;
+    EXPECT_DOUBLE_EQ(f.value(), 0.75);
+}
+
+TEST(Distribution, Moments)
+{
+    StatGroup g("g");
+    Distribution d(g, "d", "");
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.minValue(), 2.0);
+    EXPECT_DOUBLE_EQ(d.maxValue(), 9.0);
+    EXPECT_NEAR(d.stddev(), 2.0, 1e-9);
+}
+
+TEST(Distribution, EmptyIsSafe)
+{
+    StatGroup g("g");
+    Distribution d(g, "d", "");
+    EXPECT_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.stddev(), 0.0);
+    EXPECT_EQ(d.minValue(), 0.0);
+}
+
+TEST(Distribution, ResetClears)
+{
+    StatGroup g("g");
+    Distribution d(g, "d", "");
+    d.sample(10);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    StatGroup g("g");
+    Histogram h(g, "h", "", 10.0, 4);
+    h.sample(0);
+    h.sample(9.99);
+    h.sample(10);
+    h.sample(35);
+    h.sample(40);   // overflow
+    h.sample(1000); // overflow
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.buckets()[0], 2u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[3], 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram, NegativeGoesToFirstBucket)
+{
+    StatGroup g("g");
+    Histogram h(g, "h", "", 1.0, 2);
+    h.sample(-5);
+    EXPECT_EQ(h.buckets()[0], 1u);
+}
+
+TEST(StatGroup, FindAndFindPath)
+{
+    StatGroup root("root");
+    StatGroup child(root, "child");
+    Scalar s(child, "x", "");
+    s += 2;
+    EXPECT_EQ(root.find("x"), nullptr);
+    ASSERT_NE(root.findPath("child.x"), nullptr);
+    EXPECT_EQ(root.findPath("child.x")->name(), "x");
+    EXPECT_EQ(root.findPath("child.missing"), nullptr);
+    EXPECT_EQ(root.findPath("nope.x"), nullptr);
+}
+
+TEST(StatGroup, DumpContainsQualifiedNames)
+{
+    StatGroup root("sys");
+    StatGroup child(root, "l1");
+    Scalar s(child, "misses", "cache misses");
+    s += 7;
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("sys.l1.misses"), std::string::npos);
+    EXPECT_NE(os.str().find("7"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllRecurses)
+{
+    StatGroup root("root");
+    StatGroup child(root, "c");
+    Scalar a(root, "a", "");
+    Scalar b(child, "b", "");
+    a += 1;
+    b += 2;
+    root.resetAll();
+    EXPECT_EQ(a.value(), 0.0);
+    EXPECT_EQ(b.value(), 0.0);
+}
+
+TEST(StatGroup, ChildUnregistersOnDestruction)
+{
+    StatGroup root("root");
+    {
+        StatGroup child(root, "tmp");
+        Scalar s(child, "x", "");
+    }
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_EQ(os.str().find("tmp"), std::string::npos);
+}
+
+TEST(StatGroup, DuplicateStatNamePanics)
+{
+    StatGroup g("g");
+    Scalar a(g, "dup", "");
+    EXPECT_DEATH({ Scalar b(g, "dup", ""); }, "duplicate stat");
+}

@@ -1,0 +1,113 @@
+/** @file Tests for the TLB timing model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/tlb.hh"
+#include "sim/stats.hh"
+
+using namespace indra;
+using mem::Tlb;
+
+namespace
+{
+
+TlbConfig
+tcfg(std::uint32_t entries, std::uint32_t ways)
+{
+    return TlbConfig{"tlb", entries, ways, 30};
+}
+
+} // anonymous namespace
+
+TEST(Tlb, MissThenHit)
+{
+    stats::StatGroup g("t");
+    Tlb tlb(tcfg(16, 4), g);
+    EXPECT_FALSE(tlb.access(1, 100).hit);
+    EXPECT_TRUE(tlb.access(1, 100).hit);
+}
+
+TEST(Tlb, PidTagging)
+{
+    stats::StatGroup g("t");
+    Tlb tlb(tcfg(16, 4), g);
+    tlb.access(1, 100);
+    EXPECT_FALSE(tlb.access(2, 100).hit);  // other process, same vpn
+    EXPECT_TRUE(tlb.access(1, 100).hit);
+}
+
+TEST(Tlb, EvictionReportsVictim)
+{
+    stats::StatGroup g("t");
+    Tlb tlb(tcfg(4, 4), g);  // one set of four ways
+    tlb.access(1, 0);
+    tlb.access(1, 1);
+    tlb.access(1, 2);
+    tlb.access(1, 3);
+    auto r = tlb.access(1, 4);  // evicts vpn 0 (LRU)
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.victimVpn, 0u);
+    EXPECT_FALSE(tlb.contains(1, 0));
+}
+
+TEST(Tlb, LruRespectsTouch)
+{
+    stats::StatGroup g("t");
+    Tlb tlb(tcfg(2, 2), g);  // one set, two ways
+    tlb.access(1, 0);
+    tlb.access(1, 2);
+    tlb.access(1, 0);  // refresh 0; 2 is LRU
+    tlb.access(1, 4);  // evicts 2
+    EXPECT_TRUE(tlb.contains(1, 0));
+    EXPECT_FALSE(tlb.contains(1, 2));
+}
+
+TEST(Tlb, FlushPidKeepsOthers)
+{
+    stats::StatGroup g("t");
+    Tlb tlb(tcfg(16, 4), g);
+    tlb.access(1, 100);
+    tlb.access(2, 200);
+    tlb.flushPid(1);
+    EXPECT_FALSE(tlb.contains(1, 100));
+    EXPECT_TRUE(tlb.contains(2, 200));
+}
+
+TEST(Tlb, FlushAll)
+{
+    stats::StatGroup g("t");
+    Tlb tlb(tcfg(16, 4), g);
+    tlb.access(1, 100);
+    tlb.access(2, 200);
+    tlb.flushAll();
+    EXPECT_FALSE(tlb.contains(1, 100));
+    EXPECT_FALSE(tlb.contains(2, 200));
+}
+
+TEST(Tlb, StatsAndMissPenalty)
+{
+    stats::StatGroup g("t");
+    Tlb tlb(tcfg(16, 4), g);
+    tlb.access(1, 1);
+    tlb.access(1, 1);
+    tlb.access(1, 2);
+    EXPECT_EQ(tlb.accesses(), 3u);
+    EXPECT_EQ(tlb.misses(), 2u);
+    EXPECT_NEAR(tlb.missRate(), 2.0 / 3.0, 1e-12);
+    EXPECT_EQ(tlb.missPenalty(), 30u);
+}
+
+TEST(Tlb, SetIndexingSeparatesSets)
+{
+    stats::StatGroup g("t");
+    Tlb tlb(tcfg(8, 2), g);  // 4 sets x 2 ways
+    // vpns 0,4,8 map to set 0; fill beyond two ways evicts.
+    tlb.access(1, 0);
+    tlb.access(1, 4);
+    tlb.access(1, 1);  // different set, must not disturb set 0
+    EXPECT_TRUE(tlb.contains(1, 0));
+    EXPECT_TRUE(tlb.contains(1, 4));
+    tlb.access(1, 8);  // set 0 eviction
+    EXPECT_FALSE(tlb.contains(1, 0));
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared fixtures for the INDRA test suite: a small SystemConfig and
+ * a MemoryRig bundling physical memory, an address space, and a
+ * hierarchy — the substrate the checkpoint-engine and OS tests need.
+ */
+
+#ifndef INDRA_TESTS_TEST_UTIL_HH
+#define INDRA_TESTS_TEST_UTIL_HH
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "mem/bus.hh"
+#include "mem/dram.hh"
+#include "mem/hierarchy.hh"
+#include "mem/phys_mem.hh"
+#include "mem/watchdog.hh"
+#include "os/address_space.hh"
+#include "os/process.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace indra::testutil
+{
+
+/** A config sized for fast tests (smaller phys mem, small caches). */
+inline SystemConfig
+smallConfig()
+{
+    SystemConfig cfg;
+    cfg.physMemBytes = 64ULL * 1024 * 1024;
+    cfg.rngSeed = 7;
+    return cfg;
+}
+
+/**
+ * Functional + timing memory substrate for one process, without the
+ * core or kernel on top.
+ */
+struct MemoryRig
+{
+    explicit MemoryRig(const SystemConfig &cfg_in = smallConfig(),
+                       bool with_watchdog = false)
+        : cfg(cfg_in), stats("test"),
+          phys(cfg.physMemBytes, cfg.pageBytes),
+          bus(cfg.busRatio(), cfg.busWidthBytes, stats),
+          dram(cfg.dram, cfg.busRatio(), cfg.busWidthBytes, stats)
+    {
+        if (with_watchdog)
+            watchdog = std::make_unique<mem::MemWatchdog>(stats);
+        context = std::make_unique<os::ProcessContext>(1, "test-proc");
+        space = std::make_unique<os::AddressSpace>(
+            1, phys, cfg.pageBytes, watchdog.get(), 1);
+        hierarchy = std::make_unique<mem::MemHierarchy>(
+            cfg, 1, Privilege::Low, *space, watchdog.get(), bus, dram,
+            stats);
+    }
+
+    /** Write @p value at virtual @p vaddr (functional only). */
+    void
+    poke64(Addr vaddr, std::uint64_t value)
+    {
+        Vpn vpn = vaddr / cfg.pageBytes;
+        Pfn pfn = space->translate(1, vpn);
+        phys.write64(pfn,
+                     static_cast<std::uint32_t>(vaddr % cfg.pageBytes),
+                     value);
+    }
+
+    /** Read the 64-bit value at virtual @p vaddr (functional only). */
+    std::uint64_t
+    peek64(Addr vaddr)
+    {
+        Vpn vpn = vaddr / cfg.pageBytes;
+        Pfn pfn = space->translate(1, vpn);
+        return phys.read64(
+            pfn, static_cast<std::uint32_t>(vaddr % cfg.pageBytes));
+    }
+
+    SystemConfig cfg;
+    stats::StatGroup stats;
+    mem::PhysicalMemory phys;
+    mem::MemoryBus bus;
+    mem::DramModel dram;
+    std::unique_ptr<mem::MemWatchdog> watchdog;
+    std::unique_ptr<os::ProcessContext> context;
+    std::unique_ptr<os::AddressSpace> space;
+    std::unique_ptr<mem::MemHierarchy> hierarchy;
+};
+
+} // namespace indra::testutil
+
+#endif // INDRA_TESTS_TEST_UTIL_HH

@@ -1,0 +1,99 @@
+/** @file Tests for the INDRA memory watchdog (Section 2.3.1). */
+
+#include <gtest/gtest.h>
+
+#include "mem/watchdog.hh"
+#include "sim/stats.hh"
+
+using namespace indra;
+using mem::MemWatchdog;
+using mem::WatchdogVerdict;
+
+TEST(Watchdog, HighPrivilegeAlwaysAllowed)
+{
+    stats::StatGroup g("t");
+    MemWatchdog wd(g);
+    EXPECT_EQ(wd.check(0, Privilege::High, 123),
+              WatchdogVerdict::Allowed);
+    EXPECT_EQ(wd.denials(), 0u);
+}
+
+TEST(Watchdog, UngrantedFrameIsPrivate)
+{
+    stats::StatGroup g("t");
+    MemWatchdog wd(g);
+    EXPECT_EQ(wd.check(1, Privilege::Low, 42),
+              WatchdogVerdict::DeniedPrivate);
+    EXPECT_EQ(wd.denials(), 1u);
+}
+
+TEST(Watchdog, GrantAllowsSpecificCore)
+{
+    stats::StatGroup g("t");
+    MemWatchdog wd(g);
+    wd.grant(42, 1);
+    EXPECT_EQ(wd.check(1, Privilege::Low, 42),
+              WatchdogVerdict::Allowed);
+    EXPECT_EQ(wd.check(2, Privilege::Low, 42),
+              WatchdogVerdict::DeniedWrongCore);
+}
+
+TEST(Watchdog, MultipleGrantsOnOneFrame)
+{
+    stats::StatGroup g("t");
+    MemWatchdog wd(g);
+    wd.grant(7, 1);
+    wd.grant(7, 2);
+    EXPECT_EQ(wd.check(1, Privilege::Low, 7), WatchdogVerdict::Allowed);
+    EXPECT_EQ(wd.check(2, Privilege::Low, 7), WatchdogVerdict::Allowed);
+    EXPECT_EQ(wd.check(3, Privilege::Low, 7),
+              WatchdogVerdict::DeniedWrongCore);
+}
+
+TEST(Watchdog, RevokeSingleCore)
+{
+    stats::StatGroup g("t");
+    MemWatchdog wd(g);
+    wd.grant(7, 1);
+    wd.grant(7, 2);
+    wd.revoke(7, 1);
+    EXPECT_FALSE(wd.isGranted(7, 1));
+    EXPECT_TRUE(wd.isGranted(7, 2));
+}
+
+TEST(Watchdog, RevokeLastGrantMakesPrivate)
+{
+    stats::StatGroup g("t");
+    MemWatchdog wd(g);
+    wd.grant(7, 1);
+    wd.revoke(7, 1);
+    EXPECT_EQ(wd.check(1, Privilege::Low, 7),
+              WatchdogVerdict::DeniedPrivate);
+}
+
+TEST(Watchdog, RevokeAll)
+{
+    stats::StatGroup g("t");
+    MemWatchdog wd(g);
+    wd.grant(7, 1);
+    wd.grant(7, 2);
+    wd.revokeAll(7);
+    EXPECT_FALSE(wd.isGranted(7, 1));
+    EXPECT_FALSE(wd.isGranted(7, 2));
+}
+
+TEST(Watchdog, RevokeOnUngrantedFrameIsNoop)
+{
+    stats::StatGroup g("t");
+    MemWatchdog wd(g);
+    wd.revoke(99, 1);
+    wd.revokeAll(99);
+    EXPECT_EQ(wd.denials(), 0u);
+}
+
+TEST(WatchdogDeath, RejectsCoreBeyond64)
+{
+    stats::StatGroup g("t");
+    MemWatchdog wd(g);
+    EXPECT_DEATH(wd.grant(1, 64), "64 cores");
+}

@@ -1,0 +1,476 @@
+/** @file Tests for the daemon profiles, service program layout, and
+ * the request instruction-stream generator. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/daemon_profile.hh"
+#include "net/exploit.hh"
+#include "net/workload.hh"
+
+using namespace indra;
+using net::AttackKind;
+using net::RequestExecution;
+using net::ServiceApplication;
+using net::ServiceProgram;
+
+namespace
+{
+
+/** Pull the whole stream into a vector. */
+std::vector<cpu::Instruction>
+drain(RequestExecution &gen)
+{
+    std::vector<cpu::Instruction> out;
+    cpu::Instruction inst;
+    while (gen.next(inst))
+        out.push_back(inst);
+    return out;
+}
+
+net::ServiceRequest
+request(std::uint64_t seq, AttackKind kind = AttackKind::None)
+{
+    net::ServiceRequest r;
+    r.seq = seq;
+    r.attack = kind;
+    return r;
+}
+
+} // anonymous namespace
+
+// ----------------------------------------------------------- profiles
+
+TEST(Profiles, SixStandardDaemons)
+{
+    const auto &all = net::standardDaemons();
+    ASSERT_EQ(all.size(), 6u);
+    EXPECT_EQ(all[0].name, "ftpd");
+    EXPECT_EQ(all[2].name, "bind");
+    EXPECT_EQ(all[5].name, "nfs");
+}
+
+TEST(Profiles, BindIsTheShortRequestHeavyWriter)
+{
+    const auto &bind = net::daemonByName("bind");
+    for (const auto &p : net::standardDaemons()) {
+        if (p.name == "bind")
+            continue;
+        EXPECT_LT(bind.instrPerRequest, p.instrPerRequest);
+        EXPECT_GT(bind.dirtyLineFraction, p.dirtyLineFraction);
+    }
+}
+
+TEST(Profiles, PagesPerRequestAveragesNearFifty)
+{
+    double sum = 0;
+    for (const auto &p : net::standardDaemons())
+        sum += p.pagesPerRequest;
+    EXPECT_NEAR(sum / 6.0, 50.0, 5.0);
+}
+
+TEST(ProfilesDeath, UnknownDaemonIsFatal)
+{
+    EXPECT_DEATH(net::daemonByName("gopherd"), "unknown daemon");
+}
+
+// ------------------------------------------------------------ program
+
+TEST(Program, LayoutIsDeterministic)
+{
+    const auto &p = net::daemonByName("httpd");
+    ServiceProgram a(p, 42, 4096), b(p, 42, 4096);
+    ASSERT_EQ(a.functions().size(), b.functions().size());
+    for (std::size_t i = 0; i < a.functions().size(); ++i) {
+        EXPECT_EQ(a.functions()[i].entry, b.functions()[i].entry);
+        EXPECT_EQ(a.functions()[i].blocks, b.functions()[i].blocks);
+    }
+}
+
+TEST(Program, FunctionsDontOverlap)
+{
+    const auto &p = net::daemonByName("ftpd");
+    ServiceProgram prog(p, 1, 4096);
+    for (std::size_t i = 1; i < prog.functions().size(); ++i) {
+        const auto &prev = prog.functions()[i - 1];
+        const auto &cur = prog.functions()[i];
+        EXPECT_GE(cur.entry, prev.entry + prev.blocks *
+                                 ServiceProgram::blockBytes);
+    }
+}
+
+TEST(Program, LibraryFunctionsComeLast)
+{
+    const auto &p = net::daemonByName("imap");
+    ServiceProgram prog(p, 1, 4096);
+    EXPECT_EQ(prog.libFunctionCount(), p.libraryFunctions);
+    EXPECT_EQ(prog.libraryEntries().size(), p.libraryFunctions);
+    for (std::uint32_t i = 0; i < prog.appFunctionCount(); ++i)
+        EXPECT_FALSE(prog.function(i).library);
+    EXPECT_TRUE(prog.function(prog.appFunctionCount()).library);
+}
+
+TEST(Program, CodePagesCoverEveryFunction)
+{
+    const auto &p = net::daemonByName("bind");
+    ServiceProgram prog(p, 1, 4096);
+    std::set<Addr> pages(prog.codePages().begin(),
+                         prog.codePages().end());
+    for (const auto &fn : prog.functions()) {
+        Addr page = fn.entry & ~4095ull;
+        EXPECT_TRUE(pages.count(page)) << std::hex << fn.entry;
+    }
+}
+
+TEST(Program, StackBelowStackTop)
+{
+    const auto &p = net::daemonByName("nfs");
+    ServiceProgram prog(p, 1, 4096);
+    EXPECT_LT(prog.stackBase(), prog.stackTop());
+    EXPECT_EQ(prog.stackTop() - prog.stackBase(),
+              ServiceProgram::stackPages * 4096ull);
+}
+
+// ---------------------------------------------------------- generator
+
+class GeneratorTest : public ::testing::Test
+{
+  protected:
+    GeneratorTest()
+        : profile(makeProfile()), app(profile, 99, 4096)
+    {
+    }
+
+    static net::DaemonProfile
+    makeProfile()
+    {
+        net::DaemonProfile p = net::daemonByName("httpd");
+        p.instrPerRequest = 20000;  // keep tests fast
+        return p;
+    }
+
+    net::DaemonProfile profile;
+    ServiceApplication app;
+};
+
+TEST_F(GeneratorTest, StreamStartsWithRequestCheckpoint)
+{
+    auto gen = app.beginRequest(request(1));
+    cpu::Instruction first;
+    ASSERT_TRUE(gen.next(first));
+    EXPECT_EQ(first.op, cpu::Op::Syscall);
+    EXPECT_EQ(first.imm, static_cast<std::uint32_t>(
+                             cpu::SyscallNo::RequestCheckpoint));
+}
+
+TEST_F(GeneratorTest, StreamEndsWithHalt)
+{
+    auto gen = app.beginRequest(request(1));
+    auto stream = drain(gen);
+    ASSERT_FALSE(stream.empty());
+    EXPECT_EQ(stream.back().op, cpu::Op::Halt);
+}
+
+TEST_F(GeneratorTest, LengthNearTarget)
+{
+    auto gen = app.beginRequest(request(1));
+    auto stream = drain(gen);
+    EXPECT_GT(stream.size(), 15000u);
+    EXPECT_LT(stream.size(), 26000u);
+}
+
+TEST_F(GeneratorTest, CallsAndReturnsBalance)
+{
+    auto gen = app.beginRequest(request(1));
+    auto stream = drain(gen);
+    int depth = 0;
+    int max_depth = 0;
+    for (const auto &inst : stream) {
+        if (inst.op == cpu::Op::Call || inst.op == cpu::Op::CallInd)
+            ++depth;
+        if (inst.op == cpu::Op::Return)
+            --depth;
+        if (inst.op == cpu::Op::Longjmp)
+            depth = 0;  // non-local unwind to the dispatcher env
+        EXPECT_GE(depth, 0);
+        max_depth = std::max(max_depth, depth);
+    }
+    EXPECT_EQ(depth, 0);  // fully unwound
+    EXPECT_GT(max_depth, 1);
+}
+
+TEST_F(GeneratorTest, ReturnsTargetTheCallSite)
+{
+    auto gen = app.beginRequest(request(1));
+    cpu::Instruction inst;
+    std::vector<Addr> expected;  // stack of return addresses
+    while (gen.next(inst)) {
+        if (inst.op == cpu::Op::Call || inst.op == cpu::Op::CallInd) {
+            expected.push_back(inst.nextPc());
+        } else if (inst.op == cpu::Op::Return) {
+            ASSERT_FALSE(expected.empty());
+            EXPECT_EQ(inst.target, expected.back());
+            expected.pop_back();
+        } else if (inst.op == cpu::Op::Longjmp) {
+            expected.clear();  // non-local unwind
+        }
+    }
+}
+
+TEST_F(GeneratorTest, CallTargetsAreFunctionEntries)
+{
+    std::set<Addr> entries;
+    for (const auto &fn : app.program().functions())
+        entries.insert(fn.entry);
+    auto gen = app.beginRequest(request(1));
+    cpu::Instruction inst;
+    while (gen.next(inst)) {
+        if (inst.op == cpu::Op::Call || inst.op == cpu::Op::CallInd) {
+            ASSERT_TRUE(entries.count(inst.target))
+                << std::hex << inst.target;
+        }
+    }
+}
+
+TEST_F(GeneratorTest, StoresStayInPlannedOrStackPages)
+{
+    auto gen = app.beginRequest(request(1));
+    std::set<Vpn> planned;
+    for (Vpn v : gen.plannedPages())
+        planned.insert(v);
+    Addr stack_base = app.program().stackBase();
+    cpu::Instruction inst;
+    while (gen.next(inst)) {
+        if (inst.op != cpu::Op::Store)
+            continue;
+        bool in_stack = inst.effAddr >= stack_base &&
+            inst.effAddr < app.program().stackTop();
+        bool in_plan = planned.count(inst.effAddr / 4096) != 0;
+        ASSERT_TRUE(in_stack || in_plan) << std::hex << inst.effAddr;
+    }
+}
+
+TEST_F(GeneratorTest, DirtyLinesPerPageMatchProfileFraction)
+{
+    auto gen = app.beginRequest(request(1));
+    std::map<Vpn, std::set<std::uint64_t>> lines_per_page;
+    std::set<Vpn> planned;
+    for (Vpn v : gen.plannedPages())
+        planned.insert(v);
+    cpu::Instruction inst;
+    while (gen.next(inst)) {
+        if (inst.op == cpu::Op::Store && planned.count(inst.effAddr /
+                                                       4096)) {
+            lines_per_page[inst.effAddr / 4096].insert(
+                (inst.effAddr % 4096) / 64);
+        }
+    }
+    std::uint32_t budget_lines = static_cast<std::uint32_t>(
+        profile.dirtyLineFraction * 64 + 0.5);
+    for (const auto &[vpn, lines] : lines_per_page)
+        EXPECT_LE(lines.size(), budget_lines);
+}
+
+TEST_F(GeneratorTest, SameSeedSameStream)
+{
+    ServiceApplication a(profile, 5, 4096), b(profile, 5, 4096);
+    auto ga = a.beginRequest(request(1));
+    auto gb = b.beginRequest(request(1));
+    cpu::Instruction ia, ib;
+    for (int i = 0; i < 5000; ++i) {
+        bool ra = ga.next(ia);
+        bool rb = gb.next(ib);
+        ASSERT_EQ(ra, rb);
+        if (!ra)
+            break;
+        ASSERT_EQ(ia.op, ib.op);
+        ASSERT_EQ(ia.pc, ib.pc);
+        ASSERT_EQ(ia.effAddr, ib.effAddr);
+    }
+}
+
+TEST_F(GeneratorTest, EventsIncludeIoAndLog)
+{
+    auto gen = app.beginRequest(request(1));
+    auto stream = drain(gen);
+    int io = 0, log = 0, open = 0;
+    for (const auto &inst : stream) {
+        if (inst.op == cpu::Op::IoWrite)
+            ++io;
+        if (inst.op == cpu::Op::Syscall &&
+            inst.imm ==
+                static_cast<std::uint32_t>(cpu::SyscallNo::WriteLog))
+            ++log;
+        if (inst.op == cpu::Op::Syscall &&
+            inst.imm ==
+                static_cast<std::uint32_t>(cpu::SyscallNo::OpenFile))
+            ++open;
+    }
+    EXPECT_EQ(io, static_cast<int>(profile.ioWritesPerRequest));
+    EXPECT_EQ(log, 1);
+    EXPECT_EQ(open, static_cast<int>(profile.filesPerRequest));
+}
+
+TEST_F(GeneratorTest, LongjmpRequestsUnwindToTheSetjmpEnv)
+{
+    net::DaemonProfile p = profile;
+    p.longjmpProb = 1.0;  // every request takes the error path
+    ServiceApplication lj_app(p, 7, 4096);
+    auto gen = lj_app.beginRequest(request(1));
+    auto stream = drain(gen);
+    int longjmps = 0;
+    Addr setjmp_resume = 0;
+    for (const auto &inst : stream) {
+        if (inst.op == cpu::Op::Setjmp)
+            setjmp_resume = inst.pc + 4;
+        if (inst.op == cpu::Op::Longjmp) {
+            ++longjmps;
+            EXPECT_EQ(inst.target, setjmp_resume);
+            EXPECT_EQ(inst.imm, 1u);
+        }
+    }
+    EXPECT_EQ(longjmps, 1);
+    // The request still completes normally.
+    EXPECT_EQ(stream.back().op, cpu::Op::Halt);
+}
+
+// ------------------------------------------------------------ attacks
+
+TEST_F(GeneratorTest, StackSmashEmitsHijackedReturn)
+{
+    auto gen = app.beginRequest(request(1, AttackKind::StackSmash));
+    auto stream = drain(gen);
+    Addr stack_base = app.program().stackBase();
+    bool hijacked = false;
+    for (const auto &inst : stream) {
+        if (inst.op == cpu::Op::Return && inst.target >= stack_base &&
+            inst.target < app.program().stackTop()) {
+            hijacked = true;
+        }
+    }
+    EXPECT_TRUE(hijacked);
+    // Unprotected execution ends in a crash.
+    bool crash = false;
+    for (const auto &inst : stream) {
+        if (inst.op == cpu::Op::Syscall &&
+            inst.imm == static_cast<std::uint32_t>(cpu::SyscallNo::Crash))
+            crash = true;
+    }
+    EXPECT_TRUE(crash);
+}
+
+TEST_F(GeneratorTest, CodeInjectionJumpsToStack)
+{
+    auto gen = app.beginRequest(request(1, AttackKind::CodeInjection));
+    auto stream = drain(gen);
+    Addr stack_base = app.program().stackBase();
+    bool jump_to_stack = false;
+    for (const auto &inst : stream) {
+        if (inst.op == cpu::Op::JumpInd && inst.target >= stack_base)
+            jump_to_stack = true;
+    }
+    EXPECT_TRUE(jump_to_stack);
+}
+
+TEST_F(GeneratorTest, FuncPtrHijackCallsIllegalTarget)
+{
+    std::set<Addr> entries;
+    for (const auto &fn : app.program().functions())
+        entries.insert(fn.entry);
+    auto gen = app.beginRequest(request(1, AttackKind::FuncPtrHijack));
+    auto stream = drain(gen);
+    bool illegal = false;
+    for (const auto &inst : stream) {
+        if (inst.op == cpu::Op::CallInd && !entries.count(inst.target))
+            illegal = true;
+    }
+    EXPECT_TRUE(illegal);
+}
+
+TEST_F(GeneratorTest, DosFloodCrashesWithoutHijack)
+{
+    std::set<Addr> entries;
+    for (const auto &fn : app.program().functions())
+        entries.insert(fn.entry);
+    auto gen = app.beginRequest(request(1, AttackKind::DosFlood));
+    auto stream = drain(gen);
+    bool crash = false;
+    for (const auto &inst : stream) {
+        if (inst.op == cpu::Op::CallInd) {
+            EXPECT_TRUE(entries.count(inst.target));
+        }
+        if (inst.op == cpu::Op::Syscall &&
+            inst.imm == static_cast<std::uint32_t>(cpu::SyscallNo::Crash))
+            crash = true;
+    }
+    EXPECT_TRUE(crash);
+}
+
+TEST_F(GeneratorTest, DormantCompletesNormallyThenSurfaces)
+{
+    auto gen = app.beginRequest(request(1, AttackKind::Dormant));
+    auto stream = drain(gen);
+    for (const auto &inst : stream) {
+        ASSERT_FALSE(inst.op == cpu::Op::Syscall &&
+                     inst.imm == static_cast<std::uint32_t>(
+                                     cpu::SyscallNo::Crash));
+    }
+    EXPECT_TRUE(app.hasDormantDamage());
+
+    // The next couple of requests are fine...
+    for (std::uint64_t seq = 2;
+         seq < 1 + ServiceApplication::dormantDelay; ++seq) {
+        auto g2 = app.beginRequest(request(seq));
+        auto s2 = drain(g2);
+        for (const auto &inst : s2) {
+            ASSERT_FALSE(inst.op == cpu::Op::Syscall &&
+                         inst.imm == static_cast<std::uint32_t>(
+                                         cpu::SyscallNo::Crash));
+        }
+    }
+    // ...then the damage surfaces as a mid-request crash.
+    auto g3 = app.beginRequest(
+        request(1 + ServiceApplication::dormantDelay));
+    auto s3 = drain(g3);
+    bool crash = false;
+    for (const auto &inst : s3) {
+        if (inst.op == cpu::Op::Syscall &&
+            inst.imm == static_cast<std::uint32_t>(cpu::SyscallNo::Crash))
+            crash = true;
+    }
+    EXPECT_TRUE(crash);
+
+    app.healDormantDamage();
+    EXPECT_FALSE(app.hasDormantDamage());
+}
+
+// ----------------------------------------------------------- exploits
+
+TEST(Exploits, DocumentedScenariosCoverAllKinds)
+{
+    const auto &all = net::documentedExploits();
+    ASSERT_GE(all.size(), 5u);
+    std::set<AttackKind> kinds;
+    for (const auto &e : all)
+        kinds.insert(e.kind);
+    EXPECT_TRUE(kinds.count(AttackKind::StackSmash));
+    EXPECT_TRUE(kinds.count(AttackKind::CodeInjection));
+    EXPECT_TRUE(kinds.count(AttackKind::FuncPtrHijack));
+    EXPECT_TRUE(kinds.count(AttackKind::DosFlood));
+}
+
+TEST(Exploits, ExpectedViolationMapping)
+{
+    using mon::Violation;
+    EXPECT_EQ(net::expectedViolation(AttackKind::StackSmash),
+              Violation::StackSmash);
+    EXPECT_EQ(net::expectedViolation(AttackKind::CodeInjection),
+              Violation::IllegalTransfer);
+    EXPECT_EQ(net::expectedViolation(AttackKind::DosFlood),
+              Violation::None);
+    EXPECT_EQ(net::expectedViolation(AttackKind::None),
+              Violation::None);
+}
