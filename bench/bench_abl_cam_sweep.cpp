@@ -10,9 +10,10 @@
 using namespace indra;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogVerbosity(0);
+    auto sweep = benchutil::sweepFromCli(argc, argv);
     SystemConfig base;
     base.checkpointScheme = CheckpointScheme::None;
     benchutil::printHeader("Ablation: filter CAM size sweep", base);
@@ -24,18 +25,21 @@ main()
               << std::setw(20) << "origin_records/req" << "\n";
 
     net::DaemonProfile profile = net::daemonByName("httpd");
-    for (std::uint32_t size : sizes) {
+    struct Row { double residual, records; };
+    auto rows = sweep.run(sizes.size(), [&](std::size_t i) {
         SystemConfig cfg = base;
-        cfg.filterCamEntries = size;
+        cfg.filterCamEntries = sizes[i];
         auto run = benchutil::runBenign(cfg, profile, 2, 6);
         auto &cam = run.serviceSlot().core->filterCam();
-        double residual = cam.missRatio() * 100.0;
-        double records =
-            (cam.lookups() - cam.hits()) / 6.0;
-        std::cout << std::left << std::setw(10) << size
+        return Row{cam.missRatio() * 100.0,
+                   (cam.lookups() - cam.hits()) / 6.0};
+    });
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        std::cout << std::left << std::setw(10) << sizes[i]
                   << std::right << std::fixed << std::setprecision(3)
-                  << std::setw(16) << residual << std::setprecision(0)
-                  << std::setw(20) << records << "\n";
+                  << std::setw(16) << rows[i].residual
+                  << std::setprecision(0)
+                  << std::setw(20) << rows[i].records << "\n";
     }
     std::cout << "\npaper: 32 entries already waive >90% of checks"
               << std::endl;

@@ -41,9 +41,10 @@ recoveryToNextResponse(const SystemConfig &cfg,
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogVerbosity(0);
+    auto sweep = benchutil::sweepFromCli(argc, argv);
     SystemConfig lazy;
     lazy.monitorEnabled = false;
     SystemConfig eager = lazy;
@@ -53,10 +54,16 @@ main()
         "Ablation: rollback on demand vs eager rollback", lazy);
 
     benchutil::printCols({"lazy_cycles", "eager_cycles", "eager/lazy"});
-    for (const auto &profile : net::standardDaemons()) {
-        double tl = recoveryToNextResponse(lazy, profile);
-        double te = recoveryToNextResponse(eager, profile);
-        benchutil::printRow(profile.name, {tl, te, te / tl});
+    const auto &daemons = net::standardDaemons();
+    struct Row { double tl, te; };
+    auto rows = sweep.run(daemons.size(), [&](std::size_t i) {
+        return Row{recoveryToNextResponse(lazy, daemons[i]),
+                   recoveryToNextResponse(eager, daemons[i])};
+    });
+    for (std::size_t i = 0; i < daemons.size(); ++i) {
+        benchutil::printRow(daemons[i].name,
+                            {rows[i].tl, rows[i].te,
+                             rows[i].te / rows[i].tl});
     }
     std::cout << "\nlazy recovery overlaps restoration with the next "
                  "request; eager pays it up front" << std::endl;

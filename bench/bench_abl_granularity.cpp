@@ -15,9 +15,10 @@
 using namespace indra;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogVerbosity(0);
+    auto sweep = benchutil::sweepFromCli(argc, argv);
     SystemConfig base;
     base.monitorEnabled = false;
     benchutil::printHeader(
@@ -29,22 +30,31 @@ main()
               << std::setw(16) << "lines/req"
               << std::setw(14) << "bytes/req" << "\n";
 
-    for (const auto &name : {"httpd", "bind"}) {
-        net::DaemonProfile profile = net::daemonByName(name);
-        for (std::uint32_t line : {32u, 64u, 128u}) {
+    const std::vector<std::string> names = {"httpd", "bind"};
+    const std::vector<std::uint32_t> lineSizes = {32, 64, 128};
+    struct Row { double backup_cyc, lines; };
+    auto rows = sweep.run(
+        names.size() * lineSizes.size(), [&](std::size_t i) {
+            net::DaemonProfile profile =
+                net::daemonByName(names[i / lineSizes.size()]);
             SystemConfig cfg = base;
-            cfg.backupLineBytes = line;
+            cfg.backupLineBytes = lineSizes[i % lineSizes.size()];
             auto run = benchutil::runBenign(cfg, profile, 2, 6);
             auto &policy = *run.serviceSlot().policy;
-            double lines = static_cast<double>(policy.linesBackedUp());
-            std::cout << std::left << std::setw(10) << name
-                      << std::setw(10) << line
-                      << std::right << std::fixed
-                      << std::setprecision(0) << std::setw(16)
-                      << policy.backupCycles() / 6.0
-                      << std::setw(16) << lines / 6.0
-                      << std::setw(14) << lines * line / 6.0 << "\n";
-        }
+            return Row{policy.backupCycles() / 6.0,
+                       static_cast<double>(policy.linesBackedUp())};
+        });
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        std::uint32_t line = lineSizes[i % lineSizes.size()];
+        std::cout << std::left << std::setw(10)
+                  << names[i / lineSizes.size()]
+                  << std::setw(10) << line
+                  << std::right << std::fixed
+                  << std::setprecision(0) << std::setw(16)
+                  << rows[i].backup_cyc
+                  << std::setw(16) << rows[i].lines / 6.0
+                  << std::setw(14) << rows[i].lines * line / 6.0
+                  << "\n";
     }
     std::cout << "\nfiner lines copy fewer bytes; coarser lines cut "
                  "per-line bookkeeping — 64B is the sweet spot"

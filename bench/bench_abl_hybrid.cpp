@@ -14,9 +14,10 @@
 using namespace indra;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogVerbosity(0);
+    auto sweep = benchutil::sweepFromCli(argc, argv);
     SystemConfig base;
     base.consecutiveFailureThreshold = 2;
     benchutil::printHeader(
@@ -31,9 +32,15 @@ main()
     net::DaemonProfile profile = net::daemonByName("sendmail");
     profile.instrPerRequest = 60000;
 
-    for (std::uint64_t period : {2ull, 5ull, 10ull, 25ull}) {
+    const std::vector<std::uint64_t> periods = {2, 5, 10, 25};
+    struct Row
+    {
+        std::uint64_t captures, restores, crashes;
+        double availability;
+    };
+    auto rows = sweep.run(periods.size(), [&](std::size_t i) {
         SystemConfig cfg = base;
-        cfg.macroCheckpointPeriod = period;
+        cfg.macroCheckpointPeriod = periods[i];
         core::IndraSystem sys(cfg);
         sys.boot();
         std::size_t slot = sys.deployService(profile);
@@ -48,14 +55,17 @@ main()
             if (o.status == net::RequestStatus::CrashedRecovered)
                 ++crashes;
         }
-        std::cout << std::left << std::setw(10) << period << std::right
-                  << std::setw(12)
-                  << sys.slot(slot).macro->captures()
-                  << std::setw(14)
-                  << sys.slot(slot).macro->restores()
-                  << std::setw(14) << crashes << std::fixed
+        return Row{sys.slot(slot).macro->captures(),
+                   sys.slot(slot).macro->restores(), crashes,
+                   report.availability()};
+    });
+    for (std::size_t i = 0; i < periods.size(); ++i) {
+        std::cout << std::left << std::setw(10) << periods[i]
+                  << std::right << std::setw(12) << rows[i].captures
+                  << std::setw(14) << rows[i].restores
+                  << std::setw(14) << rows[i].crashes << std::fixed
                   << std::setprecision(3) << std::setw(14)
-                  << report.availability() << "\n";
+                  << rows[i].availability << "\n";
     }
     std::cout << "\ndormant damage defeats micro recovery; the macro "
                  "fallback (Fig. 8) revives the service at any period"

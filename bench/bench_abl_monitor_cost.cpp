@@ -12,9 +12,10 @@
 using namespace indra;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogVerbosity(0);
+    auto sweep = benchutil::sweepFromCli(argc, argv);
     SystemConfig base;
     base.monitorEnabled = false;
     base.checkpointScheme = CheckpointScheme::None;
@@ -25,28 +26,37 @@ main()
     std::cout << std::left << std::setw(10) << "scale"
               << std::right << std::setw(16) << "overhead_%" << "\n";
 
-    for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
-        SystemConfig cfg = base;
-        cfg.monitorEnabled = true;
-        cfg.codeOriginCheckCycles = static_cast<Cycles>(
-            cfg.codeOriginCheckCycles * scale);
-        cfg.callReturnCheckCycles = static_cast<Cycles>(
-            cfg.callReturnCheckCycles * scale);
-        cfg.ctrlTransferCheckCycles = static_cast<Cycles>(
-            cfg.ctrlTransferCheckCycles * scale);
-        if (cfg.callReturnCheckCycles == 0)
-            cfg.callReturnCheckCycles = 1;
+    const std::vector<double> scales = {0.25, 0.5, 1.0, 2.0, 4.0};
+    const auto &daemons = net::standardDaemons();
+    // One cell per (scale, daemon); each recomputes its own baseline
+    // run, matching the historical serial loop exactly.
+    auto overheads = sweep.run(
+        scales.size() * daemons.size(), [&](std::size_t i) {
+            double scale = scales[i / daemons.size()];
+            SystemConfig cfg = base;
+            cfg.monitorEnabled = true;
+            cfg.codeOriginCheckCycles = static_cast<Cycles>(
+                cfg.codeOriginCheckCycles * scale);
+            cfg.callReturnCheckCycles = static_cast<Cycles>(
+                cfg.callReturnCheckCycles * scale);
+            cfg.ctrlTransferCheckCycles = static_cast<Cycles>(
+                cfg.ctrlTransferCheckCycles * scale);
+            if (cfg.callReturnCheckCycles == 0)
+                cfg.callReturnCheckCycles = 1;
 
-        double sum = 0;
-        for (const auto &profile : net::standardDaemons()) {
+            const auto &profile = daemons[i % daemons.size()];
             auto off = benchutil::runBenign(base, profile, 2, 4);
             auto on = benchutil::runBenign(cfg, profile, 2, 4);
-            sum += (on.totalResponse() / off.totalResponse() - 1.0) *
+            return (on.totalResponse() / off.totalResponse() - 1.0) *
                 100.0;
-        }
-        std::cout << std::left << std::setw(10) << scale << std::right
-                  << std::fixed << std::setprecision(3) << std::setw(16)
-                  << sum / net::standardDaemons().size() << "\n";
+        });
+    for (std::size_t s = 0; s < scales.size(); ++s) {
+        double sum = 0;
+        for (std::size_t d = 0; d < daemons.size(); ++d)
+            sum += overheads[s * daemons.size() + d];
+        std::cout << std::left << std::setw(10) << scales[s]
+                  << std::right << std::fixed << std::setprecision(3)
+                  << std::setw(16) << sum / daemons.size() << "\n";
     }
     std::cout << "\nsoftware monitoring stays cheap until checks cost "
                  "several hundred resurrector cycles" << std::endl;

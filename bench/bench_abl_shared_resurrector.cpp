@@ -12,9 +12,10 @@
 using namespace indra;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogVerbosity(0);
+    auto sweep = benchutil::sweepFromCli(argc, argv);
     SystemConfig base;
     base.checkpointScheme = CheckpointScheme::None;
     base.monitorEnabled = false;
@@ -29,23 +30,28 @@ main()
     net::DaemonProfile profile = net::daemonByName("ftpd");
     auto off = benchutil::runBenign(base, profile, 2, 5);
 
-    for (std::uint32_t n : {1u, 2u, 4u}) {
+    const std::vector<std::uint32_t> counts = {1, 2, 4};
+    struct Row { double shared_total, dedic_total; };
+    auto rows = sweep.run(counts.size(), [&](std::size_t i) {
         SystemConfig shared = base;
         shared.monitorEnabled = true;
-        shared.numResurrectees = n;
+        shared.numResurrectees = counts[i];
         shared.sharedResurrector = true;
         auto s = benchutil::runBenign(shared, profile, 2, 5);
 
         SystemConfig dedicated = shared;
         dedicated.sharedResurrector = false;
         auto d = benchutil::runBenign(dedicated, profile, 2, 5);
-
-        std::cout << std::left << std::setw(14) << n << std::right
+        return Row{s.totalResponse(), d.totalResponse()};
+    });
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        std::cout << std::left << std::setw(14) << counts[i]
+                  << std::right
                   << std::fixed << std::setprecision(3) << std::setw(18)
-                  << (s.totalResponse() / off.totalResponse() - 1.0) *
+                  << (rows[i].shared_total / off.totalResponse() - 1.0) *
                        100.0
                   << std::setw(18)
-                  << (d.totalResponse() / off.totalResponse() - 1.0) *
+                  << (rows[i].dedic_total / off.totalResponse() - 1.0) *
                        100.0
                   << "\n";
     }

@@ -11,29 +11,32 @@
 using namespace indra;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogVerbosity(0);
+    auto sweep = benchutil::sweepFromCli(argc, argv);
     SystemConfig cfg;
     benchutil::printHeader(
         "Figure 9: L1 instruction cache miss rate (%)", cfg);
 
     benchutil::printCols({"il1_miss_%"});
-    double sum = 0;
-    for (const auto &profile : net::standardDaemons()) {
-        auto run = benchutil::runBenign(cfg, profile, 3, 10);
+    const auto &daemons = net::standardDaemons();
+    auto rates = sweep.run(daemons.size(), [&](std::size_t i) {
+        auto run = benchutil::runBenign(cfg, daemons[i], 3, 10);
         // Miss rate per instruction fetch: sequential fetches within
         // an already-resident line always hit.
         double instr = static_cast<double>(
             run.serviceSlot().core->instructions());
-        double rate = instr > 0
+        return instr > 0
             ? run.serviceSlot().hierarchy->l1iCache().misses() /
                 instr * 100.0
             : 0.0;
-        benchutil::printRow(profile.name, {rate});
-        sum += rate;
+    });
+    double sum = 0;
+    for (std::size_t i = 0; i < daemons.size(); ++i) {
+        benchutil::printRow(daemons[i].name, {rates[i]});
+        sum += rates[i];
     }
-    benchutil::printRow("average",
-                        {sum / net::standardDaemons().size()});
+    benchutil::printRow("average", {sum / daemons.size()});
     return 0;
 }

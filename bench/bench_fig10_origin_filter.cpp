@@ -27,23 +27,28 @@ residualChecks(const net::DaemonProfile &profile, std::uint32_t cam)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogVerbosity(0);
+    auto sweep = benchutil::sweepFromCli(argc, argv);
     SystemConfig cfg;
     benchutil::printHeader(
         "Figure 10: % of code-origin checks after CAM filtering", cfg);
 
     benchutil::printCols({"32-entry", "64-entry"});
+    const auto &daemons = net::standardDaemons();
+    struct Row { double r32, r64; };
+    auto rows = sweep.run(daemons.size(), [&](std::size_t i) {
+        return Row{residualChecks(daemons[i], 32),
+                   residualChecks(daemons[i], 64)};
+    });
     double s32 = 0, s64 = 0;
-    for (const auto &profile : net::standardDaemons()) {
-        double r32 = residualChecks(profile, 32);
-        double r64 = residualChecks(profile, 64);
-        benchutil::printRow(profile.name, {r32, r64});
-        s32 += r32;
-        s64 += r64;
+    for (std::size_t i = 0; i < daemons.size(); ++i) {
+        benchutil::printRow(daemons[i].name, {rows[i].r32, rows[i].r64});
+        s32 += rows[i].r32;
+        s64 += rows[i].r64;
     }
-    std::size_t n = net::standardDaemons().size();
+    std::size_t n = daemons.size();
     benchutil::printRow("average", {s32 / n, s64 / n});
     std::cout << "\npaper: average 8% residual at 32 entries, 5% at 64"
               << std::endl;

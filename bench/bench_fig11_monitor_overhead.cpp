@@ -11,9 +11,10 @@
 using namespace indra;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogVerbosity(0);
+    auto sweep = benchutil::sweepFromCli(argc, argv);
     SystemConfig base;
     base.monitorEnabled = false;
     base.checkpointScheme = CheckpointScheme::None;
@@ -25,17 +26,18 @@ main()
         monitored);
 
     benchutil::printCols({"overhead_%"});
+    const auto &daemons = net::standardDaemons();
+    auto overheads = sweep.run(daemons.size(), [&](std::size_t i) {
+        auto off = benchutil::runBenign(base, daemons[i], 3, 8);
+        auto on = benchutil::runBenign(monitored, daemons[i], 3, 8);
+        return (on.totalResponse() / off.totalResponse() - 1.0) * 100.0;
+    });
     double sum = 0;
-    for (const auto &profile : net::standardDaemons()) {
-        auto off = benchutil::runBenign(base, profile, 3, 8);
-        auto on = benchutil::runBenign(monitored, profile, 3, 8);
-        double overhead =
-            (on.totalResponse() / off.totalResponse() - 1.0) * 100.0;
-        benchutil::printRow(profile.name, {overhead});
-        sum += overhead;
+    for (std::size_t i = 0; i < daemons.size(); ++i) {
+        benchutil::printRow(daemons[i].name, {overheads[i]});
+        sum += overheads[i];
     }
-    benchutil::printRow("average",
-                        {sum / net::standardDaemons().size()});
+    benchutil::printRow("average", {sum / daemons.size()});
     std::cout << "\npaper: all daemons below ~10% overhead"
               << std::endl;
     return 0;

@@ -12,9 +12,10 @@
 using namespace indra;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogVerbosity(0);
+    auto sweep = benchutil::sweepFromCli(argc, argv);
     const std::vector<std::uint32_t> sizes = {8, 16, 24, 32, 48, 64};
 
     SystemConfig cfg;
@@ -23,17 +24,22 @@ main()
         "Figure 12: normalized response time vs trace-FIFO size", cfg);
 
     // Per-size mean response across daemons, normalized to the
-    // largest queue.
+    // largest queue. One sweep cell per (size, daemon) pair.
+    const auto &daemons = net::standardDaemons();
+    auto cellMeans =
+        sweep.run(sizes.size() * daemons.size(), [&](std::size_t i) {
+            SystemConfig c = cfg;
+            c.traceFifoEntries = sizes[i / daemons.size()];
+            auto run = benchutil::runBenign(
+                c, daemons[i % daemons.size()], 2, 5);
+            return run.meanResponse();
+        });
     std::vector<double> means;
-    for (std::uint32_t size : sizes) {
-        SystemConfig c = cfg;
-        c.traceFifoEntries = size;
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
         double total = 0;
-        for (const auto &profile : net::standardDaemons()) {
-            auto run = benchutil::runBenign(c, profile, 2, 5);
-            total += run.meanResponse();
-        }
-        means.push_back(total / net::standardDaemons().size());
+        for (std::size_t d = 0; d < daemons.size(); ++d)
+            total += cellMeans[s * daemons.size() + d];
+        means.push_back(total / daemons.size());
     }
 
     std::cout << std::left << std::setw(12) << "entries"

@@ -12,26 +12,31 @@
 using namespace indra;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogVerbosity(0);
+    auto sweep = benchutil::sweepFromCli(argc, argv);
     SystemConfig cfg;
     benchutil::printHeader(
         "Figure 13: instructions between service requests", cfg);
 
     benchutil::printCols({"instructions", "cpi"});
-    double sum = 0;
-    for (const auto &profile : net::standardDaemons()) {
-        auto run = benchutil::runBenign(cfg, profile, 2, 8);
+    const auto &daemons = net::standardDaemons();
+    struct Row { double avg, cpi; };
+    auto rows = sweep.run(daemons.size(), [&](std::size_t i) {
+        auto run = benchutil::runBenign(cfg, daemons[i], 2, 8);
         double total = 0;
         for (const auto &o : run.outcomes)
             total += static_cast<double>(o.instructions);
-        double avg = total / run.outcomes.size();
-        double cpi = run.totalResponse() / total;
-        benchutil::printRow(profile.name, {avg, cpi}, 0);
-        sum += avg;
+        return Row{total / run.outcomes.size(),
+                   run.totalResponse() / total};
+    });
+    double sum = 0;
+    for (std::size_t i = 0; i < daemons.size(); ++i) {
+        benchutil::printRow(daemons[i].name,
+                            {rows[i].avg, rows[i].cpi}, 0);
+        sum += rows[i].avg;
     }
-    benchutil::printRow("average",
-                        {sum / net::standardDaemons().size()}, 0);
+    benchutil::printRow("average", {sum / daemons.size()}, 0);
     return 0;
 }

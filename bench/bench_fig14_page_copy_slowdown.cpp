@@ -13,9 +13,10 @@
 using namespace indra;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogVerbosity(0);
+    auto sweep = benchutil::sweepFromCli(argc, argv);
     SystemConfig base;
     base.monitorEnabled = false;
     base.checkpointScheme = CheckpointScheme::None;
@@ -27,16 +28,18 @@ main()
         paged);
 
     benchutil::printCols({"slowdown_x"});
+    const auto &daemons = net::standardDaemons();
+    auto slowdowns = sweep.run(daemons.size(), [&](std::size_t i) {
+        auto off = benchutil::runBenign(base, daemons[i], 2, 6);
+        auto on = benchutil::runBenign(paged, daemons[i], 2, 6);
+        return on.totalResponse() / off.totalResponse();
+    });
     double sum = 0;
-    for (const auto &profile : net::standardDaemons()) {
-        auto off = benchutil::runBenign(base, profile, 2, 6);
-        auto on = benchutil::runBenign(paged, profile, 2, 6);
-        double slowdown = on.totalResponse() / off.totalResponse();
-        benchutil::printRow(profile.name, {slowdown});
-        sum += slowdown;
+    for (std::size_t i = 0; i < daemons.size(); ++i) {
+        benchutil::printRow(daemons[i].name, {slowdowns[i]});
+        sum += slowdowns[i];
     }
-    benchutil::printRow("average",
-                        {sum / net::standardDaemons().size()});
+    benchutil::printRow("average", {sum / daemons.size()});
     std::cout << "\npaper: multi-x slowdowns (roughly 2-14x)"
               << std::endl;
     return 0;

@@ -15,9 +15,10 @@
 using namespace indra;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogVerbosity(0);
+    auto sweep = benchutil::sweepFromCli(argc, argv);
     SystemConfig cfg;
     cfg.monitorEnabled = false;
     cfg.checkpointScheme = CheckpointScheme::DeltaBackup;
@@ -25,19 +26,24 @@ main()
         "Figure 15: % of touched-page lines requiring backup", cfg);
 
     benchutil::printCols({"dirty_lines_%", "pages/request"});
-    double sum = 0;
-    double page_sum = 0;
-    for (const auto &profile : net::standardDaemons()) {
-        auto run = benchutil::runBenign(cfg, profile, 2, 8);
+    const auto &daemons = net::standardDaemons();
+    struct Row { double ratio, pages; };
+    auto rows = sweep.run(daemons.size(), [&](std::size_t i) {
+        auto run = benchutil::runBenign(cfg, daemons[i], 2, 8);
         auto *delta = dynamic_cast<ckpt::DeltaBackup *>(
             run.serviceSlot().policy.get());
-        double ratio = delta->dirtyLineRatio().mean() * 100.0;
-        double pages = delta->pagesPerRequest().mean();
-        benchutil::printRow(profile.name, {ratio, pages});
-        sum += ratio;
-        page_sum += pages;
+        return Row{delta->dirtyLineRatio().mean() * 100.0,
+                   delta->pagesPerRequest().mean()};
+    });
+    double sum = 0;
+    double page_sum = 0;
+    for (std::size_t i = 0; i < daemons.size(); ++i) {
+        benchutil::printRow(daemons[i].name,
+                            {rows[i].ratio, rows[i].pages});
+        sum += rows[i].ratio;
+        page_sum += rows[i].pages;
     }
-    std::size_t n = net::standardDaemons().size();
+    std::size_t n = daemons.size();
     benchutil::printRow("average", {sum / n, page_sum / n});
     std::cout << "\npaper: bind ~45%, others mostly 10-25%"
               << std::endl;

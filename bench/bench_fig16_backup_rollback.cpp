@@ -14,9 +14,10 @@
 using namespace indra;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogVerbosity(0);
+    auto sweep = benchutil::sweepFromCli(argc, argv);
     SystemConfig base;
     base.monitorEnabled = false;
     base.checkpointScheme = CheckpointScheme::None;
@@ -28,8 +29,10 @@ main()
         indra_cfg);
 
     benchutil::printCols({"mon+backup", "+rollback/2"});
-    double s1 = 0, s2 = 0;
-    for (const auto &profile : net::standardDaemons()) {
+    const auto &daemons = net::standardDaemons();
+    struct Row { double backup, rollback; };
+    auto rows = sweep.run(daemons.size(), [&](std::size_t i) {
+        const auto &profile = daemons[i];
         auto off = benchutil::runBenign(base, profile, 2, 8);
 
         auto on = benchutil::runBenign(indra_cfg, profile, 2, 8);
@@ -48,12 +51,16 @@ main()
                                        attack_script);
         double rollback = (rb.totalResponse() / 8.0) /
             (off.totalResponse() / 8.0);
-
-        benchutil::printRow(profile.name, {backup, rollback});
-        s1 += backup;
-        s2 += rollback;
+        return Row{backup, rollback};
+    });
+    double s1 = 0, s2 = 0;
+    for (std::size_t i = 0; i < daemons.size(); ++i) {
+        benchutil::printRow(daemons[i].name,
+                            {rows[i].backup, rows[i].rollback});
+        s1 += rows[i].backup;
+        s2 += rows[i].rollback;
     }
-    std::size_t n = net::standardDaemons().size();
+    std::size_t n = daemons.size();
     benchutil::printRow("average", {s1 / n, s2 / n});
     std::cout << "\npaper: ~1.0-1.5x overall; bind the >2x outlier "
                  "under frequent rollback"

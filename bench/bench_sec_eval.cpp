@@ -14,9 +14,10 @@
 using namespace indra;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogVerbosity(0);
+    auto sweep = benchutil::sweepFromCli(argc, argv);
     SystemConfig cfg;
     cfg.consecutiveFailureThreshold = 2;
     benchutil::printHeader(
@@ -28,8 +29,14 @@ main()
               << std::setw(22) << "outcome"
               << "availability\n";
 
-    bool all_ok = true;
-    for (const auto &scenario : net::documentedExploits()) {
+    const auto &scenarios = net::documentedExploits();
+    struct Row
+    {
+        net::RequestOutcome bad;
+        net::AvailabilityReport report;
+    };
+    auto rows = sweep.run(scenarios.size(), [&](std::size_t i) {
+        const auto &scenario = scenarios[i];
         net::DaemonProfile profile = net::daemonByName(scenario.daemon);
         profile.instrPerRequest =
             std::min<std::uint64_t>(profile.instrPerRequest, 120000);
@@ -44,17 +51,21 @@ main()
         auto script = net::ClientScript::benign(9);
         script[2].attack = scenario.kind;
         auto outcomes = sys.runScript(script, slot);
-        auto report = net::AvailabilityReport::build(outcomes);
-
-        const auto &bad = outcomes[2];
+        return Row{outcomes[2],
+                   net::AvailabilityReport::build(outcomes)};
+    });
+    bool all_ok = true;
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const auto &scenario = scenarios[i];
+        const auto &report = rows[i].report;
         bool recovered = report.lost == 0;
         all_ok = all_ok && recovered;
         std::cout << std::left << std::setw(18) << scenario.id
                   << std::setw(10) << scenario.daemon
                   << std::setw(18)
-                  << mon::violationName(bad.violation)
+                  << mon::violationName(rows[i].bad.violation)
                   << std::setw(22)
-                  << net::requestStatusName(bad.status)
+                  << net::requestStatusName(rows[i].bad.status)
                   << std::fixed << std::setprecision(3)
                   << report.availability() << "\n";
     }

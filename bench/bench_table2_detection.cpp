@@ -12,9 +12,10 @@
 using namespace indra;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogVerbosity(0);
+    auto sweep = benchutil::sweepFromCli(argc, argv);
     SystemConfig cfg;
     benchutil::printHeader("Table 2: remote exploit inspection", cfg);
 
@@ -31,7 +32,7 @@ main()
 
     net::DaemonProfile profile = net::daemonByName("httpd");
     profile.instrPerRequest = 40000;
-    for (net::AttackKind kind : kinds) {
+    auto outs = sweep.run(kinds.size(), [&](std::size_t i) {
         core::IndraSystem sys(cfg);
         sys.boot();
         std::size_t slot = sys.deployService(profile);
@@ -39,14 +40,17 @@ main()
 
         net::ServiceRequest req;
         req.seq = 3;
-        req.attack = kind;
-        auto out = sys.processRequest(slot, req);
-
-        bool matches = out.violation == net::expectedViolation(kind) &&
+        req.attack = kinds[i];
+        return sys.processRequest(slot, req);
+    });
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+        const auto &out = outs[i];
+        bool matches =
+            out.violation == net::expectedViolation(kinds[i]) &&
             out.status != net::RequestStatus::Lost &&
             out.status != net::RequestStatus::Served;
         std::cout << std::left << std::setw(18)
-                  << net::attackKindName(kind) << std::setw(20)
+                  << net::attackKindName(kinds[i]) << std::setw(20)
                   << mon::violationName(out.violation) << std::setw(22)
                   << net::requestStatusName(out.status)
                   << (matches ? "yes" : "NO") << "\n";

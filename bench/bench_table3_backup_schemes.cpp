@@ -15,9 +15,10 @@
 using namespace indra;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogVerbosity(0);
+    auto sweep = benchutil::sweepFromCli(argc, argv);
     SystemConfig base;
     base.monitorEnabled = false;
     base.checkpointScheme = CheckpointScheme::None;
@@ -39,11 +40,19 @@ main()
               << std::setw(14) << "slow_atk/2" << "\n";
 
     const std::vector<std::string> daemons = {"httpd", "bind"};
-    for (CheckpointScheme scheme : schemes) {
+    struct Cell
+    {
         double backup_per_req = 0, recovery_per_rb = 0;
         double slowdown4 = 0, slowdown2 = 0;
-        for (const auto &name : daemons) {
-            net::DaemonProfile profile = net::daemonByName(name);
+    };
+    // One cell per (scheme, daemon) pair; per-scheme totals are
+    // summed below in daemon order, exactly as the serial loop did.
+    auto cells = sweep.run(
+        schemes.size() * daemons.size(), [&](std::size_t i) {
+            CheckpointScheme scheme = schemes[i / daemons.size()];
+            net::DaemonProfile profile =
+                net::daemonByName(daemons[i % daemons.size()]);
+            Cell cell;
 
             auto off = benchutil::runBenign(base, profile, 2, 6);
             SystemConfig cfg = base;
@@ -66,20 +75,31 @@ main()
                 }
                 auto &policy = *run.serviceSlot().policy;
                 if (period == 4) {
-                    backup_per_req +=
+                    cell.backup_per_req +=
                         static_cast<double>(policy.backupCycles()) /
                         8.0;
-                    recovery_per_rb += static_cast<double>(
-                                           policy.recoveryCycles()) /
+                    cell.recovery_per_rb += static_cast<double>(
+                                                policy.recoveryCycles()) /
                         2.0;
                 }
                 return (run.totalResponse() / benign_n) /
                     off.meanResponse();
             };
-            slowdown4 += busy_per_benign(4);
-            slowdown2 += busy_per_benign(2);
+            cell.slowdown4 = busy_per_benign(4);
+            cell.slowdown2 = busy_per_benign(2);
+            return cell;
+        });
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+        double backup_per_req = 0, recovery_per_rb = 0;
+        double slowdown4 = 0, slowdown2 = 0;
+        for (std::size_t d = 0; d < daemons.size(); ++d) {
+            const Cell &cell = cells[s * daemons.size() + d];
+            backup_per_req += cell.backup_per_req;
+            recovery_per_rb += cell.recovery_per_rb;
+            slowdown4 += cell.slowdown4;
+            slowdown2 += cell.slowdown2;
         }
-        benchutil::printRow(checkpointSchemeName(scheme),
+        benchutil::printRow(checkpointSchemeName(schemes[s]),
                             {backup_per_req / 2, recovery_per_rb / 2,
                              slowdown4 / 2, slowdown2 / 2},
                             1);

@@ -16,12 +16,29 @@
 #include <vector>
 
 #include "core/system.hh"
+#include "harness/parallel_sweep.hh"
 #include "net/client.hh"
 #include "net/daemon_profile.hh"
+#include "sim/config_reader.hh"
 #include "sim/logging.hh"
 
 namespace indra::benchutil
 {
+
+/**
+ * Build the bench's ParallelSweep from its command line: honors
+ * "--jobs N" / "jobs=N" / INDRA_JOBS (default hardware_concurrency;
+ * --jobs 1 reproduces the historical serial loop exactly). Cells run
+ * shared-nothing — each builds its own IndraSystem — and results come
+ * back in cell order, so the printed tables are bit-identical for any
+ * job count.
+ */
+inline harness::ParallelSweep
+sweepFromCli(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return harness::ParallelSweep(parseJobs(args));
+}
 
 /** One measured run of one daemon under one configuration. */
 struct Run

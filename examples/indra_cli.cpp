@@ -3,17 +3,22 @@
  * Command-line INDRA simulator: a scriptable driver over the whole
  * framework.
  *
- *   indra_cli [key=value ...]
+ *   indra_cli [key=value ...] [--jobs N]
  *
  * Driver keys:
  *   daemon=httpd          service to deploy (ftpd, httpd, bind,
- *                         sendmail, imap, nfs)
+ *                         sendmail, imap, nfs); a comma-separated
+ *                         list or "all" sweeps several daemons and
+ *                         prints one summary row per daemon
  *   requests=20           requests to serve
  *   warmup=2              unmeasured warm-up requests
  *   attack=stack-smash    attack kind (see --help)
  *   attack_period=5       attack every Nth request (0 = never)
  *   instr=0               override instructions/request (0 = profile)
  *   stats=0               dump the full statistics tree at the end
+ *   jobs=N / --jobs N     workers for a multi-daemon sweep (also
+ *                         INDRA_JOBS; default hardware_concurrency,
+ *                         1 = serial). Output is identical for any N.
  *
  * Everything else is a SystemConfig field, e.g.:
  *   checkpointScheme=virtual-checkpoint traceFifoEntries=16
@@ -22,10 +27,12 @@
 
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/system.hh"
+#include "harness/parallel_sweep.hh"
 #include "net/daemon_profile.hh"
 #include "sim/config_reader.hh"
 #include "sim/logging.hh"
@@ -50,14 +57,93 @@ void
 printHelp()
 {
     std::cout <<
-        "usage: indra_cli [key=value ...]\n\n"
+        "usage: indra_cli [key=value ...] [--jobs N]\n\n"
         "driver keys: daemon requests warmup attack attack_period "
-        "instr stats\n"
+        "instr stats jobs\n"
+        "daemon accepts one name, a comma-separated list, or 'all' "
+        "(parallel sweep)\n"
         "attacks: benign stack-smash code-injection func-ptr-hijack "
         "format-string dos-flood dormant\n\n"
         "config keys:\n";
     for (const auto &k : knownSettingKeys())
         std::cout << "  " << k << "\n";
+}
+
+std::vector<std::string>
+splitDaemons(const std::string &spec)
+{
+    if (spec == "all") {
+        std::vector<std::string> names;
+        for (const auto &p : net::standardDaemons())
+            names.push_back(p.name);
+        return names;
+    }
+    std::vector<std::string> names;
+    std::istringstream ss(spec);
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+        if (!name.empty())
+            names.push_back(name);
+    }
+    fatal_if(names.empty(), "daemon= needs at least one daemon name");
+    return names;
+}
+
+/** Everything the driver measures for one daemon. */
+struct DaemonResult
+{
+    std::vector<net::RequestOutcome> outcomes;
+    std::string statDump;
+};
+
+DaemonResult
+runOneDaemon(const SystemConfig &cfg, net::DaemonProfile profile,
+             std::uint64_t instr, std::uint64_t requests,
+             std::uint64_t warmup, const std::string &attack_name,
+             std::uint64_t period, bool dump_stats)
+{
+    if (instr)
+        profile.instrPerRequest = instr;
+
+    core::IndraSystem system(cfg);
+    system.boot();
+    std::size_t slot = system.deployService(profile);
+
+    for (const auto &r : net::ClientScript::benign(warmup))
+        system.processRequest(slot, r);
+    system.slot(slot).statGroup->resetAll();
+
+    auto script = period
+        ? net::ClientScript::periodicAttack(
+              requests, net::attackKindFromName(attack_name), period)
+        : net::ClientScript::benign(requests);
+
+    DaemonResult result;
+    result.outcomes = system.runScript(script, slot);
+    if (dump_stats) {
+        std::ostringstream os;
+        system.rootStats().dump(os);
+        result.statDump = os.str();
+    }
+    return result;
+}
+
+void
+printOutcomeTable(const std::vector<net::RequestOutcome> &outcomes)
+{
+    std::cout << std::left << std::setw(6) << "req"
+              << std::setw(16) << "payload"
+              << std::setw(22) << "outcome"
+              << std::setw(18) << "violation"
+              << std::right << std::setw(14) << "cycles" << "\n";
+    for (const auto &o : outcomes) {
+        std::cout << std::left << std::setw(6) << o.seq
+                  << std::setw(16) << net::attackKindName(o.attack)
+                  << std::setw(22) << net::requestStatusName(o.status)
+                  << std::setw(18) << mon::violationName(o.violation)
+                  << std::right << std::setw(14) << o.responseTime()
+                  << "\n";
+    }
 }
 
 } // anonymous namespace
@@ -74,15 +160,13 @@ main(int argc, char **argv)
     }
     setLogVerbosity(1);
 
+    unsigned jobs = parseJobs(args);
     SystemConfig cfg;
     applySettings(cfg, args);
 
-    net::DaemonProfile profile =
-        net::daemonByName(driverArg(args, "daemon", "httpd"));
+    auto daemons = splitDaemons(driverArg(args, "daemon", "httpd"));
     std::uint64_t instr =
         std::stoull(driverArg(args, "instr", "0"));
-    if (instr)
-        profile.instrPerRequest = instr;
     std::uint64_t requests =
         std::stoull(driverArg(args, "requests", "20"));
     std::uint64_t warmup = std::stoull(driverArg(args, "warmup", "2"));
@@ -92,49 +176,68 @@ main(int argc, char **argv)
     bool dump_stats = driverArg(args, "stats", "0") == "1";
 
     cfg.print(std::cout);
-    std::cout << "\ndeploying " << profile.name << " ("
-              << profile.instrPerRequest << " instr/request)\n\n";
 
-    core::IndraSystem system(cfg);
-    system.boot();
-    std::size_t slot = system.deployService(profile);
+    if (daemons.size() == 1) {
+        // Single service: full per-request trace, as always.
+        net::DaemonProfile profile = net::daemonByName(daemons[0]);
+        std::cout << "\ndeploying " << profile.name << " ("
+                  << (instr ? instr : profile.instrPerRequest)
+                  << " instr/request)\n\n";
+        auto result =
+            runOneDaemon(cfg, profile, instr, requests, warmup,
+                         attack_name, period, dump_stats);
+        printOutcomeTable(result.outcomes);
 
-    for (const auto &r : net::ClientScript::benign(warmup))
-        system.processRequest(slot, r);
-    system.slot(slot).statGroup->resetAll();
+        auto report = net::AvailabilityReport::build(result.outcomes);
+        std::cout << "\navailability " << std::fixed
+                  << std::setprecision(3) << report.availability()
+                  << "  (served " << report.served << ", recovered "
+                  << report.recovered << ", macro "
+                  << report.macroRecovered << ", lost " << report.lost
+                  << ")\nmean benign response "
+                  << std::setprecision(0) << report.meanBenignResponse
+                  << " cycles\n";
 
-    auto script = period
-        ? net::ClientScript::periodicAttack(
-              requests, net::attackKindFromName(attack_name), period)
-        : net::ClientScript::benign(requests);
-
-    std::cout << std::left << std::setw(6) << "req"
-              << std::setw(16) << "payload"
-              << std::setw(22) << "outcome"
-              << std::setw(18) << "violation"
-              << std::right << std::setw(14) << "cycles" << "\n";
-    auto outcomes = system.runScript(script, slot);
-    for (const auto &o : outcomes) {
-        std::cout << std::left << std::setw(6) << o.seq
-                  << std::setw(16) << net::attackKindName(o.attack)
-                  << std::setw(22) << net::requestStatusName(o.status)
-                  << std::setw(18) << mon::violationName(o.violation)
-                  << std::right << std::setw(14) << o.responseTime()
-                  << "\n";
+        if (dump_stats) {
+            std::cout << "\n--- statistics ---\n" << result.statDump;
+        }
+        return 0;
     }
 
-    auto report = net::AvailabilityReport::build(outcomes);
-    std::cout << "\navailability " << std::fixed << std::setprecision(3)
-              << report.availability() << "  (served " << report.served
-              << ", recovered " << report.recovered << ", macro "
-              << report.macroRecovered << ", lost " << report.lost
-              << ")\nmean benign response "
-              << std::setprecision(0) << report.meanBenignResponse
-              << " cycles\n";
+    // Daemon sweep: one shared-nothing cell per daemon, summary rows
+    // in daemon order regardless of the worker count.
+    harness::ParallelSweep sweep(jobs);
+    std::cout << "\nsweeping " << daemons.size() << " daemons\n\n";
+    auto results = sweep.run(daemons.size(), [&](std::size_t i) {
+        return runOneDaemon(cfg, net::daemonByName(daemons[i]), instr,
+                            requests, warmup, attack_name, period,
+                            dump_stats);
+    });
 
+    std::cout << std::left << std::setw(12) << "daemon"
+              << std::right << std::setw(9) << "served"
+              << std::setw(11) << "recovered"
+              << std::setw(8) << "macro"
+              << std::setw(7) << "lost"
+              << std::setw(14) << "availability"
+              << std::setw(18) << "mean_benign_cyc" << "\n";
+    for (std::size_t i = 0; i < daemons.size(); ++i) {
+        auto report = net::AvailabilityReport::build(results[i].outcomes);
+        std::cout << std::left << std::setw(12) << daemons[i]
+                  << std::right << std::setw(9) << report.served
+                  << std::setw(11) << report.recovered
+                  << std::setw(8) << report.macroRecovered
+                  << std::setw(7) << report.lost
+                  << std::fixed << std::setprecision(3)
+                  << std::setw(14) << report.availability()
+                  << std::setprecision(0) << std::setw(18)
+                  << report.meanBenignResponse << "\n";
+    }
     if (dump_stats) {
-        std::cout << "\n--- statistics ---\n";
-        system.rootStats().dump(std::cout);
+        for (std::size_t i = 0; i < daemons.size(); ++i) {
+            std::cout << "\n--- statistics: " << daemons[i]
+                      << " ---\n" << results[i].statDump;
+        }
     }
     return 0;
 }

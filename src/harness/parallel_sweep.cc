@@ -1,0 +1,31 @@
+#include "harness/parallel_sweep.hh"
+
+#include <thread>
+
+namespace indra::harness
+{
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ParallelSweep::ParallelSweep(unsigned jobs) : njobs(resolveJobs(jobs))
+{
+}
+
+ParallelSweep::~ParallelSweep() = default;
+
+ThreadPool &
+ParallelSweep::pool()
+{
+    if (!lazyPool)
+        lazyPool = std::make_unique<ThreadPool>(njobs);
+    return *lazyPool;
+}
+
+} // namespace indra::harness

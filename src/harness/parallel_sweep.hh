@@ -1,0 +1,122 @@
+/**
+ * @file
+ * ParallelSweep: run the independent cells of an experiment sweep
+ * (daemon x configuration) across a fixed-size thread pool.
+ *
+ * Every cell builds its own indra::core::IndraSystem through a factory
+ * closure and touches nothing shared: each ServiceSlot owns a private
+ * bus/DRAM/timeline, every stochastic choice draws from the system's
+ * own seeded PCG32 stream, and logging is the only cross-cell global
+ * (made thread-safe in sim/logging.cc). Results are collected by cell
+ * index, so a sweep's table output is bit-identical no matter how many
+ * jobs executed it — the determinism contract the replay-based
+ * literature (RepTFD, InjectV) demands, enforced by
+ * tests/test_harness.cc.
+ *
+ * jobs == 1 never constructs a pool: cells run in the calling thread,
+ * in order, exactly like the historical serial loops.
+ */
+
+#ifndef INDRA_HARNESS_PARALLEL_SWEEP_HH
+#define INDRA_HARNESS_PARALLEL_SWEEP_HH
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "harness/thread_pool.hh"
+
+namespace indra::harness
+{
+
+/**
+ * Resolve a --jobs request to a worker count: nonzero values pass
+ * through; 0 means "pick for me" (hardware_concurrency, floored at 1).
+ */
+unsigned resolveJobs(unsigned requested);
+
+class ParallelSweep
+{
+  public:
+    /**
+     * @param jobs worker count; 0 = hardware_concurrency. The pool is
+     * created lazily on the first parallel run() so a jobs=1 sweep
+     * spawns no threads at all.
+     */
+    explicit ParallelSweep(unsigned jobs = 0);
+    ~ParallelSweep();
+
+    ParallelSweep(const ParallelSweep &) = delete;
+    ParallelSweep &operator=(const ParallelSweep &) = delete;
+
+    /** Resolved worker count. */
+    unsigned jobs() const { return njobs; }
+
+    /**
+     * Execute @p cell(0) ... @p cell(cells - 1), each exactly once,
+     * and return the results ordered by cell index. The closure must
+     * be callable concurrently from multiple threads when jobs > 1;
+     * any exception a cell throws is rethrown here (lowest-index one
+     * wins when several cells throw).
+     */
+    template <typename Fn>
+    auto
+    run(std::size_t cells, Fn &&cell)
+        -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+    {
+        using Result = std::invoke_result_t<Fn &, std::size_t>;
+        static_assert(!std::is_void_v<Result>,
+                      "sweep cells must return their result row");
+
+        std::vector<Result> out;
+        out.reserve(cells);
+        if (njobs == 1 || cells <= 1) {
+            // The historical serial path: same thread, same order.
+            for (std::size_t i = 0; i < cells; ++i)
+                out.push_back(cell(i));
+            return out;
+        }
+
+        std::vector<std::optional<Result>> staging(cells);
+        std::vector<std::exception_ptr> errors(cells);
+        std::atomic<std::size_t> nextCell{0};
+        ThreadPool &p = pool();
+        unsigned workers = std::min<std::size_t>(p.size(), cells);
+        for (unsigned w = 0; w < workers; ++w) {
+            p.submit([&] {
+                for (;;) {
+                    std::size_t i = nextCell.fetch_add(1);
+                    if (i >= cells)
+                        return;
+                    try {
+                        staging[i].emplace(cell(i));
+                    } catch (...) {
+                        errors[i] = std::current_exception();
+                    }
+                }
+            });
+        }
+        p.wait();
+        for (std::size_t i = 0; i < cells; ++i) {
+            if (errors[i])
+                std::rethrow_exception(errors[i]);
+            out.push_back(std::move(*staging[i]));
+        }
+        return out;
+    }
+
+  private:
+    ThreadPool &pool();
+
+    unsigned njobs;
+    std::unique_ptr<ThreadPool> lazyPool;
+};
+
+} // namespace indra::harness
+
+#endif // INDRA_HARNESS_PARALLEL_SWEEP_HH

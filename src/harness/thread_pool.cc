@@ -1,0 +1,69 @@
+#include "harness/thread_pool.hh"
+
+#include "sim/logging.hh"
+
+namespace indra::harness
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    panic_if(threads == 0, "ThreadPool needs at least one worker");
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cvTask.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        panic_if(stopping, "submit() on a stopping ThreadPool");
+        queue.push_back(std::move(task));
+        ++inFlight;
+    }
+    cvTask.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    cvIdle.wait(lock, [this] { return inFlight == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cvTask.wait(lock,
+                        [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return;  // stopping and drained
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            if (--inFlight == 0)
+                cvIdle.notify_all();
+        }
+    }
+}
+
+} // namespace indra::harness

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A fixed-size worker pool for the experiment harness.
+ *
+ * Workers pull tasks from a shared queue; wait() blocks until every
+ * submitted task has finished. The pool never grows or shrinks after
+ * construction, so a sweep's level of parallelism is exactly the
+ * --jobs value it was launched with.
+ */
+
+#ifndef INDRA_HARNESS_THREAD_POOL_HH
+#define INDRA_HARNESS_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace indra::harness
+{
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers; @p threads must be nonzero. */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains outstanding tasks, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task; runs on an arbitrary worker thread. */
+    void submit(std::function<void()> task);
+
+    /** Block until every task submitted so far has completed. */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers.size()); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mtx;
+    std::condition_variable cvTask;  //!< workers sleep here for tasks
+    std::condition_variable cvIdle;  //!< wait() sleeps here for drain
+    std::size_t inFlight = 0;        //!< queued + currently running
+    bool stopping = false;
+};
+
+} // namespace indra::harness
+
+#endif // INDRA_HARNESS_THREAD_POOL_HH

@@ -1,6 +1,7 @@
 #include "sim/config_reader.hh"
 
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <map>
 
@@ -152,6 +153,52 @@ applySettings(SystemConfig &cfg, const std::vector<std::string> &args)
                      "unknown config setting '", key, "'");
         }
     }
+}
+
+namespace
+{
+
+unsigned
+toJobs(const std::string &key, const std::string &value)
+{
+    // stoull() accepts a leading '-' and wraps, which would ask the
+    // thread pool for ~2^32 workers.
+    fatal_if(!value.empty() && value[0] == '-',
+             "setting '", key, "': '", value,
+             "' is not a valid worker count");
+    std::uint64_t n = toU64(key, value);
+    fatal_if(n > 1024, "setting '", key, "': ", n,
+             " workers is out of range (max 1024)");
+    return static_cast<unsigned>(n);
+}
+
+} // anonymous namespace
+
+unsigned
+parseJobs(std::vector<std::string> &args)
+{
+    unsigned jobs = 0;
+    if (const char *env = std::getenv("INDRA_JOBS"))
+        jobs = toJobs("INDRA_JOBS", env);
+    for (auto it = args.begin(); it != args.end();) {
+        std::string value;
+        if (*it == "--jobs") {
+            fatal_if(it + 1 == args.end(), "--jobs needs a value");
+            value = *(it + 1);
+            it = args.erase(it, it + 2);
+        } else if (it->rfind("--jobs=", 0) == 0) {
+            value = it->substr(7);
+            it = args.erase(it);
+        } else if (it->rfind("jobs=", 0) == 0) {
+            value = it->substr(5);
+            it = args.erase(it);
+        } else {
+            ++it;
+            continue;
+        }
+        jobs = toJobs("--jobs", value);
+    }
+    return jobs;
 }
 
 std::vector<std::string>

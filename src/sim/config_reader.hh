@@ -37,6 +37,18 @@ void applySettings(SystemConfig &cfg,
 /** All recognized keys, for --help text. */
 std::vector<std::string> knownSettingKeys();
 
+/**
+ * Extract the experiment-harness parallelism knob from @p args:
+ * "--jobs N", "--jobs=N", or "jobs=N" (all removed from @p args so
+ * later key=value parsing never sees them). Falls back to the
+ * INDRA_JOBS environment variable when no argument is given.
+ *
+ * @return the requested worker count, or 0 when unspecified (callers
+ * pass 0 through to harness::ParallelSweep, which resolves it to
+ * hardware_concurrency). A value of 1 requests the serial path.
+ */
+unsigned parseJobs(std::vector<std::string> &args);
+
 } // namespace indra
 
 #endif // INDRA_SIM_CONFIG_READER_HH

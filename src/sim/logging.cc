@@ -1,7 +1,9 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace indra
 {
@@ -9,20 +11,27 @@ namespace indra
 namespace
 {
 
-int verbosity = 2;
+std::atomic<int> verbosity{2};
+
+/**
+ * Serializes the stderr/stdout writes below. Parallel sweep cells
+ * (harness::ParallelSweep) share this one logging backend; without
+ * the lock, concurrent warn()/inform() lines interleave mid-message.
+ */
+std::mutex ioMutex;
 
 } // anonymous namespace
 
 int
 logVerbosity()
 {
-    return verbosity;
+    return verbosity.load(std::memory_order_relaxed);
 }
 
 void
 setLogVerbosity(int level)
 {
-    verbosity = level;
+    verbosity.store(level, std::memory_order_relaxed);
 }
 
 namespace logging_detail
@@ -31,31 +40,41 @@ namespace logging_detail
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(ioMutex);
+        std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line
+                  << std::endl;
+    }
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(ioMutex);
+        std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line
+                  << std::endl;
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (verbosity >= 1)
+    if (logVerbosity() >= 1) {
+        std::lock_guard<std::mutex> lock(ioMutex);
         std::cerr << "warn: " << msg << std::endl;
+    }
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (verbosity >= 2)
+    if (logVerbosity() >= 2) {
+        std::lock_guard<std::mutex> lock(ioMutex);
         std::cout << "info: " << msg << std::endl;
+    }
 }
 
 } // namespace logging_detail

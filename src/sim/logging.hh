@@ -52,7 +52,7 @@ void informImpl(const std::string &msg);
     ::indra::logging_detail::fatalImpl(                                    \
         __FILE__, __LINE__, ::indra::logging_detail::concat(__VA_ARGS__))
 
-/** Panic if @p cond is false. */
+/** Panic if @p cond is true. */
 #define panic_if(cond, ...)                                                \
     do {                                                                   \
         if (cond)                                                          \
@@ -87,6 +87,9 @@ inform(Args &&...args)
 /**
  * Global verbosity switch. Tests and benches silence inform()/warn()
  * noise by lowering this. 0 = quiet, 1 = warn only, 2 = all.
+ *
+ * The level is atomic and the writes behind warn()/inform() are
+ * mutex-serialized, so parallel sweep cells may log concurrently.
  */
 int logVerbosity();
 void setLogVerbosity(int level);

@@ -40,18 +40,37 @@ Pcg32::nextBounded(std::uint32_t bound)
 }
 
 std::uint64_t
+Pcg32::next64()
+{
+    // Sequence the two draws explicitly: the evaluation order of
+    // `(next() << 32) | next()` is unspecified, and a deterministic
+    // generator cannot depend on the compiler's choice.
+    std::uint64_t high = next();
+    std::uint64_t low = next();
+    return (high << 32) | low;
+}
+
+std::uint64_t
 Pcg32::uniform(std::uint64_t lo, std::uint64_t hi)
 {
     panic_if(lo > hi, "uniform: lo > hi");
     std::uint64_t span = hi - lo + 1;
     if (span == 0) {
         // Full 64-bit range.
-        return (static_cast<std::uint64_t>(next()) << 32) | next();
+        return next64();
     }
     if (span <= 0xffffffffULL)
         return lo + nextBounded(static_cast<std::uint32_t>(span));
-    std::uint64_t r = (static_cast<std::uint64_t>(next()) << 32) | next();
-    return lo + (r % span);
+    // Lemire-style rejection, exactly as nextBounded does for 32-bit
+    // spans: a bare `r % span` over-weights the low residues (for a
+    // span of 3 * 2^62 the bottom quarter of the range would be drawn
+    // twice as often as the rest).
+    std::uint64_t threshold = (0 - span) % span;
+    for (;;) {
+        std::uint64_t r = next64();
+        if (r >= threshold)
+            return lo + (r % span);
+    }
 }
 
 double
@@ -123,9 +142,8 @@ Pcg32::zipf(std::uint32_t n, double s)
 Pcg32
 Pcg32::fork()
 {
-    std::uint64_t seed = (static_cast<std::uint64_t>(next()) << 32) | next();
-    std::uint64_t stream =
-        (static_cast<std::uint64_t>(next()) << 32) | next();
+    std::uint64_t seed = next64();
+    std::uint64_t stream = next64();
     return Pcg32(seed, stream);
 }
 

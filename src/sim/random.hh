@@ -29,6 +29,9 @@ class Pcg32
     /** Next raw 32-bit value. */
     std::uint32_t next();
 
+    /** Next raw 64-bit value (two draws, high word first). */
+    std::uint64_t next64();
+
     /** Uniform integer in [0, bound); @p bound must be nonzero. */
     std::uint32_t nextBounded(std::uint32_t bound);
 

@@ -81,7 +81,13 @@ Distribution::sample(double v)
     }
     ++n;
     total += v;
-    squares += v * v;
+    // Welford update: E[x^2] - E[x]^2 cancels catastrophically for
+    // large-mean/small-variance samples (e.g. response times in the
+    // 1e9-cycle range), reporting 0 where the true spread is small
+    // but nonzero.
+    double delta = v - runMean;
+    runMean += delta / n;
+    m2 += delta * (v - runMean);
 }
 
 double
@@ -89,8 +95,7 @@ Distribution::stddev() const
 {
     if (n < 2)
         return 0.0;
-    double m = mean();
-    double var = squares / n - m * m;
+    double var = m2 / n;
     return var > 0 ? std::sqrt(var) : 0.0;
 }
 
@@ -109,7 +114,7 @@ void
 Distribution::reset()
 {
     n = 0;
-    total = squares = lo = hi = 0;
+    total = runMean = m2 = lo = hi = 0;
 }
 
 // --------------------------------------------------------------- Histogram
@@ -128,7 +133,9 @@ Histogram::sample(double v)
 {
     ++n;
     if (v < 0) {
-        ++bins[0];
+        // Negative samples are not [0, width) samples; counting them
+        // in bins[0] would silently inflate the first bucket.
+        ++under;
         return;
     }
     std::size_t idx = static_cast<std::size_t>(v / width);
@@ -151,6 +158,9 @@ Histogram::dump(std::ostream &os, const std::string &prefix) const
             << (i + 1) * width << ")";
         printLine(os, key.str(), static_cast<double>(bins[i]), "");
     }
+    if (under)
+        printLine(os, prefix + name() + ".underflow",
+                  static_cast<double>(under), "");
     if (over)
         printLine(os, prefix + name() + ".overflow",
                   static_cast<double>(over), "");
@@ -160,6 +170,7 @@ void
 Histogram::reset()
 {
     std::fill(bins.begin(), bins.end(), 0);
+    under = 0;
     over = 0;
     n = 0;
 }

@@ -85,8 +85,9 @@ class Formula : public StatBase
 };
 
 /**
- * Sample distribution: tracks count, sum, min, max, and enough moments
- * for mean and standard deviation.
+ * Sample distribution: tracks count, sum, min, max, and — via
+ * Welford's online algorithm, which stays accurate even when the
+ * variance is tiny next to the mean — the standard deviation.
  */
 class Distribution : public StatBase
 {
@@ -108,14 +109,16 @@ class Distribution : public StatBase
   private:
     std::uint64_t n = 0;
     double total = 0;
-    double squares = 0;
+    double runMean = 0;  //!< Welford running mean
+    double m2 = 0;       //!< Welford sum of squared deviations
     double lo = 0;
     double hi = 0;
 };
 
 /**
- * Fixed-bucket histogram over [0, bucketWidth * numBuckets), with an
- * overflow bucket. Used for FIFO occupancy and latency profiles.
+ * Fixed-bucket histogram over [0, bucketWidth * numBuckets), with
+ * underflow (v < 0) and overflow buckets. Used for FIFO occupancy and
+ * latency profiles.
  */
 class Histogram : public StatBase
 {
@@ -127,6 +130,7 @@ class Histogram : public StatBase
 
     std::uint64_t count() const { return n; }
     const std::vector<std::uint64_t> &buckets() const { return bins; }
+    std::uint64_t underflow() const { return under; }
     std::uint64_t overflow() const { return over; }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
@@ -135,6 +139,7 @@ class Histogram : public StatBase
   private:
     double width;
     std::vector<std::uint64_t> bins;
+    std::uint64_t under = 0;
     std::uint64_t over = 0;
     std::uint64_t n = 0;
 };

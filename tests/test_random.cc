@@ -74,6 +74,53 @@ TEST(Pcg32, UniformDegenerateRange)
     EXPECT_EQ(rng.uniform(42, 42), 42u);
 }
 
+// Regression: for spans wider than 2^32 uniform() used a bare
+// `r % span`, which for span = 3 * 2^62 draws the bottom quarter of
+// the range twice as often as everything else (2^64 = span + 2^62,
+// so residues below 2^62 have two preimages). With Lemire-style
+// rejection every third of the span is hit equally often.
+TEST(Pcg32, UniformWideSpanUnbiased)
+{
+    Pcg32 rng(29);
+    const std::uint64_t third = 1ULL << 62;
+    const std::uint64_t hi = 3 * third - 1;
+    const int n = 3000;
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < n; ++i) {
+        std::uint64_t v = rng.uniform(0, hi);
+        ASSERT_LE(v, hi);
+        ++counts[v / third];
+    }
+    // The modulo-biased draw put ~50% of the mass in the first third;
+    // an unbiased draw puts ~33.3% in each.
+    for (int c : counts)
+        EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / 3.0, 0.05);
+}
+
+TEST(Pcg32, UniformWideSpanCoversWholeRange)
+{
+    Pcg32 rng(31);
+    const std::uint64_t lo = 1ULL << 33;
+    const std::uint64_t hi = lo + (1ULL << 34);
+    bool sawUpperHalf = false;
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t v = rng.uniform(lo, hi);
+        ASSERT_GE(v, lo);
+        ASSERT_LE(v, hi);
+        if (v > lo + (hi - lo) / 2)
+            sawUpperHalf = true;
+    }
+    EXPECT_TRUE(sawUpperHalf);
+}
+
+TEST(Pcg32, Next64IsTwoSequencedDraws)
+{
+    Pcg32 a(7, 3), b(7, 3);
+    std::uint64_t high = b.next();
+    std::uint64_t low = b.next();
+    EXPECT_EQ(a.next64(), (high << 32) | low);
+}
+
 TEST(Pcg32, UniformRealInHalfOpenUnit)
 {
     Pcg32 rng(3);

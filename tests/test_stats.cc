@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "sim/stats.hh"
@@ -64,6 +65,35 @@ TEST(Distribution, ResetClears)
     d.reset();
     EXPECT_EQ(d.count(), 0u);
     EXPECT_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.stddev(), 0.0);
+}
+
+// Regression: the old E[x^2] - E[x]^2 formula cancelled
+// catastrophically for large-mean/small-variance samples (typical
+// response-time distributions) and reported 0; Welford's algorithm
+// keeps full precision.
+TEST(Distribution, StddevSurvivesLargeMean)
+{
+    StatGroup g("g");
+    Distribution d(g, "d", "");
+    const double mean = 1e9;
+    for (double offset : {-1.0, 0.0, 1.0})
+        d.sample(mean + offset);
+    EXPECT_DOUBLE_EQ(d.mean(), mean);
+    // Population stddev of {-1, 0, +1} around the mean.
+    EXPECT_NEAR(d.stddev(), std::sqrt(2.0 / 3.0), 1e-9);
+}
+
+TEST(Distribution, StddevMatchesAfterReset)
+{
+    StatGroup g("g");
+    Distribution d(g, "d", "");
+    for (double v : {1e12 + 2, 1e12 + 4, 1e12 + 6})
+        d.sample(v);
+    d.reset();
+    for (double v : {2.0, 4.0, 6.0})
+        d.sample(v);
+    EXPECT_NEAR(d.stddev(), std::sqrt(8.0 / 3.0), 1e-9);
 }
 
 TEST(Histogram, BucketsAndOverflow)
@@ -83,12 +113,31 @@ TEST(Histogram, BucketsAndOverflow)
     EXPECT_EQ(h.overflow(), 2u);
 }
 
-TEST(Histogram, NegativeGoesToFirstBucket)
+// Regression: negative samples used to be conflated with the
+// [0, width) bucket, inflating it; they now land in a dedicated
+// underflow counter, mirroring the overflow side.
+TEST(Histogram, NegativeGoesToUnderflow)
 {
     StatGroup g("g");
     Histogram h(g, "h", "", 1.0, 2);
     h.sample(-5);
+    h.sample(-0.001);
+    h.sample(0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.underflow(), 2u);
     EXPECT_EQ(h.buckets()[0], 1u);
+    h.reset();
+    EXPECT_EQ(h.underflow(), 0u);
+}
+
+TEST(Histogram, UnderflowAppearsInDump)
+{
+    StatGroup g("g");
+    Histogram h(g, "h", "", 1.0, 2);
+    h.sample(-1);
+    std::ostringstream os;
+    h.dump(os, "");
+    EXPECT_NE(os.str().find("h.underflow"), std::string::npos);
 }
 
 TEST(StatGroup, FindAndFindPath)
