@@ -193,7 +193,8 @@ main(int argc, char **argv)
                   << std::setprecision(3) << report.availability()
                   << "  (served " << report.served << ", recovered "
                   << report.recovered << ", macro "
-                  << report.macroRecovered << ", lost " << report.lost
+                  << report.macroRecovered << ", rejuvenated "
+                  << report.rejuvenated << ", lost " << report.lost
                   << ")\nmean benign response "
                   << std::setprecision(0) << report.meanBenignResponse
                   << " cycles\n";
@@ -218,6 +219,7 @@ main(int argc, char **argv)
               << std::right << std::setw(9) << "served"
               << std::setw(11) << "recovered"
               << std::setw(8) << "macro"
+              << std::setw(7) << "rejuv"
               << std::setw(7) << "lost"
               << std::setw(14) << "availability"
               << std::setw(18) << "mean_benign_cyc" << "\n";
@@ -227,6 +229,7 @@ main(int argc, char **argv)
                   << std::right << std::setw(9) << report.served
                   << std::setw(11) << report.recovered
                   << std::setw(8) << report.macroRecovered
+                  << std::setw(7) << report.rejuvenated
                   << std::setw(7) << report.lost
                   << std::fixed << std::setprecision(3)
                   << std::setw(14) << report.availability()

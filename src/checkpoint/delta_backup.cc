@@ -25,6 +25,7 @@ DeltaBackup::DeltaBackup(const SystemConfig &cfg,
       statPagesPerRequest(statGroup, "pages_per_request",
                           "pages touched per request")
 {
+    lineBuf.resize(config.backupLineBytes);
 }
 
 DeltaBackup::~DeltaBackup()
@@ -65,6 +66,36 @@ DeltaBackup::linesBackedUpThisEpoch() const
     return epochLinesBackedUp;
 }
 
+std::uint32_t
+DeltaBackup::lineChecksum(Pfn pfn, std::uint32_t off) const
+{
+    phys.read(pfn, off, lineBuf.data(), config.backupLineBytes);
+    return faults::checksum32(lineBuf.data(), lineBuf.size());
+}
+
+void
+DeltaBackup::sealBackupLine(BackupPageRecord &rec, std::uint32_t line)
+{
+    std::uint32_t off = line * config.backupLineBytes;
+    rec.lineSums[line] = lineChecksum(rec.backupPfn, off);
+    if (injector && injector->fire(faults::FaultKind::DeltaFlip)) {
+        std::uint32_t bit = injector->pick(faults::FaultKind::DeltaFlip,
+                                           config.backupLineBytes * 8);
+        std::uint8_t byte;
+        phys.read(rec.backupPfn, off + bit / 8, &byte, 1);
+        byte ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        phys.write(rec.backupPfn, off + bit / 8, &byte, 1);
+    }
+}
+
+bool
+DeltaBackup::lineIntact(const BackupPageRecord &rec,
+                        std::uint32_t line) const
+{
+    std::uint32_t off = line * config.backupLineBytes;
+    return lineChecksum(rec.backupPfn, off) == rec.lineSums[line];
+}
+
 BackupPageRecord &
 DeltaBackup::recordFor(Vpn vpn, Tick tick, Cycles &cost)
 {
@@ -74,6 +105,7 @@ DeltaBackup::recordFor(Vpn vpn, Tick tick, Cycles &cost)
         BackupPageRecord rec;
         rec.dirtyBv = LineBitVector(linesPerPage());
         rec.rollbackBv = LineBitVector(linesPerPage());
+        rec.lineSums.assign(linesPerPage(), 0);
         rec.lts = 0;
         it = records.emplace(vpn, std::move(rec)).first;
         ++statRecordsAllocated;
@@ -132,12 +164,20 @@ DeltaBackup::onStore(Tick tick, Pid pid, Addr vaddr, std::uint32_t bytes)
             // The line is pending rollback: the backup page already
             // holds the pre-fault value. Restore the line first so a
             // sub-line write lands on recovered bytes, then let the
-            // write supersede the rollback.
-            copyLine(page.pfn, off, rec.backupPfn, off);
+            // write supersede the rollback. A corrupt backup copy is
+            // never applied: the current line survives and is resealed
+            // as the new reference value.
+            if (lineIntact(rec, line)) {
+                copyLine(page.pfn, off, rec.backupPfn, off);
+            } else {
+                ++statCorruptionDetected;
+                copyLine(rec.backupPfn, off, page.pfn, off);
+            }
             rec.rollbackBv.clear(line);
             if (!rec.rollbackBv.any())
                 rec.rollbackVld = false;
             rec.dirtyBv.set(line);
+            sealBackupLine(rec, line);
             ++statSupersededLines;
             cost += chargeLineTransfer(
                 tick + cost, memsys.backupAddr(rec.backupPfn, off),
@@ -146,6 +186,7 @@ DeltaBackup::onStore(Tick tick, Pid pid, Addr vaddr, std::uint32_t bytes)
             // Copy the original line into the backup page.
             copyLine(rec.backupPfn, off, page.pfn, off);
             rec.dirtyBv.set(line);
+            sealBackupLine(rec, line);
             ++statLinesBackedUp;
             ++epochLinesBackedUp;
             cost += chargeLineTransfer(
@@ -190,9 +231,18 @@ DeltaBackup::onLoad(Tick tick, Pid pid, Addr vaddr, std::uint32_t bytes)
     for (std::uint32_t line = first_line; line <= last_line; ++line) {
         if (!rec.rollbackBv.test(line))
             continue;
+        std::uint32_t off = line * config.backupLineBytes;
+        if (!lineIntact(rec, line)) {
+            // Corrupt backup copy: refuse to apply it. The pending
+            // rollback is dropped so the damage can never land; the
+            // escalation ladder has already (or will) put this page
+            // right via macro rollback.
+            ++statCorruptionDetected;
+            rec.rollbackBv.clear(line);
+            continue;
+        }
         // Figure 5: serve the read from the backup line and recover
         // the active line on the way.
-        std::uint32_t off = line * config.backupLineBytes;
         copyLine(page.pfn, off, rec.backupPfn, off);
         rec.rollbackBv.clear(line);
         ++statLazyLineRecoveries;
@@ -257,6 +307,31 @@ DeltaBackup::onFailure(Tick tick)
     return cost;
 }
 
+bool
+DeltaBackup::verifyIntegrity(Tick tick)
+{
+    (void)tick;
+    std::uint64_t bad = 0;
+    std::uint64_t gts = context.gts();
+    for (auto &[vpn, rec] : records) {
+        if (rec.backupPfn == invalidPfn)
+            continue;
+        for (std::uint32_t line = 0; line < linesPerPage(); ++line) {
+            // A micro recovery consumes lines already pending rollback
+            // plus this epoch's dirty lines (armed by onFailure).
+            bool pending = rec.rollbackVld && rec.rollbackBv.test(line);
+            bool armed = rec.lts == gts && rec.dirtyBv.test(line);
+            if (!pending && !armed)
+                continue;
+            if (!lineIntact(rec, line))
+                ++bad;
+        }
+    }
+    if (bad)
+        statCorruptionDetected += static_cast<double>(bad);
+    return bad == 0;
+}
+
 void
 DeltaBackup::invalidate()
 {
@@ -282,6 +357,11 @@ DeltaBackup::drainRollback(Tick tick)
             if (!rec.rollbackBv.test(line))
                 continue;
             std::uint32_t off = line * config.backupLineBytes;
+            if (!lineIntact(rec, line)) {
+                ++statCorruptionDetected;
+                rec.rollbackBv.clear(line);
+                continue;
+            }
             copyLine(page.pfn, off, rec.backupPfn, off);
             rec.rollbackBv.clear(line);
             ++statLazyLineRecoveries;

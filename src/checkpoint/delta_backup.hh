@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "checkpoint/bitvec.hh"
 #include "checkpoint/policy.hh"
@@ -34,6 +35,12 @@ struct BackupPageRecord
     LineBitVector dirtyBv;        //!< lines backed up this epoch
     LineBitVector rollbackBv;     //!< lines pending lazy rollback
     bool rollbackVld = false;     //!< fast "any rollback pending" flag
+    /**
+     * Per-line FNV checksum of the backup copy, recorded when the
+     * line entered the backup page; consulted for lines with a dirty
+     * or rollback bit set before their backup copy is trusted.
+     */
+    std::vector<std::uint32_t> lineSums;
 };
 
 /**
@@ -71,6 +78,9 @@ class DeltaBackup : public CheckpointPolicy
     /** Drop all dirty/rollback state (macro restore supersedes it). */
     void invalidate() override;
 
+    /** Checksum-verify every backup line a micro recovery would use. */
+    bool verifyIntegrity(Tick tick) override;
+
     /** The record for @p vpn, or nullptr if none exists yet. */
     const BackupPageRecord *record(Vpn vpn) const;
 
@@ -105,7 +115,21 @@ class DeltaBackup : public CheckpointPolicy
     /** Get-or-create the record for @p vpn. */
     BackupPageRecord &recordFor(Vpn vpn, Tick tick, Cycles &cost);
 
+    /** Checksum of one backup line's current bytes. */
+    std::uint32_t lineChecksum(Pfn pfn, std::uint32_t off) const;
+
+    /**
+     * Record the checksum of a line just copied into the backup page,
+     * then give the fault injector a shot at flipping a bit in it.
+     */
+    void sealBackupLine(BackupPageRecord &rec, std::uint32_t line);
+
+    /** True when the backup copy of @p line still matches its seal. */
+    bool lineIntact(const BackupPageRecord &rec,
+                    std::uint32_t line) const;
+
     std::unordered_map<Vpn, BackupPageRecord> records;
+    mutable std::vector<std::uint8_t> lineBuf;
     /** vpns whose record's LTS equals the current GTS. */
     std::unordered_set<Vpn> touchedThisEpoch;
     std::uint64_t epochLinesBackedUp = 0;

@@ -1,5 +1,7 @@
 #include "checkpoint/macro_ckpt.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace indra::ckpt
@@ -16,7 +18,11 @@ MacroCheckpoint::MacroCheckpoint(const SystemConfig &cfg,
       statCaptureCycles(statGroup, "capture_cycles",
                         "cycles spent capturing"),
       statRestoreCycles(statGroup, "restore_cycles",
-                        "cycles spent restoring")
+                        "cycles spent restoring"),
+      statRestoreFailures(statGroup, "restore_failures",
+                          "restores refused: missing or corrupt image"),
+      statCorruptionDetected(statGroup, "corruption_detected",
+                             "image corruption caught by checksum")
 {
 }
 
@@ -26,10 +32,13 @@ MacroCheckpoint::capture(Tick tick, os::ProcessContext &ctx,
                          os::SystemResources &res)
 {
     image.clear();
+    imageSums.clear();
     Cycles cost = 0;
     for (Vpn vpn : space.mappedPages()) {
         const os::PageInfo &info = space.pageInfo(vpn);
         image[vpn] = phys.snapshotFrame(info.pfn);
+        imageSums[vpn] = faults::checksum32(image[vpn].data(),
+                                            image[vpn].size());
         // Software copy of a full page through the memory system.
         for (std::uint32_t off = 0; off < config.pageBytes;
              off += config.backupLineBytes) {
@@ -37,20 +46,73 @@ MacroCheckpoint::capture(Tick tick, os::ProcessContext &ctx,
                 tick + cost, memsys.backupAddr(info.pfn, off), false);
         }
     }
+    // The page count is sealed before any injected damage, so a
+    // truncated image is caught by the count check at restore time.
+    expectedPages = image.size();
     contextSnap = ctx.snapshot();
     resourceSnap = res.snapshot();
     captured = true;
     ++statCaptures;
     statCaptureCycles += static_cast<double>(cost);
+
+    if (injector && !image.empty()) {
+        // Deterministic page pick: sort the vpns so the choice does
+        // not depend on hash-map iteration order.
+        std::vector<Vpn> vpns;
+        vpns.reserve(image.size());
+        for (const auto &[vpn, bytes] : image)
+            vpns.push_back(vpn);
+        std::sort(vpns.begin(), vpns.end());
+        if (injector->fire(faults::FaultKind::MacroCorrupt)) {
+            Vpn victim = vpns[injector->pick(
+                faults::FaultKind::MacroCorrupt,
+                static_cast<std::uint32_t>(vpns.size()))];
+            auto &bytes = image[victim];
+            std::uint32_t bit = injector->pick(
+                faults::FaultKind::MacroCorrupt,
+                static_cast<std::uint32_t>(bytes.size() * 8));
+            bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        }
+        if (injector->fire(faults::FaultKind::MacroTruncate)) {
+            Vpn victim = vpns[injector->pick(
+                faults::FaultKind::MacroTruncate,
+                static_cast<std::uint32_t>(vpns.size()))];
+            image.erase(victim);
+            imageSums.erase(victim);
+        }
+    }
     return cost;
 }
 
-Cycles
+bool
+MacroCheckpoint::verifyImage()
+{
+    std::uint64_t bad = 0;
+    if (image.size() != expectedPages)
+        ++bad;
+    for (const auto &[vpn, bytes] : image) {
+        auto it = imageSums.find(vpn);
+        if (it == imageSums.end() ||
+            faults::checksum32(bytes.data(), bytes.size()) != it->second)
+            ++bad;
+    }
+    if (bad)
+        statCorruptionDetected += static_cast<double>(bad);
+    return bad == 0;
+}
+
+MacroRestoreResult
 MacroCheckpoint::restore(Tick tick, os::ProcessContext &ctx,
                          os::AddressSpace &space,
                          os::SystemResources &res)
 {
-    panic_if(!captured, "restore without a captured checkpoint");
+    if (!captured || !verifyImage()) {
+        // Missing, truncated, or corrupt image: refuse the restore
+        // and leave every byte of process state alone. The caller
+        // escalates (typically to full rejuvenation).
+        ++statRestoreFailures;
+        return {false, 0};
+    }
     Cycles cost = 0;
 
     // Resources first so heap pages mapped after the checkpoint are
@@ -74,7 +136,16 @@ MacroCheckpoint::restore(Tick tick, os::ProcessContext &ctx,
     memsys.flushTlbs();
     ++statRestores;
     statRestoreCycles += static_cast<double>(cost);
-    return cost;
+    return {true, cost};
+}
+
+void
+MacroCheckpoint::discard()
+{
+    captured = false;
+    image.clear();
+    imageSums.clear();
+    expectedPages = 0;
 }
 
 std::uint64_t
@@ -87,6 +158,18 @@ std::uint64_t
 MacroCheckpoint::restores() const
 {
     return static_cast<std::uint64_t>(statRestores.value());
+}
+
+std::uint64_t
+MacroCheckpoint::restoreFailures() const
+{
+    return static_cast<std::uint64_t>(statRestoreFailures.value());
+}
+
+std::uint64_t
+MacroCheckpoint::corruptionDetected() const
+{
+    return static_cast<std::uint64_t>(statCorruptionDetected.value());
 }
 
 } // namespace indra::ckpt

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "faults/fault_injector.hh"
 #include "mem/hierarchy.hh"
 #include "mem/phys_mem.hh"
 #include "os/address_space.hh"
@@ -26,9 +27,26 @@
 namespace indra::ckpt
 {
 
+/** Outcome of a macro restore attempt. */
+struct MacroRestoreResult
+{
+    /**
+     * True when the image verified and was written back. False means
+     * the checkpoint was missing, truncated, or failed its checksums;
+     * no process state was modified.
+     */
+    bool ok = false;
+    Cycles cycles = 0;  //!< restore (or verification) cost
+};
+
 /**
  * Full application checkpoint: memory image + process context +
  * resource allocation state.
+ *
+ * Every captured page is sealed with an FNV checksum and the page
+ * count is recorded; restore() verifies the whole image *before*
+ * touching any process state, so a corrupted or truncated checkpoint
+ * is reported to the caller instead of silently restoring wrong state.
  */
 class MacroCheckpoint
 {
@@ -45,23 +63,46 @@ class MacroCheckpoint
                    os::AddressSpace &space, os::SystemResources &res);
 
     /**
-     * Restore the last captured checkpoint into the process.
-     * @return the cycles the restore costs
+     * Verify and restore the last captured checkpoint into the
+     * process. With no intact checkpoint, returns ok == false and
+     * leaves the process untouched.
      */
-    Cycles restore(Tick tick, os::ProcessContext &ctx,
-                   os::AddressSpace &space, os::SystemResources &res);
+    MacroRestoreResult restore(Tick tick, os::ProcessContext &ctx,
+                               os::AddressSpace &space,
+                               os::SystemResources &res);
+
+    /**
+     * Drop the captured image (e.g. after it failed verification or
+     * a rejuvenation made it obsolete).
+     */
+    void discard();
+
+    /** Attach a fault injector (nullable) to corrupt captures. */
+    void setFaultInjector(faults::FaultInjector *inj) { injector = inj; }
 
     bool hasCheckpoint() const { return captured; }
     std::uint64_t captures() const;
     std::uint64_t restores() const;
 
+    /** Restore attempts refused (missing/truncated/corrupt image). */
+    std::uint64_t restoreFailures() const;
+
+    /** Image corruption events caught by checksum verification. */
+    std::uint64_t corruptionDetected() const;
+
   private:
+    /** True when the page count and every page checksum verify. */
+    bool verifyImage();
+
     const SystemConfig &config;
     mem::PhysicalMemory &phys;
     mem::MemHierarchy &memsys;
+    faults::FaultInjector *injector = nullptr;
 
     bool captured = false;
     std::unordered_map<Vpn, std::vector<std::uint8_t>> image;
+    std::unordered_map<Vpn, std::uint32_t> imageSums;
+    std::uint64_t expectedPages = 0;
     os::ProcessContext::Snapshot contextSnap;
     os::ResourceSnapshot resourceSnap;
 
@@ -70,6 +111,8 @@ class MacroCheckpoint
     stats::Scalar statRestores;
     stats::Scalar statCaptureCycles;
     stats::Scalar statRestoreCycles;
+    stats::Scalar statRestoreFailures;
+    stats::Scalar statCorruptionDetected;
 };
 
 } // namespace indra::ckpt

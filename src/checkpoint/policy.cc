@@ -27,8 +27,16 @@ CheckpointPolicy::CheckpointPolicy(const SystemConfig &cfg,
                        "cycles charged for backup work"),
       statRecoveryCycles(statGroup, "recovery_cycles",
                          "cycles charged for recovery work"),
-      statRollbacks(statGroup, "rollbacks", "failures rolled back")
+      statRollbacks(statGroup, "rollbacks", "failures rolled back"),
+      statCorruptionDetected(statGroup, "corruption_detected",
+                             "backup-state corruption caught by checksum")
 {
+}
+
+std::uint64_t
+CheckpointPolicy::corruptionDetected() const
+{
+    return static_cast<std::uint64_t>(statCorruptionDetected.value());
 }
 
 std::uint64_t

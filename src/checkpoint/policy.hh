@@ -24,6 +24,7 @@
 #include <memory>
 
 #include "cpu/hooks.hh"
+#include "faults/fault_injector.hh"
 #include "mem/hierarchy.hh"
 #include "mem/phys_mem.hh"
 #include "os/address_space.hh"
@@ -89,6 +90,26 @@ class CheckpointPolicy : public cpu::CheckpointHooks
      */
     virtual void invalidate() {}
 
+    /**
+     * Verify the integrity of all backup state a micro recovery would
+     * consume (checksums computed when the bytes entered backup
+     * storage). Engines that keep no verifiable state return true.
+     * A false return means micro recovery cannot be trusted and the
+     * caller must escalate to macro rollback.
+     */
+    virtual bool verifyIntegrity(Tick tick) { (void)tick; return true; }
+
+    /**
+     * Attach a fault injector (nullable). Engines consult it to decide
+     * whether to corrupt backup state as it is written; a null
+     * injector leaves every code path bit-identical to a fault-free
+     * build.
+     */
+    void setFaultInjector(faults::FaultInjector *inj) { injector = inj; }
+
+    /** Backup-corruption events detected by checksum verification. */
+    std::uint64_t corruptionDetected() const;
+
     /** Lines (backup granularity) copied to backup storage so far. */
     std::uint64_t linesBackedUp() const;
 
@@ -117,6 +138,7 @@ class CheckpointPolicy : public cpu::CheckpointHooks
     os::AddressSpace &space;
     mem::PhysicalMemory &phys;
     mem::MemHierarchy &memsys;
+    faults::FaultInjector *injector = nullptr;
 
     stats::StatGroup statGroup;
     stats::Scalar statLinesBackedUp;
@@ -124,6 +146,7 @@ class CheckpointPolicy : public cpu::CheckpointHooks
     stats::Scalar statBackupCycles;
     stats::Scalar statRecoveryCycles;
     stats::Scalar statRollbacks;
+    stats::Scalar statCorruptionDetected;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "checkpoint/update_log.hh"
 
 #include <algorithm>
+#include <cstring>
 
 namespace indra::ckpt
 {
@@ -18,6 +19,32 @@ MemoryUpdateLog::MemoryUpdateLog(const SystemConfig &cfg,
       statEntriesUndone(statGroup, "entries_undone",
                         "undo entries replayed at recovery")
 {
+}
+
+std::uint32_t
+MemoryUpdateLog::entryChecksum(const UndoEntry &e)
+{
+    // Pack the payload fields into a contiguous buffer: struct
+    // padding holds indeterminate bytes and must stay out of the
+    // digest, as must the seal itself.
+    std::uint8_t buf[20];
+    std::memcpy(buf, &e.vaddr, 8);
+    std::memcpy(buf + 8, &e.oldValue, 8);
+    std::memcpy(buf + 16, &e.bytes, 4);
+    return faults::checksum32(buf, sizeof(buf));
+}
+
+void
+MemoryUpdateLog::sealEntry(UndoEntry &e)
+{
+    e.sum = entryChecksum(e);
+    if (injector && injector->fire(faults::FaultKind::LogFlip)) {
+        // Flip one bit of the stored old value: the undo record is
+        // now lying about what the pre-store bytes were.
+        std::uint32_t bit =
+            injector->pick(faults::FaultKind::LogFlip, 64);
+        e.oldValue ^= 1ULL << bit;
+    }
 }
 
 Cycles
@@ -39,6 +66,7 @@ MemoryUpdateLog::onStore(Tick tick, Pid pid, Addr vaddr,
     if (off + e.bytes > config.pageBytes)
         e.bytes = config.pageBytes - off;
     phys.read(space.pageInfo(vpn).pfn, off, &e.oldValue, e.bytes);
+    sealEntry(e);
     log.push_back(e);
     ++statEntriesLogged;
     Cycles cost = config.logAppendCycles;
@@ -76,7 +104,11 @@ MemoryUpdateLog::onFailure(Tick tick)
     std::uint64_t idx = log.size();
     for (auto it = log.rbegin(); it != log.rend(); ++it) {
         Vpn vpn = it->vaddr / config.pageBytes;
-        if (space.isMapped(vpn)) {
+        if (entryChecksum(*it) != it->sum) {
+            // A corrupt undo record is never replayed: applying a
+            // forged old value would silently plant wrong bytes.
+            ++statCorruptionDetected;
+        } else if (space.isMapped(vpn)) {
             std::uint32_t off = static_cast<std::uint32_t>(
                 it->vaddr % config.pageBytes);
             phys.write(space.pageInfo(vpn).pfn, off, &it->oldValue,
@@ -97,6 +129,20 @@ MemoryUpdateLog::onFailure(Tick tick)
     logCursor = 0;
     statRecoveryCycles += static_cast<double>(cost);
     return cost;
+}
+
+bool
+MemoryUpdateLog::verifyIntegrity(Tick tick)
+{
+    (void)tick;
+    std::uint64_t bad = 0;
+    for (const UndoEntry &e : log) {
+        if (entryChecksum(e) != e.sum)
+            ++bad;
+    }
+    if (bad)
+        statCorruptionDetected += static_cast<double>(bad);
+    return bad == 0;
 }
 
 } // namespace indra::ckpt

@@ -35,6 +35,9 @@ class MemoryUpdateLog : public CheckpointPolicy
     Cycles onFailure(Tick tick) override;
     void invalidate() override { log.clear(); }
 
+    /** Checksum-verify every undo entry the next undo would replay. */
+    bool verifyIntegrity(Tick tick) override;
+
     /** Undo entries currently held for the epoch. */
     std::uint64_t logSize() const { return log.size(); }
 
@@ -44,7 +47,14 @@ class MemoryUpdateLog : public CheckpointPolicy
         Addr vaddr = 0;
         std::uint32_t bytes = 0;
         std::uint64_t oldValue = 0;
+        std::uint32_t sum = 0;  //!< checksum sealed at append time
     };
+
+    /** Checksum over an entry's payload fields. */
+    static std::uint32_t entryChecksum(const UndoEntry &e);
+
+    /** Seal a freshly appended entry, then maybe corrupt it. */
+    void sealEntry(UndoEntry &e);
 
     /** Undo entries are ~16B; four fill one 64B log line. */
     static constexpr std::uint32_t entriesPerLine = 4;

@@ -1,7 +1,10 @@
 /**
  * @file
  * The recovery manager: INDRA's hybrid dual recovery scheme
- * (Sections 3.3.2, 3.3.3; Figures 6 and 8).
+ * (Sections 3.3.2, 3.3.3; Figures 6 and 8), extended into a bounded
+ * escalation ladder:
+ *
+ *   micro  ->  macro  ->  full service rejuvenation
  *
  * Micro recovery (per request): the resurrector stalls the faulty
  * resurrectee, arms the checkpoint engine's rollback, restores the
@@ -12,14 +15,24 @@
  *
  * Macro recovery: when micro recovery fails to revive the service
  * (`consecutiveFailureThreshold` failures in a row — the "dormant"
- * attack signature), the manager falls back to the slow application
- * checkpoint taken every `macroCheckpointPeriod` requests.
+ * attack signature — or the micro backup state fails its checksum
+ * verification, or no request snapshot exists), the manager falls back
+ * to the slow application checkpoint taken every
+ * `macroCheckpointPeriod` requests.
+ *
+ * Rejuvenation: when the macro checkpoint itself is corrupt, missing,
+ * or `macroRetryLimit` consecutive macro rollbacks did not revive the
+ * service, the manager re-initializes the service from its load-time
+ * image (context, resources, and memory), discards all backup state,
+ * and takes a fresh application checkpoint.
  */
 
 #ifndef INDRA_CORE_RECOVERY_HH
 #define INDRA_CORE_RECOVERY_HH
 
 #include <cstdint>
+#include <unordered_map>
+#include <vector>
 
 #include "checkpoint/macro_ckpt.hh"
 #include "checkpoint/policy.hh"
@@ -36,8 +49,9 @@ namespace indra::core
 /** Which mechanism revived the service. */
 enum class RecoveryLevel : std::uint8_t
 {
-    Micro,  //!< per-request delta rollback (swift)
-    Macro,  //!< application checkpoint rollback (slow, rare)
+    Micro,         //!< per-request delta rollback (swift)
+    Macro,         //!< application checkpoint rollback (slow, rare)
+    Rejuvenation,  //!< full service re-initialization (last resort)
 };
 
 /**
@@ -46,11 +60,16 @@ enum class RecoveryLevel : std::uint8_t
 class RecoveryManager
 {
   public:
+    /**
+     * Captures the service's load-time image (context, resources and
+     * memory) as the rejuvenation target, so construct this after the
+     * application has been loaded into the process.
+     */
     RecoveryManager(const SystemConfig &cfg,
                     ckpt::CheckpointPolicy &policy,
                     ckpt::MacroCheckpoint &macro, os::Kernel &kernel,
-                    Pid pid, cpu::Core &core, mon::Monitor *monitor,
-                    stats::StatGroup &parent);
+                    mem::PhysicalMemory &phys, Pid pid, cpu::Core &core,
+                    mon::Monitor *monitor, stats::StatGroup &parent);
 
     /**
      * A new request is beginning (the GTS was just incremented):
@@ -63,9 +82,11 @@ class RecoveryManager
 
     /**
      * The resurrector detected corruption or a crash at @p tick.
-     * Performs micro recovery — or macro recovery when consecutive
-     * failures exceed the threshold and a checkpoint exists — and
-     * stalls/flushes the resurrectee accordingly.
+     * Walks the escalation ladder: micro recovery when a trusted
+     * request snapshot exists and the failure streak is below the
+     * threshold; macro rollback when micro is exhausted or its backup
+     * state is corrupt; full rejuvenation when the macro level is
+     * itself corrupt, missing, or exhausted.
      */
     RecoveryLevel recover(Tick tick);
 
@@ -74,11 +95,37 @@ class RecoveryManager
 
     std::uint32_t consecutiveFailures() const { return consecutive; }
 
+    /** Macro recoveries since the last served request/rejuvenation. */
+    std::uint32_t consecutiveMacroRecoveries() const
+    {
+        return macroStreak;
+    }
+
+    std::uint64_t rejuvenations() const;
+
+    /** Micro recoveries refused because backup state was corrupt. */
+    std::uint64_t integrityEscalations() const;
+
+    /** Macro restore attempts that failed image verification. */
+    std::uint64_t macroRestoreFailures() const;
+
+    /** Recoveries entered without a request snapshot. */
+    std::uint64_t missingSnapshotRecoveries() const;
+
+    /** Resource-release failures absorbed during recoveries. */
+    std::uint64_t releaseFailures() const;
+
   private:
+    /** Bottom of the ladder: rebuild the service from load state. */
+    RecoveryLevel rejuvenate(Tick tick);
+
+    void accountRestore(const os::RestoreActions &actions);
+
     const SystemConfig &config;
     ckpt::CheckpointPolicy &policy;
     ckpt::MacroCheckpoint &macro;
     os::Kernel &kernel;
+    mem::PhysicalMemory &phys;
     Pid pid;
     cpu::Core &core;
     mon::Monitor *monitor;
@@ -87,10 +134,21 @@ class RecoveryManager
     os::ResourceSnapshot resourceSnap;
     bool haveSnap = false;
     std::uint32_t consecutive = 0;
+    std::uint32_t macroStreak = 0;
+
+    /** Load-time state: the rejuvenation target. */
+    os::ProcessContext::Snapshot initialContext;
+    os::ResourceSnapshot initialResources;
+    std::unordered_map<Vpn, std::vector<std::uint8_t>> initialImage;
 
     stats::StatGroup statGroup;
     stats::Scalar statMicroRecoveries;
     stats::Scalar statMacroRecoveries;
+    stats::Scalar statRejuvenations;
+    stats::Scalar statIntegrityEscalations;
+    stats::Scalar statMacroRestoreFailures;
+    stats::Scalar statMissingSnapshotRecoveries;
+    stats::Scalar statReleaseFailures;
     stats::Scalar statFilesClosed;
     stats::Scalar statChildrenKilled;
     stats::Scalar statPagesReclaimed;

@@ -17,10 +17,17 @@ constexpr std::uint64_t biosCopyBytes = 64ULL * 1024;
 
 } // anonymous namespace
 
-IndraSystem::IndraSystem(const SystemConfig &config)
+IndraSystem::IndraSystem(const SystemConfig &config,
+                         faults::FaultPlan plan)
     : cfg(config), statRoot("system")
 {
     cfg.validate();
+    // An empty plan creates no injector at all: every consumer holds
+    // a null pointer and runs the exact pre-fault-subsystem code path.
+    if (!plan.empty()) {
+        injectorPtr =
+            std::make_unique<faults::FaultInjector>(plan, statRoot);
+    }
     phys = std::make_unique<mem::PhysicalMemory>(cfg.physMemBytes,
                                                  cfg.pageBytes);
     if (cfg.asymmetricMode)
@@ -106,16 +113,20 @@ IndraSystem::deployService(const net::DaemonProfile &profile)
         s->monitor = std::make_unique<mon::Monitor>(cfg, *s->statGroup);
         s->app->program().registerWith(*s->monitor, s->pid);
         s->core->setTraceSink(s->monitor.get());
+        s->monitor->setFaultInjector(injectorPtr.get());
     }
 
     s->policy = ckpt::makePolicy(cfg, *proc.context, *proc.space, *phys,
                                  *s->hierarchy, *s->statGroup);
+    s->policy->setFaultInjector(injectorPtr.get());
     s->core->setCheckpointHooks(s->policy.get());
+    proc.resources->setFaultInjector(injectorPtr.get());
 
     s->macro = std::make_unique<ckpt::MacroCheckpoint>(
         cfg, *phys, *s->hierarchy, *s->statGroup);
+    s->macro->setFaultInjector(injectorPtr.get());
     s->recovery = std::make_unique<RecoveryManager>(
-        cfg, *s->policy, *s->macro, *kernelPtr, s->pid, *s->core,
+        cfg, *s->policy, *s->macro, *kernelPtr, *phys, s->pid, *s->core,
         s->monitor.get(), *s->statGroup);
 
     // Take the initial application checkpoint (the last-resort
@@ -208,11 +219,14 @@ IndraSystem::deployCoService(std::size_t host_slot,
 
     co->policy = ckpt::makePolicy(cfg, *proc.context, *proc.space,
                                   *phys, *s.hierarchy, *s.statGroup);
+    co->policy->setFaultInjector(injectorPtr.get());
+    proc.resources->setFaultInjector(injectorPtr.get());
     co->macro = std::make_unique<ckpt::MacroCheckpoint>(
         cfg, *phys, *s.hierarchy, *s.statGroup);
+    co->macro->setFaultInjector(injectorPtr.get());
     co->recovery = std::make_unique<RecoveryManager>(
-        cfg, *co->policy, *co->macro, *kernelPtr, co->pid, *s.core,
-        s.monitor.get(), *s.statGroup);
+        cfg, *co->policy, *co->macro, *kernelPtr, *phys, co->pid,
+        *s.core, s.monitor.get(), *s.statGroup);
 
     // Install (or extend) the CR3-routed hook mux on the shared core.
     if (!s.hookMux) {
@@ -315,7 +329,14 @@ IndraSystem::handleFailure(const ServiceRefs &refs,
 
     if (cfg.checkpointScheme != CheckpointScheme::None) {
         RecoveryLevel level = refs.recovery->recover(fail_tick);
-        if (level == RecoveryLevel::Macro) {
+        if (level == RecoveryLevel::Rejuvenation) {
+            // The reborn service starts from its load image: nothing
+            // dormant survives, and a fresh macro checkpoint was
+            // already taken inside the rejuvenation.
+            out.status = net::RequestStatus::Rejuvenated;
+            refs.app->healDormantDamage();
+            *refs.requestsSinceMacro = 0;
+        } else if (level == RecoveryLevel::Macro) {
             out.status = net::RequestStatus::MacroRecovered;
             refs.app->healDormantDamage();
             *refs.requestsSinceMacro = 0;

@@ -28,6 +28,8 @@
 #include "checkpoint/policy.hh"
 #include "core/recovery.hh"
 #include "cpu/core.hh"
+#include "faults/fault_injector.hh"
+#include "faults/fault_plan.hh"
 #include "mem/bus.hh"
 #include "mem/dram.hh"
 #include "mem/hierarchy.hh"
@@ -136,7 +138,14 @@ struct ServiceSlot
 class IndraSystem : public os::KernelListener
 {
   public:
-    explicit IndraSystem(const SystemConfig &cfg);
+    /**
+     * @param cfg  system configuration
+     * @param plan fault-injection plan; the default (empty) plan
+     *             creates no injector and leaves every simulation
+     *             bit-identical to a build without the subsystem
+     */
+    explicit IndraSystem(const SystemConfig &cfg,
+                         faults::FaultPlan plan = {});
     ~IndraSystem() override;
 
     IndraSystem(const IndraSystem &) = delete;
@@ -206,6 +215,12 @@ class IndraSystem : public os::KernelListener
     os::Kernel &kernel() { return *kernelPtr; }
     stats::StatGroup &rootStats() { return statRoot; }
 
+    /** The fault injector, or nullptr when the plan was empty. */
+    faults::FaultInjector *faultInjector()
+    {
+        return injectorPtr.get();
+    }
+
     // ------------------------------------------- os::KernelListener
     Cycles onRequestCheckpoint(Tick tick, Pid pid) override;
     void onDynCodeDeclared(Pid pid, Addr base,
@@ -241,6 +256,7 @@ class IndraSystem : public os::KernelListener
 
     SystemConfig cfg;
     stats::StatGroup statRoot;
+    std::unique_ptr<faults::FaultInjector> injectorPtr;
     std::unique_ptr<mem::PhysicalMemory> phys;
     std::unique_ptr<mem::MemWatchdog> watchdogPtr;
     std::unique_ptr<os::Kernel> kernelPtr;

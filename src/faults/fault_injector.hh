@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The fault injector: executes a FaultPlan against the narrow
+ * injection points the dependability layers expose.
+ *
+ * Determinism contract: each fault kind draws from its own PCG32
+ * stream (seeded from the plan seed and the kind id), so one kind's
+ * draws never perturb another's, and an unarmed kind never draws at
+ * all. Consumers hold a nullable FaultInjector pointer and call
+ * fire()/pick() only on armed kinds, which keeps a null or empty-plan
+ * run bit-identical to a build without the subsystem.
+ *
+ * Also home to checksum32(), the FNV-1a integrity checksum the
+ * hardened consumers (delta pages, update log, macro images) compute
+ * when state enters backup storage and verify when it leaves.
+ */
+
+#ifndef INDRA_FAULTS_FAULT_INJECTOR_HH
+#define INDRA_FAULTS_FAULT_INJECTOR_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "faults/fault_plan.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace indra::faults
+{
+
+/** FNV-1a 32-bit checksum over @p len bytes at @p data. */
+std::uint32_t checksum32(const void *data, std::size_t len);
+
+/**
+ * Per-system fault oracle. One instance per IndraSystem; every
+ * injection site asks it whether (and how) to fail.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultPlan &plan, stats::StatGroup &parent);
+
+    /** The plan this injector executes. */
+    const FaultPlan &plan() const { return thePlan; }
+
+    /** True when @p kind is armed at a nonzero rate. */
+    bool
+    armed(FaultKind kind) const
+    {
+        return rates[index(kind)] > 0.0;
+    }
+
+    /**
+     * One injection opportunity for @p kind: Bernoulli(rate). Draws
+     * RNG (and counts the injection when it fires) only when the kind
+     * is armed.
+     */
+    bool fire(FaultKind kind);
+
+    /**
+     * Auxiliary draw from @p kind's stream, uniform in [0, bound).
+     * Used to pick the bit/page/byte a fired fault lands on; call only
+     * after fire() returned true so unarmed runs never draw.
+     */
+    std::uint32_t pick(FaultKind kind, std::uint32_t bound);
+
+    /**
+     * Extra verdict latency for this detection: plan magnitude cycles
+     * when MonitorDelay fires, else 0.
+     */
+    Cycles verdictDelay();
+
+    /** Times @p kind actually fired so far. */
+    std::uint64_t injected(FaultKind kind) const;
+
+    /** Total injections across all kinds. */
+    std::uint64_t totalInjected() const;
+
+  private:
+    static std::size_t
+    index(FaultKind kind)
+    {
+        return static_cast<std::size_t>(kind);
+    }
+
+    FaultPlan thePlan;
+    std::array<double, faultKindCount> rates{};
+    std::array<Pcg32, faultKindCount> streams;
+    std::array<std::uint64_t, faultKindCount> fired{};
+
+    stats::StatGroup statGroup;
+    std::vector<std::unique_ptr<stats::Scalar>> statInjected;
+};
+
+} // namespace indra::faults
+
+#endif // INDRA_FAULTS_FAULT_INJECTOR_HH

@@ -1,0 +1,156 @@
+#include "faults/fault_plan.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace indra::faults
+{
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::TraceDrop:
+        return "trace-drop";
+      case FaultKind::TraceCorrupt:
+        return "trace-corrupt";
+      case FaultKind::MonitorFalseNegative:
+        return "monitor-miss";
+      case FaultKind::MonitorDelay:
+        return "monitor-delay";
+      case FaultKind::DeltaFlip:
+        return "delta-flip";
+      case FaultKind::LogFlip:
+        return "log-flip";
+      case FaultKind::MacroCorrupt:
+        return "macro-corrupt";
+      case FaultKind::MacroTruncate:
+        return "macro-truncate";
+      case FaultKind::ReleaseFail:
+        return "release-fail";
+    }
+    return "??";
+}
+
+const std::array<FaultKind, faultKindCount> &
+allFaultKinds()
+{
+    static const std::array<FaultKind, faultKindCount> kinds = {
+        FaultKind::TraceDrop,      FaultKind::TraceCorrupt,
+        FaultKind::MonitorFalseNegative, FaultKind::MonitorDelay,
+        FaultKind::DeltaFlip,      FaultKind::LogFlip,
+        FaultKind::MacroCorrupt,   FaultKind::MacroTruncate,
+        FaultKind::ReleaseFail,
+    };
+    return kinds;
+}
+
+FaultKind
+faultKindFromName(const std::string &name)
+{
+    for (FaultKind k : allFaultKinds()) {
+        if (name == faultKindName(k))
+            return k;
+    }
+    fatal("unknown fault kind '", name, "'");
+}
+
+FaultPlan &
+FaultPlan::add(FaultKind kind, double rate, std::uint64_t magnitude)
+{
+    FaultSpec spec;
+    spec.kind = kind;
+    spec.rate = std::clamp(rate, 0.0, 1.0);
+    spec.magnitude = magnitude;
+    // Re-arming a kind replaces the old spec.
+    for (FaultSpec &s : armed) {
+        if (s.kind == kind) {
+            s = spec;
+            return *this;
+        }
+    }
+    armed.push_back(spec);
+    return *this;
+}
+
+double
+FaultPlan::rate(FaultKind kind) const
+{
+    for (const FaultSpec &s : armed) {
+        if (s.kind == kind)
+            return s.rate;
+    }
+    return 0.0;
+}
+
+std::uint64_t
+FaultPlan::magnitude(FaultKind kind) const
+{
+    for (const FaultSpec &s : armed) {
+        if (s.kind == kind)
+            return s.magnitude;
+    }
+    return 0;
+}
+
+bool
+FaultPlan::empty() const
+{
+    for (const FaultSpec &s : armed) {
+        if (s.rate > 0.0)
+            return false;
+    }
+    return true;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &text, std::uint64_t seed)
+{
+    FaultPlan plan;
+    plan.setSeed(seed);
+    std::stringstream ss(text);
+    std::string clause;
+    while (std::getline(ss, clause, ',')) {
+        if (clause.empty())
+            continue;
+        std::stringstream cs(clause);
+        std::string kind_name, rate_str, mag_str;
+        std::getline(cs, kind_name, ':');
+        std::getline(cs, rate_str, ':');
+        std::getline(cs, mag_str, ':');
+        fatal_if(rate_str.empty(), "fault clause '", clause,
+                 "' needs kind:rate");
+        FaultKind kind = faultKindFromName(kind_name);
+        double rate = 0.0;
+        std::uint64_t magnitude = 0;
+        try {
+            rate = std::stod(rate_str);
+            if (!mag_str.empty())
+                magnitude = std::stoull(mag_str);
+        } catch (const std::exception &) {
+            fatal("bad number in fault clause '", clause, "'");
+        }
+        plan.add(kind, rate, magnitude);
+    }
+    return plan;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const FaultSpec &s : armed) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << faultKindName(s.kind) << ":" << s.rate;
+        if (s.magnitude)
+            os << ":" << s.magnitude;
+    }
+    return first ? "none" : os.str();
+}
+
+} // namespace indra::faults

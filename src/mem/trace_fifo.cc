@@ -14,6 +14,7 @@ TraceFifo::TraceFifo(std::uint32_t capacity, stats::StatGroup &parent)
       statStalls(statGroup, "stalls", "pushes that stalled (FIFO full)"),
       statStallCycles(statGroup, "stall_cycles",
                       "producer cycles lost to a full FIFO"),
+      statDrops(statGroup, "drops", "records lost in transit"),
       statOccupancy(statGroup, "occupancy", "entries in use at push time")
 {
     panic_if(cap == 0, "FIFO capacity must be nonzero");
@@ -65,6 +66,18 @@ std::uint64_t
 TraceFifo::pushes() const
 {
     return static_cast<std::uint64_t>(statPushes.value());
+}
+
+void
+TraceFifo::noteDropped()
+{
+    ++statDrops;
+}
+
+std::uint64_t
+TraceFifo::drops() const
+{
+    return static_cast<std::uint64_t>(statDrops.value());
 }
 
 Cycles

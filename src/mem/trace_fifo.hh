@@ -61,6 +61,16 @@ class TraceFifo
     /** Records pushed so far. */
     std::uint64_t pushes() const;
 
+    /**
+     * Account one record lost in transit (it never occupied a slot
+     * and the consumer never saw it). The FIFO is a pure timing
+     * model, so the loss itself is decided by the producer side.
+     */
+    void noteDropped();
+
+    /** Records recorded as lost in transit. */
+    std::uint64_t drops() const;
+
     /** Total producer stall cycles caused by a full FIFO. */
     Cycles totalStallCycles() const;
 
@@ -79,6 +89,7 @@ class TraceFifo
     stats::Scalar statPushes;
     stats::Scalar statStalls;
     stats::Scalar statStallCycles;
+    stats::Scalar statDrops;
     stats::Distribution statOccupancy;
 };
 

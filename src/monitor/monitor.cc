@@ -86,37 +86,66 @@ Monitor::costOf(cpu::TraceKind kind) const
 Tick
 Monitor::submit(const cpu::TraceRecord &rec, Tick tick)
 {
+    // Transport fault: the record is lost between the resurrectee and
+    // the resurrector. No slot is occupied, no check is run — the
+    // monitor simply never learns about this event.
+    if (injector && injector->fire(faults::FaultKind::TraceDrop)) {
+        traceFifo.noteDropped();
+        return tick;
+    }
+
+    cpu::TraceRecord inspected = rec;
+    if (injector && injector->fire(faults::FaultKind::TraceCorrupt)) {
+        // Flip one bit in one of the record's address fields; the
+        // inspectors then judge a record that lies about what the
+        // resurrectee did (spurious violations or masked ones).
+        Addr *fields[] = {&inspected.pc, &inspected.target,
+                          &inspected.retAddr, &inspected.sp};
+        std::uint32_t f =
+            injector->pick(faults::FaultKind::TraceCorrupt, 4);
+        std::uint32_t bit =
+            injector->pick(faults::FaultKind::TraceCorrupt, 64);
+        *fields[f] ^= 1ULL << bit;
+    }
+
     ++statRecords;
-    Cycles cost = costOf(rec.kind);
+    Cycles cost = costOf(inspected.kind);
     statBusyCycles += static_cast<double>(cost);
     mem::FifoPushResult push = traceFifo.push(tick, cost);
 
     Verdict verdict;
-    switch (rec.kind) {
+    switch (inspected.kind) {
       case cpu::TraceKind::CodeOrigin:
         ++statCodeOriginChecks;
-        verdict = codeOriginInspector.inspect(rec);
+        verdict = codeOriginInspector.inspect(inspected);
         break;
       case cpu::TraceKind::Call:
         ++statCallRetChecks;
-        callReturnInspector.onCall(rec);
+        callReturnInspector.onCall(inspected);
         break;
       case cpu::TraceKind::Return:
         ++statCallRetChecks;
-        verdict = callReturnInspector.onReturn(rec);
+        verdict = callReturnInspector.onReturn(inspected);
         break;
       case cpu::TraceKind::Setjmp:
         ++statCallRetChecks;
-        callReturnInspector.onSetjmp(rec);
+        callReturnInspector.onSetjmp(inspected);
         break;
       case cpu::TraceKind::Longjmp:
         ++statCtrlChecks;
-        verdict = callReturnInspector.onLongjmp(rec);
+        verdict = callReturnInspector.onLongjmp(inspected);
         break;
       case cpu::TraceKind::CtrlTransfer:
         ++statCtrlChecks;
-        verdict = ctrlInspector.inspect(rec);
+        verdict = ctrlInspector.inspect(inspected);
         break;
+    }
+
+    if (!verdict.ok() && injector &&
+        injector->fire(faults::FaultKind::MonitorFalseNegative)) {
+        // The check itself misfires: the monitor saw the violation
+        // and concluded everything was fine.
+        verdict = Verdict{};
     }
 
     if (!verdict.ok()) {
@@ -124,8 +153,11 @@ Monitor::submit(const cpu::TraceRecord &rec, Tick tick)
         statDetectionLatency.sample(
             static_cast<double>(push.serviceEndTick - tick));
         if (!pending) {
-            pending = DetectionEvent{verdict.violation, rec,
-                                     push.serviceEndTick};
+            Tick verdict_tick = push.serviceEndTick;
+            if (injector)
+                verdict_tick += injector->verdictDelay();
+            pending = DetectionEvent{verdict.violation, inspected,
+                                     verdict_tick};
         }
     }
     return push.pushDoneTick;

@@ -18,6 +18,7 @@
 #include <optional>
 
 #include "cpu/trace.hh"
+#include "faults/fault_injector.hh"
 #include "mem/trace_fifo.hh"
 #include "monitor/call_return.hh"
 #include "monitor/code_origin.hh"
@@ -86,6 +87,13 @@ class Monitor : public cpu::TraceSink
     /** Reset FIFO timing between measurement runs. */
     void resetTiming();
 
+    /**
+     * Attach a fault injector (nullable). Records submitted after
+     * this may be dropped in transit, corrupted before inspection,
+     * have their verdict suppressed (false negative) or delayed.
+     */
+    void setFaultInjector(faults::FaultInjector *inj) { injector = inj; }
+
     // -------------------------------------------------------- access
     mem::TraceFifo &fifo() { return traceFifo; }
     std::uint64_t recordsProcessed() const;
@@ -109,6 +117,7 @@ class Monitor : public cpu::TraceSink
     Cycles costOf(cpu::TraceKind kind) const;
 
     const SystemConfig &config;
+    faults::FaultInjector *injector = nullptr;
     mem::TraceFifo traceFifo;
     CodeOriginInspector codeOriginInspector;
     CallReturnInspector callReturnInspector;

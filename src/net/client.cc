@@ -51,7 +51,8 @@ ClientScript::randomMix(std::uint64_t n, double attack_prob,
 double
 AvailabilityReport::availability() const
 {
-    std::uint64_t answered = served + recovered + macroRecovered;
+    std::uint64_t answered =
+        served + recovered + macroRecovered + rejuvenated;
     std::uint64_t asked = answered + lost;
     return asked ? static_cast<double>(answered) / asked : 1.0;
 }
@@ -74,6 +75,9 @@ AvailabilityReport::build(const std::vector<RequestOutcome> &outcomes)
             break;
           case RequestStatus::MacroRecovered:
             ++rep.macroRecovered;
+            break;
+          case RequestStatus::Rejuvenated:
+            ++rep.rejuvenated;
             break;
           case RequestStatus::Lost:
             ++rep.lost;

@@ -50,6 +50,7 @@ struct AvailabilityReport
     std::uint64_t served = 0;
     std::uint64_t recovered = 0;
     std::uint64_t macroRecovered = 0;
+    std::uint64_t rejuvenated = 0;
     std::uint64_t lost = 0;
     double meanBenignResponse = 0;
     double maxBenignResponse = 0;

@@ -68,6 +68,8 @@ requestStatusName(RequestStatus s)
         return "crashed+recovered";
       case RequestStatus::MacroRecovered:
         return "macro-recovered";
+      case RequestStatus::Rejuvenated:
+        return "rejuvenated";
       case RequestStatus::Lost:
         return "lost";
     }

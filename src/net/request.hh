@@ -59,6 +59,7 @@ enum class RequestStatus : std::uint8_t
     DetectedRecovered, //!< exploit detected, micro recovery succeeded
     CrashedRecovered,  //!< service crashed, recovery succeeded
     MacroRecovered,    //!< needed the macro (application) checkpoint
+    Rejuvenated,       //!< needed a full service rejuvenation
     Lost,              //!< no recovery mechanism; service went down
 };
 

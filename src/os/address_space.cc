@@ -74,15 +74,17 @@ AddressSpace::mapPage(Vpn vpn, Region region)
     return info.pfn;
 }
 
-void
+bool
 AddressSpace::unmapPage(Vpn vpn)
 {
     auto it = table.find(vpn);
-    panic_if(it == table.end(), "unmapping unmapped vpn ", vpn);
+    if (it == table.end())
+        return false;
     if (watchdog)
         watchdog->revokeAll(it->second.pfn);
     phys.freeFrame(it->second.pfn);
     table.erase(it);
+    return true;
 }
 
 Pfn

@@ -87,8 +87,12 @@ class AddressSpace : public mem::Translator
     /** Map one fresh page at @p vpn. @return the new frame. */
     Pfn mapPage(Vpn vpn, Region region);
 
-    /** Unmap and free the page at @p vpn. */
-    void unmapPage(Vpn vpn);
+    /**
+     * Unmap and free the page at @p vpn.
+     * @return false (a no-op) when @p vpn was not mapped — reclaiming
+     * a page twice during a faulty revival is survivable, not fatal.
+     */
+    bool unmapPage(Vpn vpn);
 
     /**
      * Point @p vpn at @p new_pfn, freeing the old frame. Used by the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "faults/fault_injector.hh"
 #include "os/address_space.hh"
 #include "sim/logging.hh"
 
@@ -101,6 +102,10 @@ SystemResources::restoreTo(const ResourceSnapshot &snap,
                            AddressSpace &space)
 {
     RestoreActions actions;
+    auto release_fails = [&] {
+        return injector &&
+               injector->fire(faults::FaultKind::ReleaseFail);
+    };
 
     // Close files opened after the snapshot; leave older ones open.
     std::vector<std::int32_t> to_close;
@@ -110,28 +115,52 @@ SystemResources::restoreTo(const ResourceSnapshot &snap,
         if (!existed)
             to_close.push_back(fd);
     }
+    bool fd_leaked = false;
     for (std::int32_t fd : to_close) {
+        if (release_fails()) {
+            // The descriptor leaks; a later restore retries it.
+            ++actions.releaseFailures;
+            fd_leaked = true;
+            continue;
+        }
         files.erase(fd);
         ++actions.filesClosed;
     }
-    nextFd = snap.nextFd;
+    // A leaked descriptor keeps its number live: rewinding nextFd
+    // would hand the same fd out twice.
+    if (!fd_leaked)
+        nextFd = snap.nextFd;
 
     // Kill children spawned after the snapshot (possibly malicious).
-    while (children.size() > snap.children.size()) {
-        children.pop_back();
+    std::size_t idx = children.size();
+    while (idx > snap.children.size()) {
+        --idx;
+        if (release_fails()) {
+            ++actions.releaseFailures;  // this child dodges the purge
+            continue;
+        }
+        children.erase(children.begin() +
+                       static_cast<std::ptrdiff_t>(idx));
         ++actions.childrenKilled;
     }
 
-    // Reclaim heap pages mapped after the snapshot.
-    panic_if(heapPagesMapped < snap.heapPages,
-             "heap shrank below the snapshot");
-    std::uint64_t excess = heapPagesMapped - snap.heapPages;
-    for (std::uint64_t i = 0; i < excess; ++i) {
+    // Reclaim heap pages mapped after the snapshot. A heap already at
+    // or below the snapshot (a revival raced the allocator) clamps to
+    // a no-op instead of dying.
+    if (heapPagesMapped < snap.heapPages)
+        actions.heapBelowSnapshot = true;
+    while (heapPagesMapped > snap.heapPages) {
+        if (release_fails()) {
+            // The break cannot move past an unreleasable page; stop
+            // here and let a later restore retry the remainder.
+            ++actions.releaseFailures;
+            break;
+        }
         --heapBreakVpn;
         space.unmapPage(heapBreakVpn);
+        --heapPagesMapped;
         ++actions.pagesReclaimed;
     }
-    heapPagesMapped = snap.heapPages;
     return actions;
 }
 

@@ -18,6 +18,11 @@
 
 #include "sim/types.hh"
 
+namespace indra::faults
+{
+class FaultInjector;
+}
+
 namespace indra::os
 {
 
@@ -45,6 +50,16 @@ struct RestoreActions
     std::uint32_t filesClosed = 0;
     std::uint32_t childrenKilled = 0;
     std::uint64_t pagesReclaimed = 0;
+    /**
+     * Release attempts that failed (injected kernel faults). The
+     * resource leaks until a later restore retries it; the caller
+     * decides whether the leak is tolerable or grounds to escalate.
+     */
+    std::uint32_t releaseFailures = 0;
+    /** Heap was already below the snapshot (clamped, nothing to do). */
+    bool heapBelowSnapshot = false;
+
+    bool clean() const { return releaseFailures == 0; }
 };
 
 /**
@@ -93,8 +108,16 @@ class SystemResources
     RestoreActions restoreTo(const ResourceSnapshot &snap,
                              AddressSpace &space);
 
+    /**
+     * Attach a fault injector (nullable). Each file close, child
+     * kill, and heap-page reclaim of restoreTo becomes a release
+     * attempt that the injector may fail.
+     */
+    void setFaultInjector(faults::FaultInjector *inj) { injector = inj; }
+
   private:
     Pid owner;
+    faults::FaultInjector *injector = nullptr;
     std::int32_t nextFd = 3;
     Pid nextChildPid;
     std::map<std::int32_t, OpenFile> files;

@@ -160,10 +160,21 @@ struct SystemConfig
     std::uint64_t macroCheckpointPeriod = 10000;
     /** Consecutive micro-recovery failures before macro rollback. */
     std::uint32_t consecutiveFailureThreshold = 3;
+    /**
+     * Consecutive macro recoveries (no intervening served request)
+     * before the ladder escalates to full service rejuvenation —
+     * macro rollback is evidently not reviving the service either.
+     */
+    std::uint32_t macroRetryLimit = 3;
     /** Resurrector->resurrectee interrupt + pipeline flush cost. */
     Cycles recoveryInterruptCycles = 400;
     /** Cost of a full service restart when INDRA is disabled. */
     Cycles serviceRestartCycles = 20000000;
+    /**
+     * Cost of full service rejuvenation (top of the escalation
+     * ladder): re-exec the service program with fresh OS state.
+     */
+    Cycles rejuvenationCycles = 20000000;
 
     // ------------------------------------------------------ simulation
     std::uint64_t rngSeed = 1;

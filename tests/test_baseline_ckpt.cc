@@ -290,14 +290,17 @@ TEST(MacroCkpt, HasCheckpointFlag)
     EXPECT_TRUE(macro.hasCheckpoint());
 }
 
-TEST(MacroCkptDeath, RestoreWithoutCapturePanics)
+TEST(MacroCkpt, RestoreWithoutCaptureIsRefused)
 {
     MemoryRig rig;
     os::SystemResources res(1);
     ckpt::MacroCheckpoint macro(rig.cfg, rig.phys, *rig.hierarchy,
                                 rig.stats);
-    EXPECT_DEATH(macro.restore(0, *rig.context, *rig.space, res),
-                 "without a captured checkpoint");
+    ckpt::MacroRestoreResult res2 =
+        macro.restore(0, *rig.context, *rig.space, res);
+    EXPECT_FALSE(res2.ok);
+    EXPECT_EQ(macro.restoreFailures(), 1u);
+    EXPECT_EQ(macro.restores(), 0u);
 }
 
 TEST(MacroCkpt, CapturesCostMoreThanDeltaArming)

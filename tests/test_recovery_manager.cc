@@ -35,8 +35,8 @@ class RecoveryTest : public ::testing::Test
         macro = std::make_unique<ckpt::MacroCheckpoint>(
             rig.cfg, rig.phys, *rig.hierarchy, rig.stats);
         manager = std::make_unique<core::RecoveryManager>(
-            rig.cfg, *policy, *macro, kernel, pid, *core, nullptr,
-            rig.stats);
+            rig.cfg, *policy, *macro, kernel, rig.phys, pid, *core,
+            nullptr, rig.stats);
     }
 
     void
@@ -122,6 +122,42 @@ TEST_F(RecoveryTest, ExceedingThresholdFallsBackToMacro)
     EXPECT_EQ(macro->restores(), 1u);
 }
 
+TEST_F(RecoveryTest, EscalationBoundaryIsExact)
+{
+    // threshold = 2 (set in the fixture). Failures 1..threshold stay
+    // micro; failure threshold+1 is the first macro. threshold-1
+    // failures followed by a success must never reach macro, because
+    // noteSuccess() resets the consecutive count.
+    manager->takeMacroCheckpoint(0);
+
+    beginRequest();
+    EXPECT_EQ(manager->recover(core->curTick()),
+              core::RecoveryLevel::Micro);
+    EXPECT_EQ(manager->consecutiveFailures(), 1u);
+
+    // threshold-1 failures, then success: counter back to zero.
+    manager->noteSuccess();
+    EXPECT_EQ(manager->consecutiveFailures(), 0u);
+
+    // Now run to exactly the threshold: still micro on each.
+    for (std::uint32_t i = 1; i <= rig.cfg.consecutiveFailureThreshold;
+         ++i) {
+        beginRequest();
+        EXPECT_EQ(manager->recover(core->curTick()),
+                  core::RecoveryLevel::Micro)
+            << "failure " << i << " escalated early";
+    }
+    EXPECT_EQ(macro->restores(), 0u);
+
+    // One past the threshold: macro, and the counter resets.
+    beginRequest();
+    EXPECT_EQ(manager->recover(core->curTick()),
+              core::RecoveryLevel::Macro);
+    EXPECT_EQ(macro->restores(), 1u);
+    EXPECT_EQ(manager->consecutiveFailures(), 0u);
+    EXPECT_EQ(manager->consecutiveMacroRecoveries(), 1u);
+}
+
 TEST_F(RecoveryTest, NoMacroCheckpointMeansMicroForever)
 {
     for (int i = 0; i < 6; ++i) {
@@ -157,7 +193,18 @@ TEST_F(RecoveryTest, MacroCheckpointDrainsPendingRollback)
     EXPECT_EQ(peek(0x10000000), 0x1u);
 }
 
-TEST_F(RecoveryTest, RecoverWithoutSnapshotPanics)
+TEST_F(RecoveryTest, RecoverWithoutSnapshotRejuvenates)
 {
-    EXPECT_DEATH(manager->recover(0), "without a request snapshot");
+    // No request snapshot and no macro checkpoint: the only safe exit
+    // is a full rejuvenation back to the load-time image.
+    poke(0x10000000, 0xaaaa);
+    proc->context->regs().pc = 0xbadbad;
+    EXPECT_EQ(manager->recover(0), core::RecoveryLevel::Rejuvenation);
+    EXPECT_EQ(manager->missingSnapshotRecoveries(), 1u);
+    EXPECT_EQ(manager->rejuvenations(), 1u);
+    // Load-time page contents and context restored.
+    EXPECT_EQ(peek(0x10000000), 0u);
+    EXPECT_NE(proc->context->regs().pc, 0xbadbadu);
+    // Rejuvenation re-arms the macro checkpoint for future failures.
+    EXPECT_TRUE(macro->hasCheckpoint());
 }

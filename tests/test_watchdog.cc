@@ -91,6 +91,52 @@ TEST(Watchdog, RevokeOnUngrantedFrameIsNoop)
     EXPECT_EQ(wd.denials(), 0u);
 }
 
+TEST(Watchdog, RevokeAllClearsEveryCore)
+{
+    stats::StatGroup g("t");
+    MemWatchdog wd(g);
+    for (CoreId c = 0; c < 64; ++c)
+        wd.grant(7, c);
+    for (CoreId c = 0; c < 64; ++c)
+        EXPECT_TRUE(wd.isGranted(7, c));
+    wd.revokeAll(7);
+    for (CoreId c = 0; c < 64; ++c)
+        EXPECT_FALSE(wd.isGranted(7, c)) << "core " << c;
+    // The frame is private again, not wrong-core.
+    EXPECT_EQ(wd.check(0, Privilege::Low, 7),
+              WatchdogVerdict::DeniedPrivate);
+}
+
+TEST(Watchdog, WrongCoreTakesPrecedenceOverPrivate)
+{
+    stats::StatGroup g("t");
+    MemWatchdog wd(g);
+    // While ANY grant exists on the frame, a non-granted core gets
+    // DeniedWrongCore (the frame is shared, just not with it).
+    wd.grant(9, 3);
+    EXPECT_EQ(wd.check(5, Privilege::Low, 9),
+              WatchdogVerdict::DeniedWrongCore);
+    // Once the last grant is revoked, the same access degrades to
+    // DeniedPrivate (nobody may touch the frame).
+    wd.revoke(9, 3);
+    EXPECT_EQ(wd.check(5, Privilege::Low, 9),
+              WatchdogVerdict::DeniedPrivate);
+    EXPECT_EQ(wd.denials(), 2u);
+}
+
+TEST(Watchdog, HighestCoreIdIsUsable)
+{
+    stats::StatGroup g("t");
+    MemWatchdog wd(g);
+    wd.grant(11, 63);  // last representable core in the 64-bit mask
+    EXPECT_EQ(wd.check(63, Privilege::Low, 11),
+              WatchdogVerdict::Allowed);
+    EXPECT_EQ(wd.check(62, Privilege::Low, 11),
+              WatchdogVerdict::DeniedWrongCore);
+    wd.revoke(11, 63);
+    EXPECT_FALSE(wd.isGranted(11, 63));
+}
+
 TEST(WatchdogDeath, RejectsCoreBeyond64)
 {
     stats::StatGroup g("t");
