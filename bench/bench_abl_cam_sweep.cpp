@@ -13,7 +13,9 @@ int
 main(int argc, char **argv)
 {
     setLogVerbosity(0);
-    auto sweep = benchutil::sweepFromCli(argc, argv);
+    benchutil::BenchCli cli("bench_abl_cam_sweep",
+                            "Ablation: filter CAM size sweep");
+    auto sweep = cli.parse(argc, argv);
     SystemConfig base;
     base.checkpointScheme = CheckpointScheme::None;
     benchutil::printHeader("Ablation: filter CAM size sweep", base);

@@ -44,7 +44,9 @@ int
 main(int argc, char **argv)
 {
     setLogVerbosity(0);
-    auto sweep = benchutil::sweepFromCli(argc, argv);
+    benchutil::BenchCli cli("bench_abl_eager_rollback",
+                            "Ablation: rollback on demand vs eager rollback");
+    auto sweep = cli.parse(argc, argv);
     SystemConfig lazy;
     lazy.monitorEnabled = false;
     SystemConfig eager = lazy;

@@ -18,7 +18,9 @@ int
 main(int argc, char **argv)
 {
     setLogVerbosity(0);
-    auto sweep = benchutil::sweepFromCli(argc, argv);
+    benchutil::BenchCli cli("bench_abl_granularity",
+                            "Ablation: delta backup line granularity");
+    auto sweep = cli.parse(argc, argv);
     SystemConfig base;
     base.monitorEnabled = false;
     benchutil::printHeader(

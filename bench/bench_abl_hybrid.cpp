@@ -17,7 +17,9 @@ int
 main(int argc, char **argv)
 {
     setLogVerbosity(0);
-    auto sweep = benchutil::sweepFromCli(argc, argv);
+    benchutil::BenchCli cli("bench_abl_hybrid",
+                            "Ablation: hybrid recovery macro-checkpoint period");
+    auto sweep = cli.parse(argc, argv);
     SystemConfig base;
     base.consecutiveFailureThreshold = 2;
     benchutil::printHeader(

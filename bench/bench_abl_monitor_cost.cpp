@@ -15,7 +15,9 @@ int
 main(int argc, char **argv)
 {
     setLogVerbosity(0);
-    auto sweep = benchutil::sweepFromCli(argc, argv);
+    benchutil::BenchCli cli("bench_abl_monitor_cost",
+                            "Ablation: monitor check-cost scaling");
+    auto sweep = cli.parse(argc, argv);
     SystemConfig base;
     base.monitorEnabled = false;
     base.checkpointScheme = CheckpointScheme::None;

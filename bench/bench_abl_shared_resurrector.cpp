@@ -15,7 +15,9 @@ int
 main(int argc, char **argv)
 {
     setLogVerbosity(0);
-    auto sweep = benchutil::sweepFromCli(argc, argv);
+    benchutil::BenchCli cli("bench_abl_shared_resurrector",
+                            "Ablation: shared resurrector time-slicing");
+    auto sweep = cli.parse(argc, argv);
     SystemConfig base;
     base.checkpointScheme = CheckpointScheme::None;
     base.monitorEnabled = false;

@@ -77,12 +77,13 @@ int
 main(int argc, char **argv)
 {
     setLogVerbosity(0);
+    benchutil::BenchCli cli(
+        "bench_fault_campaign",
+        "Fault campaign: component failures vs the recovery ladder");
     bool smoke = false;
-    for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--smoke")
-            smoke = true;
-    }
-    auto sweep = benchutil::sweepFromCli(argc, argv);
+    cli.flag("--smoke", "single-seed single-daemon CI-sized subset",
+             &smoke);
+    auto sweep = cli.parse(argc, argv);
 
     SystemConfig base;
     base.physMemBytes = 128ULL * 1024 * 1024;

@@ -14,7 +14,9 @@ int
 main(int argc, char **argv)
 {
     setLogVerbosity(0);
-    auto sweep = benchutil::sweepFromCli(argc, argv);
+    benchutil::BenchCli cli("bench_fig09_il1_miss",
+                            "Figure 9: L1 instruction cache miss rate");
+    auto sweep = cli.parse(argc, argv);
     SystemConfig cfg;
     benchutil::printHeader(
         "Figure 9: L1 instruction cache miss rate (%)", cfg);

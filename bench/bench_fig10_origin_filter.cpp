@@ -30,7 +30,9 @@ int
 main(int argc, char **argv)
 {
     setLogVerbosity(0);
-    auto sweep = benchutil::sweepFromCli(argc, argv);
+    benchutil::BenchCli cli("bench_fig10_origin_filter",
+                            "Figure 10: code-origin checks surviving CAM filtering");
+    auto sweep = cli.parse(argc, argv);
     SystemConfig cfg;
     benchutil::printHeader(
         "Figure 10: % of code-origin checks after CAM filtering", cfg);

@@ -15,7 +15,9 @@ int
 main(int argc, char **argv)
 {
     setLogVerbosity(0);
-    auto sweep = benchutil::sweepFromCli(argc, argv);
+    benchutil::BenchCli cli("bench_fig13_request_interval",
+                            "Figure 13: instructions between service requests");
+    auto sweep = cli.parse(argc, argv);
     SystemConfig cfg;
     benchutil::printHeader(
         "Figure 13: instructions between service requests", cfg);

@@ -16,7 +16,9 @@ int
 main(int argc, char **argv)
 {
     setLogVerbosity(0);
-    auto sweep = benchutil::sweepFromCli(argc, argv);
+    benchutil::BenchCli cli("bench_fig14_page_copy_slowdown",
+                            "Figure 14: slowdown with page-copy virtual checkpointing");
+    auto sweep = cli.parse(argc, argv);
     SystemConfig base;
     base.monitorEnabled = false;
     base.checkpointScheme = CheckpointScheme::None;

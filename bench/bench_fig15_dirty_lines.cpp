@@ -18,7 +18,9 @@ int
 main(int argc, char **argv)
 {
     setLogVerbosity(0);
-    auto sweep = benchutil::sweepFromCli(argc, argv);
+    benchutil::BenchCli cli("bench_fig15_dirty_lines",
+                            "Figure 15: touched-page lines requiring backup");
+    auto sweep = cli.parse(argc, argv);
     SystemConfig cfg;
     cfg.monitorEnabled = false;
     cfg.checkpointScheme = CheckpointScheme::DeltaBackup;

@@ -17,7 +17,9 @@ int
 main(int argc, char **argv)
 {
     setLogVerbosity(0);
-    auto sweep = benchutil::sweepFromCli(argc, argv);
+    benchutil::BenchCli cli("bench_fig16_backup_rollback",
+                            "Figure 16: slowdown of monitor+backup and rollback every other request");
+    auto sweep = cli.parse(argc, argv);
     SystemConfig base;
     base.monitorEnabled = false;
     base.checkpointScheme = CheckpointScheme::None;

@@ -17,7 +17,9 @@ int
 main(int argc, char **argv)
 {
     setLogVerbosity(0);
-    auto sweep = benchutil::sweepFromCli(argc, argv);
+    benchutil::BenchCli cli("bench_sec_eval",
+                            "Security evaluation (Section 4.1): documented exploits");
+    auto sweep = cli.parse(argc, argv);
     SystemConfig cfg;
     cfg.consecutiveFailureThreshold = 2;
     benchutil::printHeader(

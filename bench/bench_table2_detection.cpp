@@ -15,7 +15,9 @@ int
 main(int argc, char **argv)
 {
     setLogVerbosity(0);
-    auto sweep = benchutil::sweepFromCli(argc, argv);
+    benchutil::BenchCli cli("bench_table2_detection",
+                            "Table 2: remote exploit inspection");
+    auto sweep = cli.parse(argc, argv);
     SystemConfig cfg;
     benchutil::printHeader("Table 2: remote exploit inspection", cfg);
 

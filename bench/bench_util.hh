@@ -8,6 +8,7 @@
 #ifndef INDRA_BENCH_UTIL_HH
 #define INDRA_BENCH_UTIL_HH
 
+#include <cstdlib>
 #include <functional>
 #include <iomanip>
 #include <iostream>
@@ -39,6 +40,137 @@ sweepFromCli(int argc, char **argv)
     std::vector<std::string> args(argv + 1, argv + argc);
     return harness::ParallelSweep(parseJobs(args));
 }
+
+/**
+ * The shared bench command line: every sweep bench registers its
+ * flags/options here, gets --help and --jobs for free, and rejects
+ * anything unrecognized instead of silently ignoring a typo
+ * ("--smkoe" running the full-size sweep is how CI timeouts happen).
+ *
+ *     BenchCli cli("bench_foo", "what the bench measures");
+ *     bool smoke = false;
+ *     cli.flag("--smoke", "run the CI-sized subset", &smoke);
+ *     auto sweep = cli.parse(argc, argv);
+ */
+class BenchCli
+{
+  public:
+    BenchCli(std::string prog, std::string summary)
+        : progName(std::move(prog)), progSummary(std::move(summary))
+    {
+    }
+
+    /** Register a boolean flag (present -> *out = true). */
+    void
+    flag(const std::string &name, const std::string &desc, bool *out)
+    {
+        flags.push_back(Flag{name, desc, out});
+    }
+
+    /** Register a value option ("--name VALUE" or "--name=VALUE"). */
+    void
+    option(const std::string &name, const std::string &value_name,
+           const std::string &desc, std::string *out)
+    {
+        options.push_back(Option{name, value_name, desc, out});
+    }
+
+    /**
+     * Parse the command line. Handles --help/-h (print and exit 0)
+     * and the --jobs forms, fills the registered flags and options,
+     * and dies on anything else.
+     */
+    harness::ParallelSweep
+    parse(int argc, char **argv)
+    {
+        std::vector<std::string> args(argv + 1, argv + argc);
+        unsigned jobs = parseJobs(args); // removes the --jobs forms
+        for (auto it = args.begin(); it != args.end();) {
+            const std::string &arg = *it;
+            if (arg == "--help" || arg == "-h") {
+                printHelp(std::cout);
+                std::exit(0);
+            }
+            if (auto *f = findFlag(arg)) {
+                *f->out = true;
+                it = args.erase(it);
+                continue;
+            }
+            bool matched = false;
+            for (Option &o : options) {
+                if (arg == o.name) {
+                    fatal_if(it + 1 == args.end(), o.name,
+                             " needs a value (", o.valueName, ")");
+                    *o.out = *(it + 1);
+                    it = args.erase(it, it + 2);
+                    matched = true;
+                    break;
+                }
+                if (arg.rfind(o.name + "=", 0) == 0) {
+                    *o.out = arg.substr(o.name.size() + 1);
+                    it = args.erase(it);
+                    matched = true;
+                    break;
+                }
+            }
+            if (matched)
+                continue;
+            fatal(progName, ": unrecognized command-line flag '", arg,
+                  "' (try --help)");
+        }
+        return harness::ParallelSweep(jobs);
+    }
+
+  private:
+    struct Flag
+    {
+        std::string name;
+        std::string desc;
+        bool *out;
+    };
+    struct Option
+    {
+        std::string name;
+        std::string valueName;
+        std::string desc;
+        std::string *out;
+    };
+
+    Flag *
+    findFlag(const std::string &name)
+    {
+        for (Flag &f : flags) {
+            if (f.name == name)
+                return &f;
+        }
+        return nullptr;
+    }
+
+    void
+    printHelp(std::ostream &os) const
+    {
+        os << "usage: " << progName << " [options]\n\n"
+           << progSummary << "\n\noptions:\n";
+        auto line = [&os](const std::string &lhs,
+                          const std::string &desc) {
+            os << "  " << std::left << std::setw(26) << lhs << desc
+               << "\n";
+        };
+        line("--help", "print this help and exit");
+        line("--jobs N",
+             "sweep worker threads (default: hardware concurrency; "
+             "1 = serial)");
+        for (const Flag &f : flags)
+            line(f.name, f.desc);
+        for (const Option &o : options)
+            line(o.name + " " + o.valueName, o.desc);
+    }
+
+    std::string progName;
+    std::string progSummary;
+    std::vector<Flag> flags;
+    std::vector<Option> options;
+};
 
 /** One measured run of one daemon under one configuration. */
 struct Run

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# The CI pipeline, runnable locally: three configurations of the same
+# tree, each driven through its CMake preset (see CMakePresets.json).
+#
+#   ci-release     Release build, the full ctest suite (unit tests,
+#                  harness determinism, fault campaign smoke, overload
+#                  storm smoke with its self-checks).
+#   ci-asan-ubsan  address+undefined sanitizers over the labelled
+#                  corruption paths: -L faults, resilience, harness.
+#   ci-tsan        thread sanitizer over the parallel sweep harness
+#                  and the storm cells: -L harness, resilience.
+#
+# Usage: scripts/ci.sh [preset ...]   (default: all three in order)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+    presets=(ci-release ci-asan-ubsan ci-tsan)
+fi
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+for preset in "${presets[@]}"; do
+    echo "=== [$preset] configure"
+    cmake --preset "$preset"
+    echo "=== [$preset] build"
+    cmake --build --preset "$preset" -j "$jobs"
+    echo "=== [$preset] test"
+    ctest --preset "$preset" -j "$jobs"
+done
+
+echo "=== all CI presets passed: ${presets[*]}"

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * IndraSystem::runStorm — the attack-storm driver.
+ *
+ * A discrete-event loop over one service: legitimate open-loop
+ * clients and bursty malicious traffic are merged into one arrival
+ * timeline; every arrival passes the slot's ServiceGuard (when
+ * armed), shed legitimate requests retry with exponential backoff
+ * and deterministic jitter, and resurrector probes are issued while
+ * the health machine admits only probes. Events are ordered by
+ * (tick, creation order), both derived from the plan seed alone, so
+ * a fixed-seed storm is bit-identical on any sweep --jobs count.
+ */
+
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "core/system.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace indra::core
+{
+
+namespace
+{
+
+/** One scheduled arrival (first try, retry, or probe). */
+struct Arrival
+{
+    Tick tick = 0;
+    std::uint64_t order = 0; //!< creation order, the tie-break
+    net::ServiceRequest req;
+    std::uint32_t attempt = 1; //!< 1 = first try
+    bool legit = false;        //!< counts toward goodput
+    bool probe = false;
+};
+
+struct ArrivalAfter
+{
+    bool
+    operator()(const Arrival &a, const Arrival &b) const
+    {
+        if (a.tick != b.tick)
+            return a.tick > b.tick;
+        return a.order > b.order;
+    }
+};
+
+using ArrivalQueue =
+    std::priority_queue<Arrival, std::vector<Arrival>, ArrivalAfter>;
+
+/** Exponential interarrival gap (>= 1 cycle) for @p rate_per_mcycle. */
+Cycles
+expGap(Pcg32 &rng, double rate_per_mcycle)
+{
+    double u = rng.uniformReal();
+    double gap = -std::log(1.0 - u) * 1e6 / rate_per_mcycle;
+    return gap < 1.0 ? 1 : static_cast<Cycles>(gap);
+}
+
+} // anonymous namespace
+
+resilience::StormReport
+IndraSystem::runStorm(std::size_t slot_idx,
+                      const resilience::StormPlan &plan)
+{
+    fatal_if(plan.legitRatePerMCycle <= 0.0,
+             "storm needs a positive legit arrival rate");
+    ServiceRefs refs = refsForMain(slot_idx);
+    ServiceSlot &s = *refs.slot;
+    resilience::ServiceGuard *guard = s.guard.get();
+
+    resilience::StormReport rep;
+    ArrivalQueue events;
+    std::uint64_t order = 0;
+
+    // ---------------------------------------------- arrival timelines
+    Pcg32 legitRng(plan.seed, 0x6c65676974ULL);  // "legit"
+    Pcg32 attackRng(plan.seed, 0x6174746bULL);   // "attk"
+    resilience::RetryScheduler retry(plan.backoff, plan.seed);
+
+    Tick t = 0;
+    for (std::uint64_t i = 0; i < plan.legitRequests; ++i) {
+        t += expGap(legitRng, plan.legitRatePerMCycle);
+        Arrival a;
+        a.tick = t;
+        a.order = order++;
+        a.req.attack = net::AttackKind::None;
+        a.req.clientClass = net::ClientClass::Standard;
+        a.req.admissionDeadline = plan.deadline;
+        a.legit = true;
+        events.push(a);
+    }
+    rep.legitArrivals = plan.legitRequests;
+    Tick horizon = t; // the storm rages while legit load is offered
+
+    std::uint32_t burst_len = std::max<std::uint32_t>(1, plan.burstLen);
+    if (plan.attackRatePerMCycle > 0.0) {
+        double burst_rate =
+            plan.attackRatePerMCycle / static_cast<double>(burst_len);
+        Tick bt = 0;
+        bool first_burst = true;
+        while (true) {
+            bt += expGap(attackRng, burst_rate);
+            if (bt > horizon)
+                break;
+            for (std::uint32_t k = 0; k < burst_len; ++k) {
+                Arrival a;
+                a.tick = bt + k * plan.burstSpacing;
+                a.order = order++;
+                a.req.attack =
+                    (first_burst && plan.plantDormant && k == 0)
+                        ? net::AttackKind::Dormant
+                        : plan.attackKind;
+                a.req.clientClass = net::ClientClass::Bulk;
+                events.push(a);
+                ++rep.attackArrivals;
+            }
+            first_burst = false;
+        }
+    } else if (plan.plantDormant) {
+        Arrival a;
+        a.tick = 1;
+        a.order = order++;
+        a.req.attack = net::AttackKind::Dormant;
+        a.req.clientClass = net::ClientClass::Bulk;
+        events.push(a);
+        ++rep.attackArrivals;
+    }
+
+    // ------------------------------------------------ the event loop
+    std::deque<Arrival> queue; // admitted, not yet started
+    std::uint64_t next_seq = 0;
+    bool probe_pending = false;
+    std::uint64_t probes_left = plan.probeBudget;
+    std::vector<Cycles> legit_times;
+
+    bool left_healthy = false;
+    bool revived = false;
+    std::uint64_t executed_since_depart = 0;
+
+    auto scheduleProbe = [&](Tick now) {
+        if (!guard || probe_pending || probes_left == 0)
+            return;
+        if (!guard->health().probeOnly())
+            return;
+        probe_pending = true;
+        --probes_left;
+        Arrival a;
+        a.tick = now + plan.probePeriod;
+        a.order = order++;
+        a.req.attack = net::AttackKind::None;
+        a.req.clientClass = net::ClientClass::Probe;
+        a.probe = true;
+        events.push(a);
+        ++rep.probes;
+    };
+
+    auto recordShed = [&](const Arrival &a, net::ShedReason reason,
+                          Tick now) {
+        ++rep.sheds[static_cast<std::size_t>(reason)];
+        if (a.probe) {
+            probe_pending = false;
+            scheduleProbe(now);
+            return;
+        }
+        if (!a.legit)
+            return; // attackers do not retry
+        if (retry.mayRetry(a.attempt)) {
+            ++rep.retries;
+            Arrival r = a;
+            r.tick = now + retry.delay(a.attempt);
+            r.order = order++;
+            ++r.attempt;
+            events.push(r);
+        } else {
+            ++rep.legitGaveUp;
+        }
+    };
+
+    while (!events.empty() || !queue.empty()) {
+        Tick core_free = s.core->curTick();
+
+        // Admit every arrival occurring before the next service could
+        // begin (idling forward when nothing is queued).
+        while (!events.empty()) {
+            Tick next_start = queue.empty()
+                ? events.top().tick
+                : std::max(core_free, queue.front().tick);
+            if (events.top().tick > next_start)
+                break;
+            Arrival a = events.top();
+            events.pop();
+            if (guard) {
+                std::uint32_t occ = s.monitor
+                    ? s.monitor->fifoOccupancyAt(a.tick)
+                    : 0;
+                resilience::AdmissionDecision d = guard->tryAdmit(
+                    a.tick, a.req.clientClass, queue.size(), occ);
+                if (!d.admitted) {
+                    recordShed(a, d.reason, a.tick);
+                    continue;
+                }
+            }
+            queue.push_back(a);
+        }
+        if (queue.empty())
+            break; // events drained entirely into sheds
+
+        Arrival q = queue.front();
+        queue.pop_front();
+
+        // Deadline shedding happens when service would begin, not at
+        // enqueue: the client has hung up by the time we get to it.
+        Tick start = std::max(s.core->curTick(), q.tick);
+        if (q.req.admissionDeadline != 0 &&
+            start > q.tick + q.req.admissionDeadline) {
+            if (guard)
+                guard->shedDeadline();
+            recordShed(q, net::ShedReason::Deadline, start);
+            continue;
+        }
+
+        s.core->stallUntil(q.tick);
+        net::ServiceRequest req = q.req;
+        req.seq = next_seq++; // execution order, as the app expects
+        net::RequestOutcome out = runOneRequest(refs, req);
+        out.startTick = q.tick; // response measured from arrival
+
+        ++rep.executed;
+        if (left_healthy && !revived)
+            ++executed_since_depart;
+
+        if (q.probe) {
+            probe_pending = false;
+            if (out.status == net::RequestStatus::Served)
+                ++rep.probesServed;
+        } else if (q.legit) {
+            if (out.status == net::RequestStatus::Served) {
+                ++rep.legitServed;
+                legit_times.push_back(out.endTick - q.tick);
+            } else {
+                ++rep.legitFailed;
+            }
+        } else {
+            ++rep.attackExecuted;
+        }
+
+        if (guard) {
+            resilience::HealthState st = guard->health().state();
+            if (!left_healthy &&
+                st != resilience::HealthState::Healthy) {
+                left_healthy = true;
+                executed_since_depart = 0;
+            } else if (left_healthy && !revived &&
+                       st == resilience::HealthState::Healthy) {
+                revived = true;
+                rep.requestsToRevival = executed_since_depart;
+            }
+            scheduleProbe(s.core->curTick());
+        }
+    }
+
+    rep.endTick = s.core->curTick();
+    rep.legitP50 = resilience::percentile(legit_times, 50.0);
+    rep.legitP99 = resilience::percentile(legit_times, 99.0);
+    if (guard) {
+        guard->finalize(rep.endTick);
+        for (std::size_t i = 0; i < resilience::healthStateCount; ++i) {
+            rep.timeIn[i] = guard->health().timeIn(
+                static_cast<resilience::HealthState>(i));
+        }
+        rep.transitions = guard->health().transitions();
+        rep.fullCycles = guard->health().fullCycles();
+        rep.bpEngagements = guard->backpressure().engagements();
+    }
+    return rep;
+}
+
+} // namespace indra::core

@@ -18,8 +18,9 @@ constexpr std::uint64_t biosCopyBytes = 64ULL * 1024;
 } // anonymous namespace
 
 IndraSystem::IndraSystem(const SystemConfig &config,
-                         faults::FaultPlan plan)
-    : cfg(config), statRoot("system")
+                         faults::FaultPlan plan,
+                         resilience::ResilienceConfig rcfg)
+    : cfg(config), resCfg(rcfg), statRoot("system")
 {
     cfg.validate();
     // An empty plan creates no injector at all: every consumer holds
@@ -134,6 +135,15 @@ IndraSystem::deployService(const net::DaemonProfile &profile)
     // start clean.
     s->recovery->takeMacroCheckpoint(0);
     s->core->resetTime();
+
+    // Arm the overload-resilience front door only when the config
+    // asks for one; with no guard, request processing runs the exact
+    // pre-resilience code path.
+    if (resCfg.enabled()) {
+        s->guard = std::make_unique<resilience::ServiceGuard>(
+            resCfg, *s->statGroup);
+        s->guard->noteHeapPages(proc.resources->heapPages(), 0);
+    }
 
     slots.push_back(std::move(s));
     return idx;
@@ -257,8 +267,18 @@ IndraSystem::runOneRequest(const ServiceRefs &refs,
     net::RequestOutcome out;
     out.seq = req.seq;
     out.attack = req.attack;
+    out.clientClass = req.clientClass;
     out.startTick = s.core->curTick();
     std::uint64_t instr0 = s.core->instructions();
+
+    // Corruption detections before this request; the delta feeds the
+    // health state machine (checksum mismatches are hard evidence the
+    // service's backups are being eaten).
+    std::uint64_t corrupt0 = 0;
+    if (s.guard) {
+        corrupt0 = refs.policy->corruptionDetected() +
+                   refs.macro->corruptionDetected();
+    }
 
     net::RequestExecution gen = refs.app->beginRequest(req);
     cpu::Instruction inst;
@@ -302,6 +322,15 @@ IndraSystem::runOneRequest(const ServiceRefs &refs,
 
     out.endTick = s.core->curTick();
     out.instructions = s.core->instructions() - instr0;
+
+    if (s.guard) {
+        std::uint64_t corrupt1 = refs.policy->corruptionDetected() +
+                                 refs.macro->corruptionDetected();
+        s.guard->observeOutcome(out, corrupt1 - corrupt0, out.endTick);
+        s.guard->noteHeapPages(
+            kernelPtr->process(refs.pid).resources->heapPages(),
+            out.endTick);
+    }
     return out;
 }
 

@@ -40,6 +40,9 @@
 #include "net/request.hh"
 #include "net/workload.hh"
 #include "os/kernel.hh"
+#include "resilience/guard.hh"
+#include "resilience/resilience_config.hh"
+#include "resilience/storm.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
 
@@ -124,6 +127,14 @@ struct ServiceSlot
     std::uint64_t requestsSinceMacro = 0;
     std::uint64_t requestsProcessed = 0;
 
+    /**
+     * Overload-resilience front door; null when the system's
+     * ResilienceConfig arms nothing (the default), in which case
+     * request processing is bit-identical to a build without the
+     * resilience subsystem.
+     */
+    std::unique_ptr<resilience::ServiceGuard> guard;
+
     /** CR3-routed hook mux (installed when a co-service exists). */
     std::unique_ptr<PidRoutedHooks> hookMux;
     /** Additional processes time-sharing this core. */
@@ -143,9 +154,13 @@ class IndraSystem : public os::KernelListener
      * @param plan fault-injection plan; the default (empty) plan
      *             creates no injector and leaves every simulation
      *             bit-identical to a build without the subsystem
+     * @param rcfg overload-resilience knobs; the default (disarmed)
+     *             config creates no ServiceGuard and follows the same
+     *             zero-cost-when-off contract as the fault plan
      */
     explicit IndraSystem(const SystemConfig &cfg,
-                         faults::FaultPlan plan = {});
+                         faults::FaultPlan plan = {},
+                         resilience::ResilienceConfig rcfg = {});
     ~IndraSystem() override;
 
     IndraSystem(const IndraSystem &) = delete;
@@ -206,6 +221,17 @@ class IndraSystem : public os::KernelListener
         const std::vector<net::ServiceRequest> &script,
         std::size_t slot_idx = 0);
 
+    /**
+     * Drive one attack storm against @p slot_idx's service: legit
+     * open-loop clients (with admission deadline and retry/backoff)
+     * superimposed on bursty malicious traffic, all admission
+     * decisions made by the slot's ServiceGuard (when armed), and
+     * resurrector probes issued while the health machine only admits
+     * probes. Implemented in core/storm.cc.
+     */
+    resilience::StormReport runStorm(std::size_t slot_idx,
+                                     const resilience::StormPlan &plan);
+
     // ------------------------------------------------------- access
     const SystemConfig &config() const { return cfg; }
     std::size_t serviceCount() const { return slots.size(); }
@@ -219,6 +245,13 @@ class IndraSystem : public os::KernelListener
     faults::FaultInjector *faultInjector()
     {
         return injectorPtr.get();
+    }
+
+    /** The resilience config the system was built with. */
+    const resilience::ResilienceConfig &
+    resilienceConfig() const
+    {
+        return resCfg;
     }
 
     // ------------------------------------------- os::KernelListener
@@ -255,6 +288,7 @@ class IndraSystem : public os::KernelListener
                        bool detected, mon::Violation violation);
 
     SystemConfig cfg;
+    resilience::ResilienceConfig resCfg;
     stats::StatGroup statRoot;
     std::unique_ptr<faults::FaultInjector> injectorPtr;
     std::unique_ptr<mem::PhysicalMemory> phys;

@@ -20,15 +20,13 @@ TraceFifo::TraceFifo(std::uint32_t capacity, stats::StatGroup &parent)
     panic_if(cap == 0, "FIFO capacity must be nonzero");
 }
 
-FifoPushResult
-TraceFifo::push(Tick tick, Cycles service_cost)
+std::uint32_t
+TraceFifo::occupancyAt(Tick tick) const
 {
-    ++statPushes;
-    FifoPushResult result;
-
-    // Occupancy seen by the producer: records whose service has not yet
-    // started by `tick`.
-    std::uint64_t occupied = 0;
+    // Records whose service has not yet started by `tick`. The deque
+    // never holds more than `cap` entries, so the count cannot exceed
+    // the capacity (and fits a uint32 by construction).
+    std::uint32_t occupied = 0;
     for (auto it = inFlightStarts.rbegin(); it != inFlightStarts.rend();
          ++it) {
         if (*it > tick)
@@ -36,6 +34,16 @@ TraceFifo::push(Tick tick, Cycles service_cost)
         else
             break;
     }
+    return occupied;
+}
+
+FifoPushResult
+TraceFifo::push(Tick tick, Cycles service_cost)
+{
+    ++statPushes;
+    FifoPushResult result;
+
+    std::uint32_t occupied = occupancyAt(tick);
     statOccupancy.sample(static_cast<double>(occupied));
 
     result.pushDoneTick = tick;

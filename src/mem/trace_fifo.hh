@@ -58,6 +58,14 @@ class TraceFifo
      */
     Tick drainTick() const { return lastServiceEnd; }
 
+    /**
+     * Entries a producer would find in use at @p tick: records whose
+     * service has not started by then. This is the same arithmetic
+     * push() uses to decide fullness, exposed so the resilience
+     * layer's backpressure can sample saturation without pushing.
+     */
+    std::uint32_t occupancyAt(Tick tick) const;
+
     /** Records pushed so far. */
     std::uint64_t pushes() const;
 

@@ -22,6 +22,7 @@ MemWatchdog::grant(Pfn pfn, CoreId core)
 void
 MemWatchdog::revoke(Pfn pfn, CoreId core)
 {
+    panic_if(core >= 64, "watchdog supports at most 64 cores");
     auto it = grants.find(pfn);
     if (it == grants.end())
         return;
@@ -42,6 +43,10 @@ MemWatchdog::check(CoreId core, Privilege priv, Pfn pfn)
     ++checks;
     if (priv == Privilege::High)
         return WatchdogVerdict::Allowed;
+    // Guard the shift below: a core ID of 64+ would be undefined
+    // behaviour, not a denial, and grant() already enforces the limit
+    // on the producing side.
+    panic_if(core >= 64, "watchdog supports at most 64 cores");
     auto it = grants.find(pfn);
     if (it == grants.end()) {
         ++denied;
@@ -57,6 +62,7 @@ MemWatchdog::check(CoreId core, Privilege priv, Pfn pfn)
 bool
 MemWatchdog::isGranted(Pfn pfn, CoreId core) const
 {
+    panic_if(core >= 64, "watchdog supports at most 64 cores");
     auto it = grants.find(pfn);
     return it != grants.end() && (it->second & (1ULL << core));
 }

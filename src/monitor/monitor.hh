@@ -96,6 +96,14 @@ class Monitor : public cpu::TraceSink
 
     // -------------------------------------------------------- access
     mem::TraceFifo &fifo() { return traceFifo; }
+    const mem::TraceFifo &fifo() const { return traceFifo; }
+
+    /** Trace-FIFO occupancy a producer would see at @p tick. */
+    std::uint32_t
+    fifoOccupancyAt(Tick tick) const
+    {
+        return traceFifo.occupancyAt(tick);
+    }
     std::uint64_t recordsProcessed() const;
     std::uint64_t violationsDetected() const;
 

@@ -82,6 +82,9 @@ AvailabilityReport::build(const std::vector<RequestOutcome> &outcomes)
           case RequestStatus::Lost:
             ++rep.lost;
             break;
+          case RequestStatus::Shed:
+            ++rep.shed;
+            break;
         }
         if (o.attack == AttackKind::None &&
             o.status == RequestStatus::Served) {

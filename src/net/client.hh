@@ -52,10 +52,16 @@ struct AvailabilityReport
     std::uint64_t macroRecovered = 0;
     std::uint64_t rejuvenated = 0;
     std::uint64_t lost = 0;
+    /** Requests refused by admission control (never executed). */
+    std::uint64_t shed = 0;
     double meanBenignResponse = 0;
     double maxBenignResponse = 0;
 
-    /** Fraction of benign requests that got an answer. */
+    /**
+     * Fraction of *serviced* requests that got an answer. Shed
+     * requests never entered service and are excluded; the goodput
+     * metrics of the resilience layer account for them instead.
+     */
     double availability() const;
 
     /** Build from a run's outcomes. */

@@ -72,6 +72,42 @@ requestStatusName(RequestStatus s)
         return "rejuvenated";
       case RequestStatus::Lost:
         return "lost";
+      case RequestStatus::Shed:
+        return "shed";
+    }
+    return "??";
+}
+
+const char *
+clientClassName(ClientClass c)
+{
+    switch (c) {
+      case ClientClass::Standard:
+        return "standard";
+      case ClientClass::Bulk:
+        return "bulk";
+      case ClientClass::Probe:
+        return "probe";
+    }
+    return "??";
+}
+
+const char *
+shedReasonName(ShedReason r)
+{
+    switch (r) {
+      case ShedReason::None:
+        return "none";
+      case ShedReason::QueueFull:
+        return "queue-full";
+      case ShedReason::Deadline:
+        return "deadline";
+      case ShedReason::RateLimited:
+        return "rate-limited";
+      case ShedReason::Quarantined:
+        return "quarantined";
+      case ShedReason::Backpressure:
+        return "backpressure";
     }
     return "??";
 }

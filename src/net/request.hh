@@ -43,6 +43,42 @@ AttackKind attackKindFromName(const std::string &name);
  */
 mon::Violation expectedViolation(AttackKind k);
 
+/**
+ * Source bucket a request belongs to for admission purposes. The
+ * resilience layer rate-limits per class: interactive clients are
+ * protected from unauthenticated bulk traffic, and health probes pass
+ * even while a quarantined service sheds everything else.
+ */
+enum class ClientClass : std::uint8_t
+{
+    Standard = 0,  //!< interactive / authenticated client traffic
+    Bulk,          //!< unauthenticated bulk traffic (attack storms)
+    Probe,         //!< resurrector health probes
+};
+
+/** Number of distinct client classes. */
+constexpr std::size_t clientClassCount = 3;
+
+/** Printable client-class name. */
+const char *clientClassName(ClientClass c);
+
+/** Why admission control refused (or abandoned) a request. */
+enum class ShedReason : std::uint8_t
+{
+    None = 0,     //!< not shed
+    QueueFull,    //!< bounded accept queue at capacity
+    Deadline,     //!< admission deadline expired before service began
+    RateLimited,  //!< client class exhausted its token bucket
+    Quarantined,  //!< non-probe traffic refused while quarantined
+    Backpressure, //!< trace-FIFO saturation collapsed the window
+};
+
+/** Number of distinct shed reasons (None included). */
+constexpr std::size_t shedReasonCount = 6;
+
+/** Printable shed-reason name. */
+const char *shedReasonName(ShedReason r);
+
 /** One inbound request. */
 struct ServiceRequest
 {
@@ -50,6 +86,13 @@ struct ServiceRequest
     AttackKind attack = AttackKind::None;
     /** Relative size/complexity multiplier (1.0 = typical). */
     double weight = 1.0;
+    /** Admission bucket this request's source belongs to. */
+    ClientClass clientClass = ClientClass::Standard;
+    /**
+     * Cycles after arrival by which service must *begin* or the
+     * request is shed instead of queuing forever. 0 = no deadline.
+     */
+    Cycles admissionDeadline = 0;
 };
 
 /** How a request was disposed of. */
@@ -61,6 +104,7 @@ enum class RequestStatus : std::uint8_t
     MacroRecovered,    //!< needed the macro (application) checkpoint
     Rejuvenated,       //!< needed a full service rejuvenation
     Lost,              //!< no recovery mechanism; service went down
+    Shed,              //!< refused by admission control (never executed)
 };
 
 /** Printable status name. */
@@ -73,6 +117,10 @@ struct RequestOutcome
     AttackKind attack = AttackKind::None;
     RequestStatus status = RequestStatus::Served;
     mon::Violation violation = mon::Violation::None;
+    /** Set when status == Shed: why admission refused the request. */
+    ShedReason shedReason = ShedReason::None;
+    /** Admission bucket the request arrived under. */
+    ClientClass clientClass = ClientClass::Standard;
     Tick startTick = 0;
     Tick endTick = 0;
     std::uint64_t instructions = 0;

@@ -1,0 +1,107 @@
+#include "resilience/admission.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace indra::resilience
+{
+
+TokenBucket::TokenBucket(double rate, double burst)
+    : ratePerMCycle(rate), depth(burst), level(burst)
+{
+}
+
+void
+TokenBucket::advance(Tick now)
+{
+    if (!limiting())
+        return;
+    if (now > lastTick) {
+        level = std::min(
+            depth, level + static_cast<double>(now - lastTick) *
+                               ratePerMCycle / 1e6);
+        lastTick = now;
+    }
+}
+
+bool
+TokenBucket::tryTake(Tick now, double scale)
+{
+    if (!limiting())
+        return true;
+    advance(now);
+    // A degraded service pays double for every admission: the budget
+    // halving the health machine mandates.
+    double cost = scale > 0.0 ? 1.0 / scale : 1.0;
+    if (level < cost)
+        return false;
+    level -= cost;
+    return true;
+}
+
+AdmissionController::AdmissionController(const ResilienceConfig &config)
+    : cfg(config),
+      buckets{TokenBucket(config.tokensPerMCycle[0],
+                          config.tokenBurst[0]),
+              TokenBucket(config.tokensPerMCycle[1],
+                          config.tokenBurst[1]),
+              TokenBucket(config.tokensPerMCycle[2],
+                          config.tokenBurst[2])}
+{
+    static_assert(net::clientClassCount == 3,
+                  "bucket initializer list assumes three classes");
+}
+
+std::uint32_t
+AdmissionController::effectiveBound(double scale) const
+{
+    if (cfg.queueBound == 0)
+        return 0;
+    return std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               static_cast<double>(cfg.queueBound) * scale));
+}
+
+AdmissionDecision
+AdmissionController::decide(Tick now, net::ClientClass cls,
+                            std::size_t queue_depth, double scale,
+                            bool probe_only, std::uint32_t bp_window)
+{
+    auto shed = [&](net::ShedReason r) {
+        ++nShed[static_cast<std::size_t>(r)];
+        return AdmissionDecision{false, r};
+    };
+
+    // 1. Quarantine filter: only probes reach a quarantined service.
+    if (probe_only && cls != net::ClientClass::Probe)
+        return shed(net::ShedReason::Quarantined);
+
+    // 2. Backpressure window, then the bounded accept queue. The
+    //    window is the tighter constraint while slow-start ramps, so
+    //    check it first and attribute the shed to backpressure.
+    if (queue_depth >= bp_window)
+        return shed(net::ShedReason::Backpressure);
+    std::uint32_t bound = effectiveBound(scale);
+    if (bound != 0 && queue_depth >= bound)
+        return shed(net::ShedReason::QueueFull);
+
+    // 3. Rate limiter, last: a request refused for queue reasons
+    //    never consumes its class's tokens.
+    if (!buckets[static_cast<std::size_t>(cls)].tryTake(now, scale))
+        return shed(net::ShedReason::RateLimited);
+
+    ++nAdmitted;
+    return AdmissionDecision{};
+}
+
+std::uint64_t
+AdmissionController::shedTotal() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t v : nShed)
+        total += v;
+    return total;
+}
+
+} // namespace indra::resilience

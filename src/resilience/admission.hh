@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Admission control: the bounded per-daemon accept queue policy and
+ * the per-client-class token-bucket rate limiter.
+ *
+ * The controller itself is a pure decision function over (arrival
+ * tick, client class, queue depth, health scale, backpressure
+ * window): it never draws randomness, so admit/shed sequences are a
+ * deterministic function of the arrival timeline and identical for
+ * any sweep --jobs count.
+ */
+
+#ifndef INDRA_RESILIENCE_ADMISSION_HH
+#define INDRA_RESILIENCE_ADMISSION_HH
+
+#include <array>
+#include <cstdint>
+
+#include "net/request.hh"
+#include "resilience/resilience_config.hh"
+#include "sim/types.hh"
+
+namespace indra::resilience
+{
+
+/** Outcome of one admission decision. */
+struct AdmissionDecision
+{
+    bool admitted = true;
+    net::ShedReason reason = net::ShedReason::None;
+};
+
+/**
+ * Deterministic token bucket. Tokens replenish continuously with
+ * simulated time (ratePerMCycle tokens per million core cycles) up to
+ * the burst depth; taking costs a scale-dependent amount so a
+ * Degraded service consumes its budget twice as fast.
+ */
+class TokenBucket
+{
+  public:
+    /** @p rate tokens per million cycles, bucket starts full. */
+    TokenBucket(double rate, double burst);
+
+    /** Replenish up to @p now (monotonic per caller). */
+    void advance(Tick now);
+
+    /**
+     * Try to take one admission's worth of tokens at @p now with the
+     * health machine's admission scale (1.0 full budget, 0.5 halved:
+     * the take costs 1/scale tokens).
+     * @return false when the bucket cannot cover the cost.
+     */
+    bool tryTake(Tick now, double scale);
+
+    /** True when this bucket limits at all (rate > 0). */
+    bool limiting() const { return ratePerMCycle > 0.0; }
+
+    double tokens() const { return level; }
+
+  private:
+    double ratePerMCycle;
+    double depth;
+    double level;
+    Tick lastTick = 0;
+};
+
+/**
+ * The admission controller of one service: owns the class buckets and
+ * applies, in order, the quarantine filter, the bounded-queue /
+ * backpressure-window check, and the rate limiter.
+ */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(const ResilienceConfig &cfg);
+
+    /**
+     * Decide one arrival.
+     *
+     * @param now        arrival tick (monotone across calls)
+     * @param cls        client class of the request
+     * @param queue_depth admitted-but-unstarted requests right now
+     * @param scale      health admission scale (1.0 / 0.5)
+     * @param probe_only quarantined: only Probe traffic passes
+     * @param bp_window  backpressure admission window (UINT32_MAX
+     *                   when backpressure is disengaged)
+     */
+    AdmissionDecision decide(Tick now, net::ClientClass cls,
+                             std::size_t queue_depth, double scale,
+                             bool probe_only, std::uint32_t bp_window);
+
+    /**
+     * Effective queue bound under @p scale: the configured bound
+     * scaled down (floored at one slot), or 0 when unbounded.
+     */
+    std::uint32_t effectiveBound(double scale) const;
+
+    /** Decisions that admitted. */
+    std::uint64_t admitted() const { return nAdmitted; }
+
+    /** Sheds by reason (indexed by net::ShedReason). */
+    std::uint64_t
+    shedBy(net::ShedReason r) const
+    {
+        return nShed[static_cast<std::size_t>(r)];
+    }
+
+    /** Total shed decisions. */
+    std::uint64_t shedTotal() const;
+
+  private:
+    const ResilienceConfig cfg;
+    std::array<TokenBucket, net::clientClassCount> buckets;
+    std::uint64_t nAdmitted = 0;
+    std::array<std::uint64_t, net::shedReasonCount> nShed{};
+};
+
+} // namespace indra::resilience
+
+#endif // INDRA_RESILIENCE_ADMISSION_HH

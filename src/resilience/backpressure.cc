@@ -1,0 +1,70 @@
+#include "resilience/backpressure.hh"
+
+namespace indra::resilience
+{
+
+BackpressureGovernor::BackpressureGovernor(const ResilienceConfig &c)
+    : cfg(c)
+{
+}
+
+std::uint32_t
+BackpressureGovernor::fullWindow() const
+{
+    // With a bounded queue, slow start ends when the window regains
+    // the configured bound (admission's own bound takes over from
+    // there). Unbounded queues restore to "no constraint" once the
+    // window has doubled past the high-water mark itself.
+    if (cfg.queueBound != 0)
+        return cfg.queueBound;
+    return cfg.fifoHighWater != 0 ? cfg.fifoHighWater : 1;
+}
+
+void
+BackpressureGovernor::sample(std::uint32_t occupancy)
+{
+    if (cfg.fifoHighWater == 0)
+        return;
+    switch (phase) {
+      case Phase::Off:
+        if (occupancy >= cfg.fifoHighWater) {
+            phase = Phase::Engaged;
+            curWindow = 1;
+            ++nEngagements;
+        }
+        break;
+      case Phase::Engaged:
+        if (occupancy <= cfg.effectiveLowWater())
+            phase = Phase::SlowStart;
+        break;
+      case Phase::SlowStart:
+        // Saturating again mid-ramp re-pins the window.
+        if (occupancy >= cfg.fifoHighWater) {
+            phase = Phase::Engaged;
+            curWindow = 1;
+            ++nEngagements;
+        }
+        break;
+    }
+}
+
+void
+BackpressureGovernor::noteServed()
+{
+    if (phase != Phase::SlowStart)
+        return;
+    std::uint32_t full = fullWindow();
+    curWindow = curWindow >= full / 2 + 1 ? full : curWindow * 2;
+    if (curWindow >= full) {
+        phase = Phase::Off;
+        curWindow = unlimitedWindow;
+    }
+}
+
+std::uint32_t
+BackpressureGovernor::window() const
+{
+    return phase == Phase::Off ? unlimitedWindow : curWindow;
+}
+
+} // namespace indra::resilience

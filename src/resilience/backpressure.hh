@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Monitor-saturation backpressure (the Fig. 12 regime, handled):
+ * when trace-FIFO occupancy crosses a high-water mark the admission
+ * window collapses to one outstanding request, so legitimate traffic
+ * is shed at the front door with a typed reason instead of every
+ * producer push stalling unboundedly behind a saturated resurrector.
+ * Once occupancy drains to the low-water mark, re-admission ramps by
+ * slow start: the window doubles per served request until the full
+ * queue bound is restored.
+ */
+
+#ifndef INDRA_RESILIENCE_BACKPRESSURE_HH
+#define INDRA_RESILIENCE_BACKPRESSURE_HH
+
+#include <cstdint>
+#include <limits>
+
+#include "resilience/resilience_config.hh"
+
+namespace indra::resilience
+{
+
+/** Window value meaning "no backpressure constraint". */
+constexpr std::uint32_t unlimitedWindow =
+    std::numeric_limits<std::uint32_t>::max();
+
+/**
+ * The governor: tracks FIFO occupancy samples and publishes the
+ * admission window. Pure function of the sample/serve sequence.
+ */
+class BackpressureGovernor
+{
+  public:
+    explicit BackpressureGovernor(const ResilienceConfig &cfg);
+
+    /**
+     * One occupancy sample, taken at each admission decision.
+     * Engagement triggers at occupancy >= fifoHighWater — the
+     * boundary itself backpressures (occupancy == threshold is the
+     * first saturated state, pinned by the regression tests).
+     */
+    void sample(std::uint32_t occupancy);
+
+    /** A request was served; slow-start grows the window. */
+    void noteServed();
+
+    /** Current admission window (unlimitedWindow when off). */
+    std::uint32_t window() const;
+
+    /** True while the high-water mark has engaged the governor. */
+    bool engaged() const { return phase != Phase::Off; }
+
+    /** Times the high-water mark engaged backpressure. */
+    std::uint64_t engagements() const { return nEngagements; }
+
+  private:
+    enum class Phase : std::uint8_t
+    {
+        Off,       //!< occupancy below high water; full window
+        Engaged,   //!< saturated: window pinned to one
+        SlowStart, //!< drained: window doubling per served request
+    };
+
+    /** Window at which slow start ends (the restored full bound). */
+    std::uint32_t fullWindow() const;
+
+    const ResilienceConfig cfg;
+    Phase phase = Phase::Off;
+    std::uint32_t curWindow = unlimitedWindow;
+    std::uint64_t nEngagements = 0;
+};
+
+} // namespace indra::resilience
+
+#endif // INDRA_RESILIENCE_BACKPRESSURE_HH

@@ -1,0 +1,120 @@
+#include "resilience/guard.hh"
+
+#include <cmath>
+
+namespace indra::resilience
+{
+
+ServiceGuard::ServiceGuard(const ResilienceConfig &config,
+                           stats::StatGroup &parent)
+    : cfg(config), adm(cfg), mon(cfg), bp(cfg),
+      statGroup(parent, "resilience")
+{
+    auto formula = [this](const char *name, const char *desc,
+                          stats::Formula::Fn fn) {
+        formulas.push_back(std::make_unique<stats::Formula>(
+            statGroup, name, desc, std::move(fn)));
+    };
+    formula("admitted", "requests admitted",
+            [this] { return double(adm.admitted()); });
+    formula("shed_total", "requests shed (all reasons)",
+            [this] { return double(shedTotal()); });
+    static const char *shedStatName[net::shedReasonCount] = {
+        nullptr, "shed_queue_full", "shed_deadline",
+        "shed_rate_limited", "shed_quarantined", "shed_backpressure",
+    };
+    for (std::size_t r = 1; r < net::shedReasonCount; ++r) {
+        auto reason = static_cast<net::ShedReason>(r);
+        formula(shedStatName[r], net::shedReasonName(reason),
+                [this, reason] { return double(shedBy(reason)); });
+    }
+    formula("bp_engagements", "times FIFO high water engaged",
+            [this] { return double(bp.engagements()); });
+    formula("health_transitions", "health state transitions",
+            [this] { return double(mon.transitions()); });
+    formula("full_cycles", "completed revival cycles",
+            [this] { return double(mon.fullCycles()); });
+    static const char *timeStatName[healthStateCount] = {
+        "time_healthy", "time_degraded", "time_quarantined",
+        "time_rejuvenating",
+    };
+    for (std::size_t s = 0; s < healthStateCount; ++s) {
+        auto state = static_cast<HealthState>(s);
+        formula(timeStatName[s], "cycles in state (after finalize)",
+                [this, state] { return double(mon.timeIn(state)); });
+    }
+}
+
+AdmissionDecision
+ServiceGuard::tryAdmit(Tick now, net::ClientClass cls,
+                       std::size_t queue_depth,
+                       std::uint32_t fifo_occupancy)
+{
+    bp.sample(fifo_occupancy);
+    double scale = mon.admissionScale();
+    AdmissionDecision d = adm.decide(now, cls, queue_depth, scale,
+                                     mon.probeOnly(), bp.window());
+    if (d.admitted) {
+        std::uint32_t bound = adm.effectiveBound(scale);
+        if (bound != 0 && cfg.degradeQueueFraction > 0.0) {
+            auto mark = static_cast<std::size_t>(std::ceil(
+                cfg.degradeQueueFraction * double(bound)));
+            if (queue_depth + 1 >= mark)
+                mon.noteQueuePressure(now);
+        }
+    }
+    return d;
+}
+
+void
+ServiceGuard::shedDeadline()
+{
+    ++nDeadline;
+}
+
+void
+ServiceGuard::observeOutcome(const net::RequestOutcome &out,
+                             std::uint64_t corruption_delta, Tick now)
+{
+    mon.observeOutcome(out, corruption_delta, now);
+    if (out.status == net::RequestStatus::Served)
+        bp.noteServed();
+}
+
+void
+ServiceGuard::noteHeapPages(std::uint64_t pages, Tick now)
+{
+    if (cfg.resourcePressurePages == 0)
+        return;
+    if (!heapBaselineSet) {
+        heapBaselineSet = true;
+        heapBaseline = pages;
+        return;
+    }
+    if (pages > heapBaseline &&
+        pages - heapBaseline > cfg.resourcePressurePages)
+        mon.noteResourcePressure(now);
+}
+
+void
+ServiceGuard::finalize(Tick end)
+{
+    mon.finalize(end);
+}
+
+std::uint64_t
+ServiceGuard::shedBy(net::ShedReason r) const
+{
+    std::uint64_t n = adm.shedBy(r);
+    if (r == net::ShedReason::Deadline)
+        n += nDeadline;
+    return n;
+}
+
+std::uint64_t
+ServiceGuard::shedTotal() const
+{
+    return adm.shedTotal() + nDeadline;
+}
+
+} // namespace indra::resilience

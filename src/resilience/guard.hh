@@ -1,0 +1,101 @@
+/**
+ * @file
+ * ServiceGuard: the per-service bundle of the overload-resilience
+ * layer — admission controller, health state machine, and
+ * backpressure governor — plus the "resilience" stat subtree. One
+ * guard hangs off each ServiceSlot when the ResilienceConfig arms
+ * anything; with the default (disarmed) config no guard exists and
+ * request processing is untouched.
+ */
+
+#ifndef INDRA_RESILIENCE_GUARD_HH
+#define INDRA_RESILIENCE_GUARD_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/request.hh"
+#include "resilience/admission.hh"
+#include "resilience/backpressure.hh"
+#include "resilience/health.hh"
+#include "resilience/resilience_config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace indra::resilience
+{
+
+/** The resilience front door of one deployed service. */
+class ServiceGuard
+{
+  public:
+    ServiceGuard(const ResilienceConfig &cfg,
+                 stats::StatGroup &parent);
+
+    /**
+     * Decide one arrival at @p now: samples the trace-FIFO occupancy
+     * into the backpressure governor, applies the health machine's
+     * scale and quarantine filter, and runs admission control.
+     * Also raises queue pressure on the health machine when the
+     * post-admission occupancy crosses the degrade fraction.
+     */
+    AdmissionDecision tryAdmit(Tick now, net::ClientClass cls,
+                               std::size_t queue_depth,
+                               std::uint32_t fifo_occupancy);
+
+    /**
+     * An admitted request's deadline expired before service began;
+     * the caller drops it instead of executing it.
+     */
+    void shedDeadline();
+
+    /**
+     * One executed request's outcome, with the number of
+     * backup-corruption detections (checksum mismatches) it provoked
+     * and the tick it completed at.
+     */
+    void observeOutcome(const net::RequestOutcome &out,
+                        std::uint64_t corruption_delta, Tick now);
+
+    /**
+     * Current heap footprint of the service process. The first call
+     * records the load-time baseline; later growth beyond
+     * resourcePressurePages marks the service Degraded.
+     */
+    void noteHeapPages(std::uint64_t pages, Tick now);
+
+    /** Account health-state residency up to @p end. */
+    void finalize(Tick end);
+
+    // ------------------------------------------------------- access
+    const ResilienceConfig &config() const { return cfg; }
+    const HealthMonitor &health() const { return mon; }
+    const AdmissionController &admission() const { return adm; }
+    const BackpressureGovernor &backpressure() const { return bp; }
+
+    /** Sheds by reason, deadline sheds merged in. */
+    std::uint64_t shedBy(net::ShedReason r) const;
+
+    /** All sheds, front-door and deadline. */
+    std::uint64_t shedTotal() const;
+
+    std::uint64_t deadlineSheds() const { return nDeadline; }
+
+  private:
+    const ResilienceConfig cfg;
+    AdmissionController adm;
+    HealthMonitor mon;
+    BackpressureGovernor bp;
+
+    std::uint64_t nDeadline = 0;
+    bool heapBaselineSet = false;
+    std::uint64_t heapBaseline = 0;
+
+    stats::StatGroup statGroup;
+    std::vector<std::unique_ptr<stats::Formula>> formulas;
+};
+
+} // namespace indra::resilience
+
+#endif // INDRA_RESILIENCE_GUARD_HH

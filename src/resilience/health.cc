@@ -1,0 +1,148 @@
+#include "resilience/health.hh"
+
+#include <algorithm>
+
+namespace indra::resilience
+{
+
+const char *
+healthStateName(HealthState s)
+{
+    switch (s) {
+      case HealthState::Healthy:
+        return "healthy";
+      case HealthState::Degraded:
+        return "degraded";
+      case HealthState::Quarantined:
+        return "quarantined";
+      case HealthState::Rejuvenating:
+        return "rejuvenating";
+    }
+    return "??";
+}
+
+HealthMonitor::HealthMonitor(const ResilienceConfig &config)
+    : cfg(config)
+{
+    log.emplace_back(0, HealthState::Healthy);
+}
+
+double
+HealthMonitor::admissionScale() const
+{
+    return cur == HealthState::Degraded ? 0.5 : 1.0;
+}
+
+void
+HealthMonitor::transitionTo(HealthState next, Tick now)
+{
+    if (next == cur)
+        return;
+    // Account the time spent in the state being left. Events carry
+    // their own ticks (admission events can arrive "behind" the core
+    // clock), so clamp instead of wrapping.
+    Tick t = now > lastTransition ? now : lastTransition;
+    stateCycles[static_cast<std::size_t>(cur)] += t - lastTransition;
+    lastTransition = t;
+
+    // Full-cycle tracking: deepest ladder stage reached since the
+    // last Healthy period, in order.
+    switch (next) {
+      case HealthState::Degraded:
+        cycleDepth = std::max<std::uint8_t>(cycleDepth, 1);
+        break;
+      case HealthState::Quarantined:
+        if (cycleDepth >= 1)
+            cycleDepth = std::max<std::uint8_t>(cycleDepth, 2);
+        break;
+      case HealthState::Rejuvenating:
+        if (cycleDepth >= 2)
+            cycleDepth = 3;
+        break;
+      case HealthState::Healthy:
+        if (cycleDepth == 3)
+            ++nFullCycles;
+        cycleDepth = 0;
+        violations = 0;
+        break;
+    }
+
+    cur = next;
+    if (log.size() < logLimit)
+        log.emplace_back(t, next);
+}
+
+void
+HealthMonitor::observeOutcome(const net::RequestOutcome &out,
+                              std::uint64_t corruption_delta, Tick now)
+{
+    bool failed = out.status != net::RequestStatus::Served;
+    if (failed) {
+        ++failStreak;
+        servedStreak = 0;
+        if (out.violation != mon::Violation::None)
+            ++violations;
+    } else {
+        ++servedStreak;
+        failStreak = 0;
+    }
+
+    // A rejuvenation rebuilt the service from its load image no
+    // matter where the ladder started; await confirmation.
+    if (out.status == net::RequestStatus::Rejuvenated) {
+        transitionTo(HealthState::Rejuvenating, now);
+        return;
+    }
+
+    bool escalated = out.status == net::RequestStatus::MacroRecovered ||
+                     corruption_delta > 0;
+
+    switch (cur) {
+      case HealthState::Healthy:
+        if (failed &&
+            (violations >= cfg.degradeViolations || escalated)) {
+            transitionTo(HealthState::Degraded, now);
+        }
+        break;
+      case HealthState::Degraded:
+        if (failed && (failStreak >= cfg.quarantineFailStreak ||
+                       escalated)) {
+            transitionTo(HealthState::Quarantined, now);
+        } else if (!failed && servedStreak >= cfg.healServedStreak) {
+            transitionTo(HealthState::Healthy, now);
+        }
+        break;
+      case HealthState::Quarantined:
+        if (!failed)
+            transitionTo(HealthState::Degraded, now);
+        break;
+      case HealthState::Rejuvenating:
+        if (!failed)
+            transitionTo(HealthState::Healthy, now);
+        break;
+    }
+}
+
+void
+HealthMonitor::noteQueuePressure(Tick now)
+{
+    if (cur == HealthState::Healthy)
+        transitionTo(HealthState::Degraded, now);
+}
+
+void
+HealthMonitor::noteResourcePressure(Tick now)
+{
+    if (cur == HealthState::Healthy)
+        transitionTo(HealthState::Degraded, now);
+}
+
+void
+HealthMonitor::finalize(Tick end)
+{
+    Tick t = end > lastTransition ? end : lastTransition;
+    stateCycles[static_cast<std::size_t>(cur)] += t - lastTransition;
+    lastTransition = t;
+}
+
+} // namespace indra::resilience

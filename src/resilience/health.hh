@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Per-service health state machine:
+ *
+ *   Healthy -> Degraded -> Quarantined -> Rejuvenating -> Healthy
+ *
+ * driven by monitor verdicts (violations carried on request
+ * outcomes), checksum-corruption counts from the hardened backup
+ * engines, recovery-ladder escalations, and accept-queue occupancy.
+ * Every transition is a deterministic function of the observed event
+ * sequence — no randomness, no wall-clock — so fixed-seed runs are
+ * bit-identical for any sweep --jobs count.
+ *
+ * Effect on admission: Degraded halves the admission budget (queue
+ * bound and token spend), Quarantined and Rejuvenating shed all
+ * non-probe traffic while rollback / rejuvenation runs.
+ */
+
+#ifndef INDRA_RESILIENCE_HEALTH_HH
+#define INDRA_RESILIENCE_HEALTH_HH
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/request.hh"
+#include "resilience/resilience_config.hh"
+#include "sim/types.hh"
+
+namespace indra::resilience
+{
+
+/** Health of one service, from the admission layer's point of view. */
+enum class HealthState : std::uint8_t
+{
+    Healthy = 0,   //!< full admission budget
+    Degraded,      //!< admission budget halved
+    Quarantined,   //!< only probes admitted; rollback in progress
+    Rejuvenating,  //!< service reborn, awaiting a served probe
+};
+
+/** Number of health states. */
+constexpr std::size_t healthStateCount = 4;
+
+/** Printable state name. */
+const char *healthStateName(HealthState s);
+
+/**
+ * The state machine. Transition rules, evaluated once per observed
+ * request outcome (sheds never reach it — they are admission events):
+ *
+ *  - any state: a Rejuvenated outcome (the ladder rebuilt the
+ *    service) enters Rejuvenating, which waits for confirmation.
+ *  - Healthy -> Degraded when violations since the last healthy
+ *    period reach degradeViolations, on any macro escalation or
+ *    backup-corruption detection, on queue pressure (occupancy at or
+ *    above degradeQueueFraction of the bound), or on resource
+ *    pressure (heap growth beyond resourcePressurePages).
+ *  - Degraded -> Quarantined when the consecutive-failure streak
+ *    reaches quarantineFailStreak, or on a macro escalation or
+ *    corruption detection (micro recovery is evidently not working).
+ *  - Degraded -> Healthy after healServedStreak consecutive serves.
+ *  - Quarantined -> Degraded when a probe is served (rollback revived
+ *    the service; re-admission ramps through Degraded's half budget).
+ *  - Rejuvenating -> Healthy when any request is served (the reborn
+ *    service answered); failures keep it Rejuvenating while the
+ *    ladder tries again.
+ */
+class HealthMonitor
+{
+  public:
+    explicit HealthMonitor(const ResilienceConfig &cfg);
+
+    /** Current state. */
+    HealthState state() const { return cur; }
+
+    /** Admission budget scale for the current state (1.0 or 0.5). */
+    double admissionScale() const;
+
+    /** True when only Probe traffic may be admitted. */
+    bool
+    probeOnly() const
+    {
+        return cur == HealthState::Quarantined ||
+               cur == HealthState::Rejuvenating;
+    }
+
+    /**
+     * Observe one executed request's outcome at @p now, plus the
+     * number of backup-corruption detections it provoked.
+     */
+    void observeOutcome(const net::RequestOutcome &out,
+                        std::uint64_t corruption_delta, Tick now);
+
+    /** Accept-queue occupancy crossed the degrade fraction. */
+    void noteQueuePressure(Tick now);
+
+    /** Heap growth beyond the configured load-time allowance. */
+    void noteResourcePressure(Tick now);
+
+    /** Cycles spent in @p s so far (call finalize() first at end). */
+    Cycles
+    timeIn(HealthState s) const
+    {
+        return stateCycles[static_cast<std::size_t>(s)];
+    }
+
+    /** Account time up to @p end into the current state. */
+    void finalize(Tick end);
+
+    /** Transitions taken so far. */
+    std::uint64_t transitions() const { return log.size() - 1; }
+
+    /**
+     * Transition log: (tick, state entered), starting with
+     * (0, Healthy). Bounded — after logLimit entries only the
+     * counters advance — so pathological thrashing cannot grow it
+     * without bound.
+     */
+    const std::vector<std::pair<Tick, HealthState>> &
+    transitionLog() const
+    {
+        return log;
+    }
+
+    /** Log bound (first logLimit transitions are kept). */
+    static constexpr std::size_t logLimit = 1024;
+
+    /**
+     * Number of completed full revival cycles: a walk that visits
+     * Degraded, Quarantined and Rejuvenating (in order, possibly with
+     * repeats) and returns to Healthy.
+     */
+    std::uint64_t fullCycles() const { return nFullCycles; }
+
+  private:
+    void transitionTo(HealthState next, Tick now);
+
+    const ResilienceConfig cfg;
+    HealthState cur = HealthState::Healthy;
+    Tick lastTransition = 0;
+
+    std::uint32_t violations = 0;   //!< since last Healthy entry
+    std::uint32_t failStreak = 0;   //!< consecutive failed outcomes
+    std::uint32_t servedStreak = 0; //!< consecutive served outcomes
+
+    /** Deepest state reached since Healthy (full-cycle tracking). */
+    std::uint8_t cycleDepth = 0;
+    std::uint64_t nFullCycles = 0;
+
+    std::array<Cycles, healthStateCount> stateCycles{};
+    std::vector<std::pair<Tick, HealthState>> log;
+};
+
+} // namespace indra::resilience
+
+#endif // INDRA_RESILIENCE_HEALTH_HH

@@ -1,0 +1,41 @@
+#include "resilience/retry.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace indra::resilience
+{
+
+namespace
+{
+
+/** Stream id reserved for client backoff jitter. */
+constexpr std::uint64_t backoffStream = 0x6261636b6f6666ULL; // "backoff"
+
+} // anonymous namespace
+
+RetryScheduler::RetryScheduler(const BackoffPolicy &policy,
+                               std::uint64_t seed)
+    : pol(policy), rng(seed, backoffStream)
+{
+}
+
+Cycles
+RetryScheduler::delay(std::uint32_t attempt)
+{
+    ++nScheduled;
+    std::uint32_t step = attempt > 0 ? attempt - 1 : 0;
+    double raw = static_cast<double>(pol.base) *
+                 std::pow(pol.multiplier, static_cast<double>(step));
+    Cycles backoff = raw >= static_cast<double>(pol.cap)
+        ? pol.cap
+        : static_cast<Cycles>(raw);
+    Cycles span = static_cast<Cycles>(
+        static_cast<double>(backoff) *
+        std::clamp(pol.jitterFraction, 0.0, 1.0));
+    Cycles jitter =
+        span != 0 ? rng.uniform(0, span - 1) : 0;
+    return backoff + jitter;
+}
+
+} // namespace indra::resilience

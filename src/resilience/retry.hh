@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Client-side retry with exponential backoff and deterministic
+ * jitter. Shed or deadline-expired legitimate requests are retried
+ * after base * multiplier^attempt cycles (capped), plus a jitter
+ * drawn from a dedicated PCG32 stream — the same RNG discipline as
+ * src/faults, so retry timing is a pure function of (policy, seed,
+ * schedule order) and sweeps stay bit-identical across --jobs counts.
+ */
+
+#ifndef INDRA_RESILIENCE_RETRY_HH
+#define INDRA_RESILIENCE_RETRY_HH
+
+#include <cstdint>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace indra::resilience
+{
+
+/** Shape of the client backoff curve. */
+struct BackoffPolicy
+{
+    /** First retry delay, cycles. */
+    Cycles base = 20000;
+    /** Delay growth per attempt. */
+    double multiplier = 2.0;
+    /** Delay ceiling, cycles. */
+    Cycles cap = 2000000;
+    /**
+     * Total tries per logical request (first attempt included);
+     * after that the client gives up and the request counts against
+     * goodput. 1 = no retries.
+     */
+    std::uint32_t maxAttempts = 4;
+    /** Jitter span as a fraction of the backoff delay, in [0, 1]. */
+    double jitterFraction = 0.5;
+};
+
+/**
+ * Deterministic backoff schedule generator for one client
+ * population.
+ */
+class RetryScheduler
+{
+  public:
+    RetryScheduler(const BackoffPolicy &policy, std::uint64_t seed);
+
+    /**
+     * Delay before retry number @p attempt (1 = first retry):
+     * min(cap, base * multiplier^(attempt-1)) plus a jittered
+     * fraction of itself.
+     */
+    Cycles delay(std::uint32_t attempt);
+
+    /** True when a request on attempt @p attempt may retry again. */
+    bool
+    mayRetry(std::uint32_t attempt) const
+    {
+        return attempt < pol.maxAttempts;
+    }
+
+    const BackoffPolicy &policy() const { return pol; }
+
+    /** Retry delays handed out so far. */
+    std::uint64_t scheduled() const { return nScheduled; }
+
+  private:
+    BackoffPolicy pol;
+    Pcg32 rng;
+    std::uint64_t nScheduled = 0;
+};
+
+} // namespace indra::resilience
+
+#endif // INDRA_RESILIENCE_RETRY_HH

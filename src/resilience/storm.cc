@@ -1,0 +1,48 @@
+#include "resilience/storm.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace indra::resilience
+{
+
+std::uint64_t
+StormReport::shedTotal() const
+{
+    std::uint64_t n = 0;
+    for (std::uint64_t s : sheds)
+        n += s;
+    return n;
+}
+
+double
+StormReport::goodput() const
+{
+    if (endTick == 0)
+        return 0.0;
+    return double(legitServed) * 1e6 / double(endTick);
+}
+
+double
+StormReport::rawThroughput() const
+{
+    if (endTick == 0)
+        return 0.0;
+    return double(executed) * 1e6 / double(endTick);
+}
+
+Cycles
+percentile(std::vector<Cycles> samples, double p)
+{
+    if (samples.empty())
+        return 0;
+    std::sort(samples.begin(), samples.end());
+    double clamped = std::clamp(p, 0.0, 100.0);
+    auto rank = static_cast<std::size_t>(
+        std::ceil(clamped / 100.0 * double(samples.size())));
+    if (rank == 0)
+        rank = 1;
+    return samples[rank - 1];
+}
+
+} // namespace indra::resilience

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Attack-storm workload description and its measured report.
+ *
+ * A storm superimposes a legitimate open-loop client population on a
+ * bursty malicious stream. Legitimate clients carry an admission
+ * deadline and retry shed requests with exponential backoff and
+ * deterministic jitter; the report separates goodput (legitimate
+ * requests actually served, per million cycles) from raw throughput
+ * (everything the service executed, attacks included).
+ *
+ * The arrival timelines are derived from the plan's seed alone, so a
+ * fixed-seed storm is bit-identical on any ParallelSweep --jobs.
+ */
+
+#ifndef INDRA_RESILIENCE_STORM_HH
+#define INDRA_RESILIENCE_STORM_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/request.hh"
+#include "resilience/health.hh"
+#include "resilience/retry.hh"
+#include "sim/types.hh"
+
+namespace indra::resilience
+{
+
+/** One attack-storm experiment on one service. */
+struct StormPlan
+{
+    /** Seed of every stochastic choice in the storm timelines. */
+    std::uint64_t seed = 1;
+
+    /** Legitimate (Standard-class) logical requests to offer. */
+    std::uint64_t legitRequests = 200;
+    /** Mean legitimate arrival rate, requests per million cycles. */
+    double legitRatePerMCycle = 10.0;
+
+    /**
+     * Mean malicious arrival rate, individual requests per million
+     * cycles, delivered in back-to-back bursts. 0 = no storm.
+     */
+    double attackRatePerMCycle = 0.0;
+    /** Malicious requests per burst. */
+    std::uint32_t burstLen = 1;
+    /** Spacing between requests inside a burst, cycles. */
+    Cycles burstSpacing = 200;
+    /** Payload carried by storm requests. */
+    net::AttackKind attackKind = net::AttackKind::StackSmash;
+    /**
+     * Open the storm with one Dormant plant so damage surfaces in
+     * later benign traffic (probes crash until rejuvenation heals
+     * the service) — the persistent-attack revival scenario.
+     */
+    bool plantDormant = false;
+
+    /** Admission deadline on legitimate requests (0 = none). */
+    Cycles deadline = 400000;
+    /** Legitimate-client retry discipline. */
+    BackoffPolicy backoff;
+
+    /** Probe cadence while the service only admits probes. */
+    Cycles probePeriod = 100000;
+    /** Probes to give up after (guards un-revivable configs). */
+    std::uint64_t probeBudget = 256;
+};
+
+/** Everything a storm cell reports. */
+struct StormReport
+{
+    // -------------------------------------------------- load offered
+    std::uint64_t legitArrivals = 0;  //!< logical legit requests
+    std::uint64_t attackArrivals = 0; //!< malicious requests offered
+    std::uint64_t probes = 0;         //!< probes issued
+
+    // ------------------------------------------------- dispositions
+    std::uint64_t legitServed = 0;  //!< served legit requests
+    std::uint64_t legitFailed = 0;  //!< executed but not Served
+    std::uint64_t legitGaveUp = 0;  //!< retries exhausted, shed for good
+    std::uint64_t retries = 0;      //!< retry attempts scheduled
+    std::uint64_t attackExecuted = 0;
+    std::uint64_t probesServed = 0;
+    std::uint64_t executed = 0;     //!< requests that reached the core
+    /** Sheds by reason (indexed by net::ShedReason). */
+    std::array<std::uint64_t, net::shedReasonCount> sheds{};
+
+    // ------------------------------------------------------- timing
+    Tick endTick = 0;         //!< completion tick of the last request
+    Cycles legitP50 = 0;      //!< median legit response time
+    Cycles legitP99 = 0;      //!< p99 legit response time
+
+    // ------------------------------------------------------- health
+    std::array<Cycles, healthStateCount> timeIn{};
+    std::uint64_t transitions = 0;
+    std::uint64_t fullCycles = 0;
+    std::uint64_t bpEngagements = 0;
+    /**
+     * Executed requests from the first departure from Healthy until
+     * health returned to Healthy (0 when it never left, or never
+     * came back).
+     */
+    std::uint64_t requestsToRevival = 0;
+
+    /** Total sheds across all reasons. */
+    std::uint64_t shedTotal() const;
+
+    /** Served legit requests per million cycles. */
+    double goodput() const;
+
+    /** Executed requests (any class) per million cycles. */
+    double rawThroughput() const;
+};
+
+/**
+ * The @p p-th percentile (0..100) of @p samples by nearest-rank on a
+ * copy; 0 when empty. Shared by the storm loop and its tests.
+ */
+Cycles percentile(std::vector<Cycles> samples, double p);
+
+} // namespace indra::resilience
+
+#endif // INDRA_RESILIENCE_STORM_HH

@@ -111,6 +111,67 @@ TEST(TraceFifo, PushCountTracked)
     EXPECT_EQ(fifo.pushes(), 2u);
 }
 
+TEST(TraceFifo, OccupancyEmptyIsZero)
+{
+    stats::StatGroup g("t");
+    TraceFifo fifo(4, g);
+    EXPECT_EQ(fifo.occupancyAt(0), 0u);
+    EXPECT_EQ(fifo.occupancyAt(1000), 0u);
+}
+
+TEST(TraceFifo, OccupancyCountsRecordsNotYetStarted)
+{
+    stats::StatGroup g("t");
+    TraceFifo fifo(8, g);
+    // Three pushes at tick 0, cost 10: service starts 0, 10, 20. A
+    // record occupies its slot strictly until its service START (the
+    // consumer frees the slot by pulling the record in).
+    fifo.push(0, 10);
+    fifo.push(0, 10);
+    fifo.push(0, 10);
+    EXPECT_EQ(fifo.occupancyAt(0), 2u);  // starts 10 and 20 queued
+    EXPECT_EQ(fifo.occupancyAt(9), 2u);  // one cycle before a start
+    EXPECT_EQ(fifo.occupancyAt(10), 1u); // boundary: slot freed
+    EXPECT_EQ(fifo.occupancyAt(11), 1u);
+    EXPECT_EQ(fifo.occupancyAt(19), 1u);
+    EXPECT_EQ(fifo.occupancyAt(20), 0u); // all started
+}
+
+TEST(TraceFifo, OccupancyAgreesWithPushFullness)
+{
+    stats::StatGroup g("t");
+    TraceFifo fifo(2, g);
+    fifo.push(0, 10); // starts 0
+    fifo.push(0, 10); // starts 10
+    fifo.push(0, 10); // starts 20
+    // Exactly at capacity: the same arithmetic push() uses must say
+    // so, and the next push at tick 0 must stall while a push at the
+    // freeing boundary (tick 10) must not.
+    EXPECT_EQ(fifo.occupancyAt(0), fifo.capacity());
+    EXPECT_EQ(fifo.occupancyAt(9), fifo.capacity());
+    EXPECT_EQ(fifo.occupancyAt(10), fifo.capacity() - 1);
+    auto r = fifo.push(10, 10); // starts 30; occupancy was cap-1
+    EXPECT_EQ(r.stallCycles, 0u);
+    // Back at capacity (starts 20 and 30 queued at tick 10): the
+    // next same-tick push stalls until the record starting at 20 is
+    // pulled.
+    EXPECT_EQ(fifo.occupancyAt(10), fifo.capacity());
+    auto r2 = fifo.push(10, 10);
+    EXPECT_EQ(r2.stallCycles, 10u);
+    EXPECT_EQ(r2.pushDoneTick, 20u);
+}
+
+TEST(TraceFifo, OccupancyResetWithHistory)
+{
+    stats::StatGroup g("t");
+    TraceFifo fifo(4, g);
+    fifo.push(0, 100);
+    fifo.push(0, 100);
+    EXPECT_GT(fifo.occupancyAt(0), 0u);
+    fifo.reset();
+    EXPECT_EQ(fifo.occupancyAt(0), 0u);
+}
+
 TEST(TraceFifo, ProducerCatchesUpAfterStall)
 {
     stats::StatGroup g("t");

@@ -143,3 +143,40 @@ TEST(WatchdogDeath, RejectsCoreBeyond64)
     MemWatchdog wd(g);
     EXPECT_DEATH(wd.grant(1, 64), "64 cores");
 }
+
+TEST(WatchdogDeath, CheckRejectsCoreBeyond64)
+{
+    stats::StatGroup g("t");
+    MemWatchdog wd(g);
+    // A low-privilege check with core 64 would shift out of the
+    // 64-bit grant mask (undefined behaviour), so it must panic, not
+    // silently alias some other core's grant.
+    EXPECT_DEATH(wd.check(64, Privilege::Low, 1), "64 cores");
+}
+
+TEST(Watchdog, HighPrivilegeCheckSkipsCoreValidation)
+{
+    stats::StatGroup g("t");
+    MemWatchdog wd(g);
+    // High privilege short-circuits before the mask is consulted;
+    // the resurrector's own accesses never carry a maskable core id.
+    EXPECT_EQ(wd.check(64, Privilege::High, 1),
+              WatchdogVerdict::Allowed);
+}
+
+TEST(WatchdogDeath, RevokeRejectsCoreBeyond64)
+{
+    stats::StatGroup g("t");
+    MemWatchdog wd(g);
+    wd.grant(1, 0);
+    EXPECT_DEATH(wd.revoke(1, 64), "64 cores");
+    // Even on a frame with no grants the id must be validated.
+    EXPECT_DEATH(wd.revoke(99, 64), "64 cores");
+}
+
+TEST(WatchdogDeath, IsGrantedRejectsCoreBeyond64)
+{
+    stats::StatGroup g("t");
+    MemWatchdog wd(g);
+    EXPECT_DEATH((void)wd.isGranted(1, 64), "64 cores");
+}
