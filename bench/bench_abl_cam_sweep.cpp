@@ -22,6 +22,8 @@ main(int argc, char **argv)
 
     const std::vector<std::uint32_t> sizes = {0, 8, 16, 32, 64, 128,
                                               256};
+    benchutil::ObsCollector collector("bench_abl_cam_sweep", cli.obs());
+    collector.resize(sizes.size());
     std::cout << std::left << std::setw(10) << "entries"
               << std::right << std::setw(16) << "residual_%"
               << std::setw(20) << "origin_records/req" << "\n";
@@ -31,8 +33,11 @@ main(int argc, char **argv)
     auto rows = sweep.run(sizes.size(), [&](std::size_t i) {
         SystemConfig cfg = base;
         cfg.filterCamEntries = sizes[i];
-        auto run = benchutil::runBenign(cfg, profile, 2, 6);
+        auto run = benchutil::runBenign(cfg, profile, 2, 6,
+                                        collector.traceFor(i));
         auto &cam = run.serviceSlot().core->filterCam();
+        collector.snapshot(i, "cam_" + std::to_string(sizes[i]),
+                           run.system->rootStats());
         return Row{cam.missRatio() * 100.0,
                    (cam.lookups() - cam.hits()) / 6.0};
     });
@@ -45,5 +50,6 @@ main(int argc, char **argv)
     }
     std::cout << "\npaper: 32 entries already waive >90% of checks"
               << std::endl;
+    collector.write();
     return 0;
 }

@@ -20,9 +20,12 @@ namespace
 /** Ticks from attack start to the next benign response completing. */
 double
 recoveryToNextResponse(const SystemConfig &cfg,
-                       const net::DaemonProfile &profile)
+                       const net::DaemonProfile &profile,
+                       benchutil::ObsCollector &collector,
+                       std::size_t cell, const std::string &label)
 {
     core::IndraSystem sys(cfg);
+    sys.attachTraceLog(collector.traceFor(cell));
     sys.boot();
     std::size_t slot = sys.deployService(profile);
     sys.runScript(net::ClientScript::benign(2), slot);
@@ -35,6 +38,7 @@ recoveryToNextResponse(const SystemConfig &cfg,
     net::ServiceRequest next;
     next.seq = 4;
     auto served = sys.processRequest(slot, next);
+    collector.snapshot(cell, label, sys.rootStats());
     return static_cast<double>(served.endTick - attacked.startTick);
 }
 
@@ -57,10 +61,16 @@ main(int argc, char **argv)
 
     benchutil::printCols({"lazy_cycles", "eager_cycles", "eager/lazy"});
     const auto &daemons = net::standardDaemons();
+    benchutil::ObsCollector collector("bench_abl_eager_rollback",
+                                      cli.obs());
+    collector.resize(daemons.size());
     struct Row { double tl, te; };
     auto rows = sweep.run(daemons.size(), [&](std::size_t i) {
-        return Row{recoveryToNextResponse(lazy, daemons[i]),
-                   recoveryToNextResponse(eager, daemons[i])};
+        std::string name = daemons[i].name;
+        return Row{recoveryToNextResponse(lazy, daemons[i], collector,
+                                          i, name + ".lazy"),
+                   recoveryToNextResponse(eager, daemons[i], collector,
+                                          i, name + ".eager")};
     });
     for (std::size_t i = 0; i < daemons.size(); ++i) {
         benchutil::printRow(daemons[i].name,
@@ -69,5 +79,6 @@ main(int argc, char **argv)
     }
     std::cout << "\nlazy recovery overlaps restoration with the next "
                  "request; eager pays it up front" << std::endl;
+    collector.write();
     return 0;
 }

@@ -34,6 +34,9 @@ main(int argc, char **argv)
 
     const std::vector<std::string> names = {"httpd", "bind"};
     const std::vector<std::uint32_t> lineSizes = {32, 64, 128};
+    benchutil::ObsCollector collector("bench_abl_granularity",
+                                      cli.obs());
+    collector.resize(names.size() * lineSizes.size());
     struct Row { double backup_cyc, lines; };
     auto rows = sweep.run(
         names.size() * lineSizes.size(), [&](std::size_t i) {
@@ -41,7 +44,13 @@ main(int argc, char **argv)
                 net::daemonByName(names[i / lineSizes.size()]);
             SystemConfig cfg = base;
             cfg.backupLineBytes = lineSizes[i % lineSizes.size()];
-            auto run = benchutil::runBenign(cfg, profile, 2, 6);
+            auto run = benchutil::runBenign(cfg, profile, 2, 6,
+                                            collector.traceFor(i));
+            collector.snapshot(
+                i,
+                profile.name + ".line" +
+                    std::to_string(cfg.backupLineBytes),
+                run.system->rootStats());
             auto &policy = *run.serviceSlot().policy;
             return Row{policy.backupCycles() / 6.0,
                        static_cast<double>(policy.linesBackedUp())};
@@ -61,5 +70,6 @@ main(int argc, char **argv)
     std::cout << "\nfiner lines copy fewer bytes; coarser lines cut "
                  "per-line bookkeeping — 64B is the sweet spot"
               << std::endl;
+    collector.write();
     return 0;
 }

@@ -35,6 +35,8 @@ main(int argc, char **argv)
     profile.instrPerRequest = 60000;
 
     const std::vector<std::uint64_t> periods = {2, 5, 10, 25};
+    benchutil::ObsCollector collector("bench_abl_hybrid", cli.obs());
+    collector.resize(periods.size());
     struct Row
     {
         std::uint64_t captures, restores, crashes;
@@ -44,6 +46,7 @@ main(int argc, char **argv)
         SystemConfig cfg = base;
         cfg.macroCheckpointPeriod = periods[i];
         core::IndraSystem sys(cfg);
+        sys.attachTraceLog(collector.traceFor(i));
         sys.boot();
         std::size_t slot = sys.deployService(profile);
 
@@ -57,6 +60,8 @@ main(int argc, char **argv)
             if (o.status == net::RequestStatus::CrashedRecovered)
                 ++crashes;
         }
+        collector.snapshot(i, "period_" + std::to_string(periods[i]),
+                           sys.rootStats());
         return Row{sys.slot(slot).macro->captures(),
                    sys.slot(slot).macro->restores(), crashes,
                    report.availability()};
@@ -72,5 +77,6 @@ main(int argc, char **argv)
     std::cout << "\ndormant damage defeats micro recovery; the macro "
                  "fallback (Fig. 8) revives the service at any period"
               << std::endl;
+    collector.write();
     return 0;
 }

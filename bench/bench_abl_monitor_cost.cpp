@@ -30,6 +30,9 @@ main(int argc, char **argv)
 
     const std::vector<double> scales = {0.25, 0.5, 1.0, 2.0, 4.0};
     const auto &daemons = net::standardDaemons();
+    benchutil::ObsCollector collector("bench_abl_monitor_cost",
+                                      cli.obs());
+    collector.resize(scales.size() * daemons.size());
     // One cell per (scale, daemon); each recomputes its own baseline
     // run, matching the historical serial loop exactly.
     auto overheads = sweep.run(
@@ -48,7 +51,12 @@ main(int argc, char **argv)
 
             const auto &profile = daemons[i % daemons.size()];
             auto off = benchutil::runBenign(base, profile, 2, 4);
-            auto on = benchutil::runBenign(cfg, profile, 2, 4);
+            auto on = benchutil::runBenign(cfg, profile, 2, 4,
+                                           collector.traceFor(i));
+            std::ostringstream label;
+            label << profile.name << ".x" << scale;
+            collector.snapshot(i, label.str(),
+                               on.system->rootStats());
             return (on.totalResponse() / off.totalResponse() - 1.0) *
                 100.0;
         });
@@ -62,5 +70,6 @@ main(int argc, char **argv)
     }
     std::cout << "\nsoftware monitoring stays cheap until checks cost "
                  "several hundred resurrector cycles" << std::endl;
+    collector.write();
     return 0;
 }

@@ -33,17 +33,27 @@ main(int argc, char **argv)
     auto off = benchutil::runBenign(base, profile, 2, 5);
 
     const std::vector<std::uint32_t> counts = {1, 2, 4};
+    benchutil::ObsCollector collector("bench_abl_shared_resurrector",
+                                      cli.obs());
+    collector.resize(counts.size());
     struct Row { double shared_total, dedic_total; };
     auto rows = sweep.run(counts.size(), [&](std::size_t i) {
         SystemConfig shared = base;
         shared.monitorEnabled = true;
         shared.numResurrectees = counts[i];
         shared.sharedResurrector = true;
-        auto s = benchutil::runBenign(shared, profile, 2, 5);
+        auto s = benchutil::runBenign(shared, profile, 2, 5,
+                                      collector.traceFor(i));
+        collector.snapshot(i,
+                           "shared_" + std::to_string(counts[i]),
+                           s.system->rootStats());
 
         SystemConfig dedicated = shared;
         dedicated.sharedResurrector = false;
         auto d = benchutil::runBenign(dedicated, profile, 2, 5);
+        collector.snapshot(i,
+                           "dedicated_" + std::to_string(counts[i]),
+                           d.system->rootStats());
         return Row{s.totalResponse(), d.totalResponse()};
     });
     for (std::size_t i = 0; i < counts.size(); ++i) {
@@ -59,5 +69,6 @@ main(int argc, char **argv)
     }
     std::cout << "\na single resurrector saturates as service cores "
                  "are added; dedicated monitors stay flat" << std::endl;
+    collector.write();
     return 0;
 }

@@ -118,6 +118,9 @@ main(int argc, char **argv)
 
     std::size_t cells_n =
         kinds.size() * rates.size() * seeds.size() * daemons.size();
+    benchutil::ObsCollector collector("bench_fault_campaign",
+                                      cli.obs());
+    collector.resize(cells_n);
 
     auto cells = sweep.run(cells_n, [&](std::size_t i) {
         std::size_t di = i % daemons.size();
@@ -144,6 +147,7 @@ main(int argc, char **argv)
         profile.instrPerRequest = 25000;
 
         core::IndraSystem sys(cfg, plan);
+        sys.attachTraceLog(collector.traceFor(i));
         sys.boot();
         std::size_t slot = sys.deployService(profile);
         auto outcomes = sys.runScript(
@@ -189,6 +193,7 @@ main(int argc, char **argv)
                            s.recovery->macroRestoreFailures() +
                            s.recovery->missingSnapshotRecoveries();
         cell.reqToRevival = meanRequestsToRevival(outcomes);
+        collector.snapshot(i, cell.label, sys.rootStats());
         return cell;
     });
 
@@ -218,5 +223,6 @@ main(int argc, char **argv)
     std::cout << "\ntotal injected " << tot_inj
               << ", macro recoveries " << tot_macro
               << ", rejuvenations " << tot_rejuv << "\n";
+    collector.write();
     return 0;
 }

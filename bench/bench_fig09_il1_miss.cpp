@@ -23,8 +23,14 @@ main(int argc, char **argv)
 
     benchutil::printCols({"il1_miss_%"});
     const auto &daemons = net::standardDaemons();
+    benchutil::ObsCollector collector("bench_fig09_il1_miss",
+                                      cli.obs());
+    collector.resize(daemons.size());
     auto rates = sweep.run(daemons.size(), [&](std::size_t i) {
-        auto run = benchutil::runBenign(cfg, daemons[i], 3, 10);
+        auto run = benchutil::runBenign(cfg, daemons[i], 3, 10,
+                                        collector.traceFor(i));
+        collector.snapshot(i, daemons[i].name,
+                           run.system->rootStats());
         // Miss rate per instruction fetch: sequential fetches within
         // an already-resident line always hit.
         double instr = static_cast<double>(
@@ -40,5 +46,6 @@ main(int argc, char **argv)
         sum += rates[i];
     }
     benchutil::printRow("average", {sum / daemons.size()});
+    collector.write();
     return 0;
 }

@@ -15,11 +15,16 @@ namespace
 {
 
 double
-residualChecks(const net::DaemonProfile &profile, std::uint32_t cam)
+residualChecks(const net::DaemonProfile &profile, std::uint32_t cam,
+               benchutil::ObsCollector &collector, std::size_t cell)
 {
     SystemConfig cfg;
     cfg.filterCamEntries = cam;
-    auto run = benchutil::runBenign(cfg, profile, 3, 8);
+    auto run = benchutil::runBenign(cfg, profile, 3, 8,
+                                    collector.traceFor(cell));
+    collector.snapshot(cell,
+                       profile.name + ".cam" + std::to_string(cam),
+                       run.system->rootStats());
     auto &filter = run.serviceSlot().core->filterCam();
     return filter.missRatio() * 100.0;
 }
@@ -39,10 +44,13 @@ main(int argc, char **argv)
 
     benchutil::printCols({"32-entry", "64-entry"});
     const auto &daemons = net::standardDaemons();
+    benchutil::ObsCollector collector("bench_fig10_origin_filter",
+                                      cli.obs());
+    collector.resize(daemons.size());
     struct Row { double r32, r64; };
     auto rows = sweep.run(daemons.size(), [&](std::size_t i) {
-        return Row{residualChecks(daemons[i], 32),
-                   residualChecks(daemons[i], 64)};
+        return Row{residualChecks(daemons[i], 32, collector, i),
+                   residualChecks(daemons[i], 64, collector, i)};
     });
     double s32 = 0, s64 = 0;
     for (std::size_t i = 0; i < daemons.size(); ++i) {
@@ -54,5 +62,6 @@ main(int argc, char **argv)
     benchutil::printRow("average", {s32 / n, s64 / n});
     std::cout << "\npaper: average 8% residual at 32 entries, 5% at 64"
               << std::endl;
+    collector.write();
     return 0;
 }

@@ -29,9 +29,15 @@ main(int argc, char **argv)
 
     benchutil::printCols({"overhead_%"});
     const auto &daemons = net::standardDaemons();
+    benchutil::ObsCollector collector("bench_fig11_monitor_overhead",
+                                      cli.obs());
+    collector.resize(daemons.size());
     auto overheads = sweep.run(daemons.size(), [&](std::size_t i) {
         auto off = benchutil::runBenign(base, daemons[i], 3, 8);
-        auto on = benchutil::runBenign(monitored, daemons[i], 3, 8);
+        auto on = benchutil::runBenign(monitored, daemons[i], 3, 8,
+                                       collector.traceFor(i));
+        collector.snapshot(i, daemons[i].name,
+                           on.system->rootStats());
         return (on.totalResponse() / off.totalResponse() - 1.0) * 100.0;
     });
     double sum = 0;
@@ -42,5 +48,6 @@ main(int argc, char **argv)
     benchutil::printRow("average", {sum / daemons.size()});
     std::cout << "\npaper: all daemons below ~10% overhead"
               << std::endl;
+    collector.write();
     return 0;
 }

@@ -28,12 +28,21 @@ main(int argc, char **argv)
     // Per-size mean response across daemons, normalized to the
     // largest queue. One sweep cell per (size, daemon) pair.
     const auto &daemons = net::standardDaemons();
+    benchutil::ObsCollector collector("bench_fig12_queue_size",
+                                      cli.obs());
+    collector.resize(sizes.size() * daemons.size());
     auto cellMeans =
         sweep.run(sizes.size() * daemons.size(), [&](std::size_t i) {
             SystemConfig c = cfg;
             c.traceFifoEntries = sizes[i / daemons.size()];
             auto run = benchutil::runBenign(
-                c, daemons[i % daemons.size()], 2, 5);
+                c, daemons[i % daemons.size()], 2, 5,
+                collector.traceFor(i));
+            collector.snapshot(
+                i,
+                daemons[i % daemons.size()].name + ".fifo" +
+                    std::to_string(c.traceFifoEntries),
+                run.system->rootStats());
             return run.meanResponse();
         });
     std::vector<double> means;
@@ -55,5 +64,6 @@ main(int argc, char **argv)
     }
     std::cout << "\npaper: 16 entries too small; saturation at >= 32"
               << std::endl;
+    collector.write();
     return 0;
 }

@@ -24,9 +24,15 @@ main(int argc, char **argv)
 
     benchutil::printCols({"instructions", "cpi"});
     const auto &daemons = net::standardDaemons();
+    benchutil::ObsCollector collector("bench_fig13_request_interval",
+                                      cli.obs());
+    collector.resize(daemons.size());
     struct Row { double avg, cpi; };
     auto rows = sweep.run(daemons.size(), [&](std::size_t i) {
-        auto run = benchutil::runBenign(cfg, daemons[i], 2, 8);
+        auto run = benchutil::runBenign(cfg, daemons[i], 2, 8,
+                                        collector.traceFor(i));
+        collector.snapshot(i, daemons[i].name,
+                           run.system->rootStats());
         double total = 0;
         for (const auto &o : run.outcomes)
             total += static_cast<double>(o.instructions);
@@ -40,5 +46,6 @@ main(int argc, char **argv)
         sum += rows[i].avg;
     }
     benchutil::printRow("average", {sum / daemons.size()}, 0);
+    collector.write();
     return 0;
 }

@@ -31,9 +31,15 @@ main(int argc, char **argv)
 
     benchutil::printCols({"slowdown_x"});
     const auto &daemons = net::standardDaemons();
+    benchutil::ObsCollector collector("bench_fig14_page_copy_slowdown",
+                                      cli.obs());
+    collector.resize(daemons.size());
     auto slowdowns = sweep.run(daemons.size(), [&](std::size_t i) {
         auto off = benchutil::runBenign(base, daemons[i], 2, 6);
-        auto on = benchutil::runBenign(paged, daemons[i], 2, 6);
+        auto on = benchutil::runBenign(paged, daemons[i], 2, 6,
+                                       collector.traceFor(i));
+        collector.snapshot(i, daemons[i].name,
+                           on.system->rootStats());
         return on.totalResponse() / off.totalResponse();
     });
     double sum = 0;
@@ -44,5 +50,6 @@ main(int argc, char **argv)
     benchutil::printRow("average", {sum / daemons.size()});
     std::cout << "\npaper: multi-x slowdowns (roughly 2-14x)"
               << std::endl;
+    collector.write();
     return 0;
 }

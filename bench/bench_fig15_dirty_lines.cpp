@@ -29,9 +29,15 @@ main(int argc, char **argv)
 
     benchutil::printCols({"dirty_lines_%", "pages/request"});
     const auto &daemons = net::standardDaemons();
+    benchutil::ObsCollector collector("bench_fig15_dirty_lines",
+                                      cli.obs());
+    collector.resize(daemons.size());
     struct Row { double ratio, pages; };
     auto rows = sweep.run(daemons.size(), [&](std::size_t i) {
-        auto run = benchutil::runBenign(cfg, daemons[i], 2, 8);
+        auto run = benchutil::runBenign(cfg, daemons[i], 2, 8,
+                                        collector.traceFor(i));
+        collector.snapshot(i, daemons[i].name,
+                           run.system->rootStats());
         auto *delta = dynamic_cast<ckpt::DeltaBackup *>(
             run.serviceSlot().policy.get());
         return Row{delta->dirtyLineRatio().mean() * 100.0,
@@ -49,5 +55,6 @@ main(int argc, char **argv)
     benchutil::printRow("average", {sum / n, page_sum / n});
     std::cout << "\npaper: bind ~45%, others mostly 10-25%"
               << std::endl;
+    collector.write();
     return 0;
 }

@@ -32,6 +32,9 @@ main(int argc, char **argv)
 
     benchutil::printCols({"mon+backup", "+rollback/2"});
     const auto &daemons = net::standardDaemons();
+    benchutil::ObsCollector collector("bench_fig16_backup_rollback",
+                                      cli.obs());
+    collector.resize(daemons.size());
     struct Row { double backup, rollback; };
     auto rows = sweep.run(daemons.size(), [&](std::size_t i) {
         const auto &profile = daemons[i];
@@ -50,7 +53,10 @@ main(int argc, char **argv)
         for (auto &r : attack_script)
             r.seq += 2;
         auto rb = benchutil::runScript(indra_cfg, profile, 2,
-                                       attack_script);
+                                       attack_script,
+                                       collector.traceFor(i));
+        collector.snapshot(i, profile.name,
+                           rb.system->rootStats());
         double rollback = (rb.totalResponse() / 8.0) /
             (off.totalResponse() / 8.0);
         return Row{backup, rollback};
@@ -67,5 +73,6 @@ main(int argc, char **argv)
     std::cout << "\npaper: ~1.0-1.5x overall; bind the >2x outlier "
                  "under frequent rollback"
               << std::endl;
+    collector.write();
     return 0;
 }

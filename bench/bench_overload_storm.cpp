@@ -99,7 +99,8 @@ stormPlan(const CellParams &p, std::uint64_t legit_requests,
 
 StormCell
 runCell(const CellParams &p, std::uint64_t legit_requests,
-        bool plant_dormant, const faults::FaultPlan &fplan)
+        bool plant_dormant, const faults::FaultPlan &fplan,
+        benchutil::ObsCollector &collector, std::size_t cell_idx)
 {
     SystemConfig cfg = baseConfig();
     resilience::ResilienceConfig rc;
@@ -110,6 +111,7 @@ runCell(const CellParams &p, std::uint64_t legit_requests,
     profile.instrPerRequest = 25000;
 
     core::IndraSystem sys(cfg, fplan, rc);
+    sys.attachTraceLog(collector.traceFor(cell_idx));
     sys.boot();
     std::size_t slot = sys.deployService(profile);
 
@@ -120,6 +122,7 @@ runCell(const CellParams &p, std::uint64_t legit_requests,
                  std::to_string(p.bound);
     cell.rep = sys.runStorm(slot, stormPlan(p, legit_requests,
                                             plant_dormant));
+    collector.snapshot(cell_idx, cell.label, sys.rootStats());
     return cell;
 }
 
@@ -207,6 +210,10 @@ main(int argc, char **argv)
 
     std::size_t n =
         daemons.size() * rates.size() * bursts.size() * bounds.size();
+    // One extra cell for the smoke run's revival scenario.
+    benchutil::ObsCollector collector("bench_overload_storm",
+                                      cli.obs());
+    collector.resize(n + (smoke ? 1 : 0));
     auto cells = sweep.run(n, [&](std::size_t i) {
         CellParams p;
         p.daemon = daemons[i % daemons.size()];
@@ -215,14 +222,16 @@ main(int argc, char **argv)
         rest /= bounds.size();
         p.burst = bursts[rest % bursts.size()];
         p.attackRate = rates[rest / bursts.size()];
-        return runCell(p, legit_requests, false, fplan);
+        return runCell(p, legit_requests, false, fplan, collector, i);
     });
 
     for (const StormCell &c : cells)
         printCell(c);
 
-    if (!smoke)
+    if (!smoke) {
+        collector.write();
         return 0;
+    }
 
     // ------------------------------------------- the smoke scenario
     // A persistent storm with a dormant plant, against a backup
@@ -237,7 +246,8 @@ main(int argc, char **argv)
     revival.bound = 6;
     faults::FaultPlan corrupt =
         faults::FaultPlan::parse("macro-corrupt:1.0");
-    StormCell rc = runCell(revival, legit_requests, true, corrupt);
+    StormCell rc = runCell(revival, legit_requests, true, corrupt,
+                           collector, n);
     std::cout << "\nrevival scenario (dormant plant, "
                  "macro-corrupt:1.0):\n";
     printCell(rc);
@@ -278,5 +288,6 @@ main(int argc, char **argv)
 
     if (failures == 0)
         std::cout << "\nall smoke checks passed\n";
+    collector.write();
     return failures == 0 ? 0 : 1;
 }

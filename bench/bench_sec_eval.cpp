@@ -32,6 +32,8 @@ main(int argc, char **argv)
               << "availability\n";
 
     const auto &scenarios = net::documentedExploits();
+    benchutil::ObsCollector collector("bench_sec_eval", cli.obs());
+    collector.resize(scenarios.size());
     struct Row
     {
         net::RequestOutcome bad;
@@ -44,6 +46,7 @@ main(int argc, char **argv)
             std::min<std::uint64_t>(profile.instrPerRequest, 120000);
 
         core::IndraSystem sys(cfg);
+        sys.attachTraceLog(collector.traceFor(i));
         sys.boot();
         std::size_t slot = sys.deployService(profile);
 
@@ -53,6 +56,7 @@ main(int argc, char **argv)
         auto script = net::ClientScript::benign(9);
         script[2].attack = scenario.kind;
         auto outcomes = sys.runScript(script, slot);
+        collector.snapshot(i, scenario.id, sys.rootStats());
         return Row{outcomes[2],
                    net::AvailabilityReport::build(outcomes)};
     });
@@ -76,5 +80,6 @@ main(int argc, char **argv)
                         "lost (paper: INDRA detects and recovers)"
                       : "\nSOME SCENARIO LOST SERVICE")
               << std::endl;
+    collector.write();
     return all_ok ? 0 : 1;
 }

@@ -34,8 +34,12 @@ main(int argc, char **argv)
 
     net::DaemonProfile profile = net::daemonByName("httpd");
     profile.instrPerRequest = 40000;
+    benchutil::ObsCollector collector("bench_table2_detection",
+                                      cli.obs());
+    collector.resize(kinds.size());
     auto outs = sweep.run(kinds.size(), [&](std::size_t i) {
         core::IndraSystem sys(cfg);
+        sys.attachTraceLog(collector.traceFor(i));
         sys.boot();
         std::size_t slot = sys.deployService(profile);
         sys.runScript(net::ClientScript::benign(2), slot);
@@ -43,7 +47,10 @@ main(int argc, char **argv)
         net::ServiceRequest req;
         req.seq = 3;
         req.attack = kinds[i];
-        return sys.processRequest(slot, req);
+        auto out = sys.processRequest(slot, req);
+        collector.snapshot(i, net::attackKindName(kinds[i]),
+                           sys.rootStats());
+        return out;
     });
     for (std::size_t i = 0; i < kinds.size(); ++i) {
         const auto &out = outs[i];
@@ -60,5 +67,6 @@ main(int argc, char **argv)
     std::cout << "\nTable 2 mapping: stack smash -> call/return "
                  "inspection;\ninjected code -> code origin; function "
                  "pointer / virtual function -> control transfer\n";
+    collector.write();
     return 0;
 }

@@ -42,6 +42,9 @@ main(int argc, char **argv)
               << std::setw(14) << "slow_atk/2" << "\n";
 
     const std::vector<std::string> daemons = {"httpd", "bind"};
+    benchutil::ObsCollector collector("bench_table3_backup_schemes",
+                                      cli.obs());
+    collector.resize(schemes.size() * daemons.size());
     struct Cell
     {
         double backup_per_req = 0, recovery_per_rb = 0;
@@ -68,8 +71,13 @@ main(int argc, char **argv)
                     8, net::AttackKind::DosFlood, period);
                 for (auto &r : script)
                     r.seq += 2;
-                auto run =
-                    benchutil::runScript(cfg, profile, 2, script);
+                auto run = benchutil::runScript(
+                    cfg, profile, 2, script, collector.traceFor(i));
+                collector.snapshot(
+                    i,
+                    std::string(checkpointSchemeName(scheme)) + "." +
+                        profile.name + ".atk" + std::to_string(period),
+                    run.system->rootStats());
                 std::uint64_t benign_n = 0;
                 for (const auto &o : run.outcomes) {
                     if (o.attack == net::AttackKind::None)
@@ -112,5 +120,6 @@ main(int argc, char **argv)
                  "(and it falls behind delta as rollbacks become "
                  "frequent); page schemes slow backup / fast recovery"
               << std::endl;
+    collector.write();
     return 0;
 }

@@ -9,10 +9,12 @@
 #define INDRA_BENCH_UTIL_HH
 
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iomanip>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -20,11 +22,32 @@
 #include "harness/parallel_sweep.hh"
 #include "net/client.hh"
 #include "net/daemon_profile.hh"
+#include "obs/json.hh"
+#include "obs/stat_sinks.hh"
+#include "obs/trace_log.hh"
+#include "obs/trace_sinks.hh"
 #include "sim/config_reader.hh"
 #include "sim/logging.hh"
 
 namespace indra::benchutil
 {
+
+/**
+ * The observability slice of a bench command line: where to export
+ * the stats tree (--stats-json) and the structured event trace
+ * (--trace / --trace-format). Both default off, in which case the
+ * bench's stdout is bit-identical to a build without the obs layer.
+ */
+struct ObsOptions
+{
+    std::string statsJsonPath; //!< --stats-json PATH ("" = off)
+    std::string tracePath;     //!< --trace PATH ("" = off)
+    std::string formatName = "jsonl"; //!< --trace-format name
+    obs::TraceFormat traceFormat = obs::TraceFormat::Jsonl;
+
+    bool wantStats() const { return !statsJsonPath.empty(); }
+    bool wantTrace() const { return !tracePath.empty(); }
+};
 
 /**
  * Build the bench's ParallelSweep from its command line: honors
@@ -58,7 +81,18 @@ class BenchCli
     BenchCli(std::string prog, std::string summary)
         : progName(std::move(prog)), progSummary(std::move(summary))
     {
+        // Every sweep bench exports the same way; register the
+        // observability options once, here, instead of in 18 benches.
+        option("--stats-json", "PATH",
+               "write the final stats tree as JSON", &obsOpts.statsJsonPath);
+        option("--trace", "PATH",
+               "write the structured event trace", &obsOpts.tracePath);
+        option("--trace-format", "jsonl|chrome",
+               "trace file format (default jsonl)", &obsOpts.formatName);
     }
+
+    /** The parsed observability options (valid after parse()). */
+    const ObsOptions &obs() const { return obsOpts; }
 
     /** Register a boolean flag (present -> *out = true). */
     void
@@ -118,6 +152,8 @@ class BenchCli
             fatal(progName, ": unrecognized command-line flag '", arg,
                   "' (try --help)");
         }
+        // Validate eagerly so a typo dies before the sweep runs.
+        obsOpts.traceFormat = obs::traceFormatFromName(obsOpts.formatName);
         return harness::ParallelSweep(jobs);
     }
 
@@ -170,6 +206,116 @@ class BenchCli
     std::string progSummary;
     std::vector<Flag> flags;
     std::vector<Option> options;
+    ObsOptions obsOpts;
+};
+
+/**
+ * Per-cell observability capture for a ParallelSweep bench.
+ *
+ * resize(n) is called once, before the sweep, from the main thread;
+ * after that each cell only touches its own index, so worker threads
+ * never contend. traceFor(i) hands cell i its private TraceLog (null
+ * when no --trace was given — the zero-cost-when-off contract), and
+ * snapshot(i, label, root) renders cell i's stats tree to a pending
+ * JSON fragment (callable several times per cell — e.g. one system
+ * per table row). write() merges everything *in cell order*, so the
+ * files are bit-identical for any --jobs count.
+ */
+class ObsCollector
+{
+  public:
+    ObsCollector(std::string bench, ObsOptions options)
+        : benchName(std::move(bench)), opts(std::move(options))
+    {
+    }
+
+    /** Pre-size the per-cell slots (main thread, before the sweep). */
+    void
+    resize(std::size_t cells)
+    {
+        slots.resize(cells);
+        if (opts.wantTrace()) {
+            for (Cell &c : slots) {
+                if (!c.log)
+                    c.log = std::make_unique<obs::TraceLog>();
+            }
+        }
+    }
+
+    /** Cell @p i's event log, or nullptr when tracing is off. */
+    obs::TraceLog *
+    traceFor(std::size_t i)
+    {
+        return i < slots.size() ? slots[i].log.get() : nullptr;
+    }
+
+    /** Render cell @p i's stats tree under @p label (cell thread). */
+    void
+    snapshot(std::size_t i, const std::string &label,
+             const stats::StatGroup &root)
+    {
+        if (!opts.wantStats() || i >= slots.size())
+            return;
+        std::ostringstream os;
+        os << "{\"cell\":" << i << ",\"label\":";
+        obs::jsonString(os, label);
+        os << ",\"stats\":";
+        obs::JsonStatSink sink(os);
+        root.accept(sink);
+        os << "}";
+        slots[i].snaps.push_back(os.str());
+    }
+
+    /** Merge and write the requested files (main thread, post-sweep). */
+    void
+    write() const
+    {
+        if (opts.wantStats()) {
+            std::ofstream out(opts.statsJsonPath);
+            fatal_if(!out, "cannot write ", opts.statsJsonPath);
+            out << "{\"bench\":";
+            obs::jsonString(out, benchName);
+            out << ",\"cells\":[";
+            bool first = true;
+            for (const Cell &c : slots) {
+                for (const std::string &s : c.snaps) {
+                    if (!first)
+                        out << ",";
+                    first = false;
+                    out << "\n" << s;
+                }
+            }
+            out << "\n]}\n";
+        }
+        if (opts.wantTrace()) {
+            std::ofstream out(opts.tracePath);
+            fatal_if(!out, "cannot write ", opts.tracePath);
+            if (opts.traceFormat == obs::TraceFormat::Jsonl) {
+                for (std::size_t i = 0; i < slots.size(); ++i) {
+                    if (slots[i].log)
+                        obs::renderJsonl(*slots[i].log, i, out);
+                }
+            } else {
+                obs::ChromeTraceWriter writer(out);
+                for (std::size_t i = 0; i < slots.size(); ++i) {
+                    if (slots[i].log)
+                        writer.append(*slots[i].log, i);
+                }
+                writer.finish();
+            }
+        }
+    }
+
+  private:
+    struct Cell
+    {
+        std::unique_ptr<obs::TraceLog> log;
+        std::vector<std::string> snaps;
+    };
+
+    std::string benchName;
+    ObsOptions opts;
+    std::vector<Cell> slots;
 };
 
 /** One measured run of one daemon under one configuration. */
@@ -202,20 +348,28 @@ struct Run
 
 /**
  * Boot a system, deploy @p profile, run @p warmup benign requests,
- * reset statistics, then run @p script and return the outcomes.
+ * reset statistics, then run @p script and return the outcomes. With
+ * a non-null @p trace the system's emitters stream structured events
+ * into it; warmup events are cleared along with the warmup stats so
+ * the trace covers exactly the measured window.
  */
 inline Run
 runScript(const SystemConfig &cfg, const net::DaemonProfile &profile,
           std::uint64_t warmup,
-          const std::vector<net::ServiceRequest> &script)
+          const std::vector<net::ServiceRequest> &script,
+          obs::TraceLog *trace = nullptr)
 {
     Run run;
     run.system = std::make_unique<core::IndraSystem>(cfg);
+    if (trace)
+        run.system->attachTraceLog(trace);
     run.system->boot();
     run.slot = run.system->deployService(profile);
     for (const auto &req : net::ClientScript::benign(warmup))
         run.system->processRequest(run.slot, req);
     run.serviceSlot().statGroup->resetAll();
+    if (trace)
+        trace->clear();
     run.outcomes = run.system->runScript(script, run.slot);
     return run;
 }
@@ -223,12 +377,13 @@ runScript(const SystemConfig &cfg, const net::DaemonProfile &profile,
 /** Benign-only convenience wrapper. */
 inline Run
 runBenign(const SystemConfig &cfg, const net::DaemonProfile &profile,
-          std::uint64_t warmup, std::uint64_t measured)
+          std::uint64_t warmup, std::uint64_t measured,
+          obs::TraceLog *trace = nullptr)
 {
     auto script = net::ClientScript::benign(measured);
     for (auto &r : script)
         r.seq += warmup;
-    return runScript(cfg, profile, warmup, script);
+    return runScript(cfg, profile, warmup, script, trace);
 }
 
 /** Print the standard bench header with the Table 4 parameters. */

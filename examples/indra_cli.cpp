@@ -34,6 +34,7 @@
 #include "core/system.hh"
 #include "harness/parallel_sweep.hh"
 #include "net/daemon_profile.hh"
+#include "obs/stat_sinks.hh"
 #include "sim/config_reader.hh"
 #include "sim/logging.hh"
 
@@ -122,7 +123,8 @@ runOneDaemon(const SystemConfig &cfg, net::DaemonProfile profile,
     result.outcomes = system.runScript(script, slot);
     if (dump_stats) {
         std::ostringstream os;
-        system.rootStats().dump(os);
+        obs::TextStatSink sink(os);
+        system.rootStats().accept(sink);
         result.statDump = os.str();
     }
     return result;

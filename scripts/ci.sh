@@ -4,11 +4,14 @@
 #
 #   ci-release     Release build, the full ctest suite (unit tests,
 #                  harness determinism, fault campaign smoke, overload
-#                  storm smoke with its self-checks).
+#                  storm smoke with its self-checks, and the obs
+#                  export smoke: --stats-json/--trace validation).
 #   ci-asan-ubsan  address+undefined sanitizers over the labelled
-#                  corruption paths: -L faults, resilience, harness.
-#   ci-tsan        thread sanitizer over the parallel sweep harness
-#                  and the storm cells: -L harness, resilience.
+#                  corruption paths: -L faults, resilience, harness,
+#                  obs.
+#   ci-tsan        thread sanitizer over the parallel sweep harness,
+#                  the storm cells, and the per-cell trace logs:
+#                  -L harness, resilience, obs.
 #
 # Usage: scripts/ci.sh [preset ...]   (default: all three in order)
 

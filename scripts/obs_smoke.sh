@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Observability export smoke: drive a storm bench through every export
+# path and validate the artifacts.
+#
+#   obs_smoke.sh <bench_overload_storm binary>
+#
+# Checks:
+#   - --stats-json writes valid JSON (python3 -m json.tool)
+#   - --trace (jsonl) writes one valid JSON object per line
+#   - --trace-format chrome writes one valid trace_event JSON document
+#   - the trace carries a healthy spread of distinct event kinds
+#   - stats and trace files are byte-identical for --jobs 1 and 4
+#   - with no obs flags, stdout is byte-identical to a flagged run
+#     (export never perturbs the simulation)
+
+set -euo pipefail
+
+bench="${1:?usage: obs_smoke.sh <bench_overload_storm>}"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+run() { # run <jobs> <suffix> [extra args...]
+    local jobs="$1" suffix="$2"
+    shift 2
+    "$bench" --smoke --jobs "$jobs" \
+        --stats-json "$workdir/stats$suffix.json" \
+        --trace "$workdir/trace$suffix.jsonl" "$@" \
+        > "$workdir/stdout$suffix.txt"
+}
+
+echo "== export + validate (jobs=2)"
+run 2 "" --faults delta-flip:0.3
+python3 -m json.tool "$workdir/stats.json" > /dev/null
+python3 - "$workdir/trace.jsonl" <<'EOF'
+import json, sys
+kinds = set()
+with open(sys.argv[1]) as fh:
+    for n, line in enumerate(fh, 1):
+        kinds.add(json.loads(line)["kind"])
+assert n > 0, "empty trace"
+assert len(kinds) >= 8, f"only {len(kinds)} event kinds: {sorted(kinds)}"
+print(f"   {n} events, {len(kinds)} distinct kinds")
+EOF
+
+echo "== chrome trace format"
+"$bench" --smoke --jobs 2 --trace "$workdir/trace.chrome.json" \
+    --trace-format chrome > /dev/null
+python3 - "$workdir/trace.chrome.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["traceEvents"], "no trace events"
+print(f"   {len(doc['traceEvents'])} trace events")
+EOF
+
+echo "== determinism across --jobs"
+run 1 ".j1"
+run 4 ".j4"
+cmp "$workdir/stats.j1.json" "$workdir/stats.j4.json"
+cmp "$workdir/trace.j1.jsonl" "$workdir/trace.j4.jsonl"
+
+echo "== export is observation-only"
+"$bench" --smoke --jobs 2 > "$workdir/stdout.plain.txt"
+cmp "$workdir/stdout.plain.txt" "$workdir/stdout.j1.txt"
+
+echo "obs smoke: all checks passed"

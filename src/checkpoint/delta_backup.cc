@@ -277,9 +277,9 @@ DeltaBackup::onRequestBegin(Tick tick)
 Cycles
 DeltaBackup::onFailure(Tick tick)
 {
-    (void)tick;
     ++statRollbacks;
     Cycles cost = 0;
+    std::uint64_t armed_pages = 0;
     std::uint64_t gts = context.gts();
     for (Vpn vpn : touchedThisEpoch) {
         auto it = records.find(vpn);
@@ -292,8 +292,11 @@ DeltaBackup::onFailure(Tick tick)
         rec.rollbackBv.orWith(rec.dirtyBv);
         rec.dirtyBv.clearAll();
         rec.rollbackVld = true;
+        ++armed_pages;
         cost += config.rollbackArmCycles;
     }
+    INDRA_TRACE(traceLog, tick, obs::EventKind::RollbackArmed,
+                traceSource, armed_pages, cost);
     // The failed request's backup activity is accounted to it.
     if (!touchedThisEpoch.empty()) {
         double pages = static_cast<double>(touchedThisEpoch.size());
@@ -310,7 +313,6 @@ DeltaBackup::onFailure(Tick tick)
 bool
 DeltaBackup::verifyIntegrity(Tick tick)
 {
-    (void)tick;
     std::uint64_t bad = 0;
     std::uint64_t gts = context.gts();
     for (auto &[vpn, rec] : records) {
@@ -327,8 +329,11 @@ DeltaBackup::verifyIntegrity(Tick tick)
                 ++bad;
         }
     }
-    if (bad)
+    if (bad) {
         statCorruptionDetected += static_cast<double>(bad);
+        INDRA_TRACE(traceLog, tick, obs::EventKind::CorruptionDetected,
+                    traceSource, bad);
+    }
     return bad == 0;
 }
 

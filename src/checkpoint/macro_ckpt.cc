@@ -54,6 +54,8 @@ MacroCheckpoint::capture(Tick tick, os::ProcessContext &ctx,
     captured = true;
     ++statCaptures;
     statCaptureCycles += static_cast<double>(cost);
+    INDRA_TRACE(traceLog, tick, obs::EventKind::MacroCapture,
+                traceSource, expectedPages, cost);
 
     if (injector && !image.empty()) {
         // Deterministic page pick: sort the vpns so the choice does
@@ -85,7 +87,7 @@ MacroCheckpoint::capture(Tick tick, os::ProcessContext &ctx,
 }
 
 bool
-MacroCheckpoint::verifyImage()
+MacroCheckpoint::verifyImage(Tick tick)
 {
     std::uint64_t bad = 0;
     if (image.size() != expectedPages)
@@ -96,8 +98,11 @@ MacroCheckpoint::verifyImage()
             faults::checksum32(bytes.data(), bytes.size()) != it->second)
             ++bad;
     }
-    if (bad)
+    if (bad) {
         statCorruptionDetected += static_cast<double>(bad);
+        INDRA_TRACE(traceLog, tick, obs::EventKind::CorruptionDetected,
+                    traceSource, bad);
+    }
     return bad == 0;
 }
 
@@ -106,11 +111,13 @@ MacroCheckpoint::restore(Tick tick, os::ProcessContext &ctx,
                          os::AddressSpace &space,
                          os::SystemResources &res)
 {
-    if (!captured || !verifyImage()) {
+    if (!captured || !verifyImage(tick)) {
         // Missing, truncated, or corrupt image: refuse the restore
         // and leave every byte of process state alone. The caller
         // escalates (typically to full rejuvenation).
         ++statRestoreFailures;
+        INDRA_TRACE(traceLog, tick, obs::EventKind::MacroRestore,
+                    traceSource, 0, 0);
         return {false, 0};
     }
     Cycles cost = 0;
@@ -136,6 +143,8 @@ MacroCheckpoint::restore(Tick tick, os::ProcessContext &ctx,
     memsys.flushTlbs();
     ++statRestores;
     statRestoreCycles += static_cast<double>(cost);
+    INDRA_TRACE(traceLog, tick, obs::EventKind::MacroRestore,
+                traceSource, 1, cost);
     return {true, cost};
 }
 

@@ -17,6 +17,7 @@
 #include "faults/fault_injector.hh"
 #include "mem/hierarchy.hh"
 #include "mem/phys_mem.hh"
+#include "obs/trace_log.hh"
 #include "os/address_space.hh"
 #include "os/process.hh"
 #include "os/resources.hh"
@@ -80,6 +81,19 @@ class MacroCheckpoint
     /** Attach a fault injector (nullable) to corrupt captures. */
     void setFaultInjector(faults::FaultInjector *inj) { injector = inj; }
 
+    /**
+     * Attach a structured event log (nullable); @p source identifies
+     * the checkpointed service's core. Captures, restore attempts
+     * (successful or refused), and image-verification failures are
+     * traced.
+     */
+    void
+    setTraceLog(obs::TraceLog *log, std::uint32_t source)
+    {
+        traceLog = log;
+        traceSource = source;
+    }
+
     bool hasCheckpoint() const { return captured; }
     std::uint64_t captures() const;
     std::uint64_t restores() const;
@@ -92,12 +106,14 @@ class MacroCheckpoint
 
   private:
     /** True when the page count and every page checksum verify. */
-    bool verifyImage();
+    bool verifyImage(Tick tick);
 
     const SystemConfig &config;
     mem::PhysicalMemory &phys;
     mem::MemHierarchy &memsys;
     faults::FaultInjector *injector = nullptr;
+    obs::TraceLog *traceLog = nullptr;
+    std::uint32_t traceSource = 0;
 
     bool captured = false;
     std::unordered_map<Vpn, std::vector<std::uint8_t>> image;

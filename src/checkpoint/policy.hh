@@ -27,6 +27,7 @@
 #include "faults/fault_injector.hh"
 #include "mem/hierarchy.hh"
 #include "mem/phys_mem.hh"
+#include "obs/trace_log.hh"
 #include "os/address_space.hh"
 #include "os/process.hh"
 #include "sim/config.hh"
@@ -107,6 +108,18 @@ class CheckpointPolicy : public cpu::CheckpointHooks
      */
     void setFaultInjector(faults::FaultInjector *inj) { injector = inj; }
 
+    /**
+     * Attach a structured event log (nullable); @p source identifies
+     * the protected service's core. Engines trace rollback arming and
+     * checksum-verification failures.
+     */
+    void
+    setTraceLog(obs::TraceLog *log, std::uint32_t source)
+    {
+        traceLog = log;
+        traceSource = source;
+    }
+
     /** Backup-corruption events detected by checksum verification. */
     std::uint64_t corruptionDetected() const;
 
@@ -139,6 +152,8 @@ class CheckpointPolicy : public cpu::CheckpointHooks
     mem::PhysicalMemory &phys;
     mem::MemHierarchy &memsys;
     faults::FaultInjector *injector = nullptr;
+    obs::TraceLog *traceLog = nullptr;
+    std::uint32_t traceSource = 0;
 
     stats::StatGroup statGroup;
     stats::Scalar statLinesBackedUp;

@@ -52,6 +52,13 @@ RecoveryManager::RecoveryManager(const SystemConfig &cfg,
 }
 
 void
+RecoveryManager::setTraceLog(obs::TraceLog *log, std::uint32_t source)
+{
+    traceLog = log;
+    traceSource = source;
+}
+
+void
 RecoveryManager::noteRequestBegin(Tick tick)
 {
     (void)tick;
@@ -169,6 +176,8 @@ RecoveryManager::recover(Tick tick)
 
     if (monitor)
         monitor->onRecovery(pid);
+    INDRA_TRACE(traceLog, core.curTick(), obs::EventKind::MicroRecovery,
+                traceSource, consecutive);
     return RecoveryLevel::Micro;
 }
 
@@ -201,6 +210,9 @@ RecoveryManager::rejuvenate(Tick tick)
     consecutive = 0;
     macroStreak = 0;
     haveSnap = false;
+
+    INDRA_TRACE(traceLog, core.curTick(), obs::EventKind::Rejuvenation,
+                traceSource, config.rejuvenationCycles);
 
     // Give the ladder a macro level again: image the fresh service.
     takeMacroCheckpoint(core.curTick());

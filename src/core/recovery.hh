@@ -38,6 +38,7 @@
 #include "checkpoint/policy.hh"
 #include "cpu/core.hh"
 #include "monitor/monitor.hh"
+#include "obs/trace_log.hh"
 #include "os/kernel.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
@@ -115,6 +116,13 @@ class RecoveryManager
     /** Resource-release failures absorbed during recoveries. */
     std::uint64_t releaseFailures() const;
 
+    /**
+     * Attach a structured event log (nullable); @p source identifies
+     * the recovered service's core. Ladder steps (micro, macro
+     * escalation, rejuvenation) are traced as they complete.
+     */
+    void setTraceLog(obs::TraceLog *log, std::uint32_t source);
+
   private:
     /** Bottom of the ladder: rebuild the service from load state. */
     RecoveryLevel rejuvenate(Tick tick);
@@ -129,6 +137,8 @@ class RecoveryManager
     Pid pid;
     cpu::Core &core;
     mon::Monitor *monitor;
+    obs::TraceLog *traceLog = nullptr;
+    std::uint32_t traceSource = 0;
 
     os::ProcessContext::Snapshot contextSnap;
     os::ResourceSnapshot resourceSnap;

@@ -219,7 +219,7 @@ IndraSystem::runStorm(std::size_t slot_idx,
         if (q.req.admissionDeadline != 0 &&
             start > q.tick + q.req.admissionDeadline) {
             if (guard)
-                guard->shedDeadline();
+                guard->shedDeadline(start, q.req.clientClass);
             recordShed(q, net::ShedReason::Deadline, start);
             continue;
         }

@@ -145,8 +145,41 @@ IndraSystem::deployService(const net::DaemonProfile &profile)
         s->guard->noteHeapPages(proc.resources->heapPages(), 0);
     }
 
+    if (traceLogPtr)
+        wireSlotTracing(*s);
+
     slots.push_back(std::move(s));
     return idx;
+}
+
+void
+IndraSystem::wireSlotTracing(ServiceSlot &s)
+{
+    auto src = static_cast<std::uint32_t>(s.coreId);
+    if (s.monitor)
+        s.monitor->setTraceLog(traceLogPtr, src);
+    s.policy->setTraceLog(traceLogPtr, src);
+    s.macro->setTraceLog(traceLogPtr, src);
+    s.recovery->setTraceLog(traceLogPtr, src);
+    if (s.guard)
+        s.guard->setTraceLog(traceLogPtr, src);
+    for (auto &co : s.coServices) {
+        co->policy->setTraceLog(traceLogPtr, src);
+        co->macro->setTraceLog(traceLogPtr, src);
+        co->recovery->setTraceLog(traceLogPtr, src);
+    }
+}
+
+void
+IndraSystem::attachTraceLog(obs::TraceLog *log)
+{
+    traceLogPtr = log;
+    // The injector is shared by every service; its events carry the
+    // system-wide source 0 and are stamped via the log's now().
+    if (injectorPtr)
+        injectorPtr->setTraceLog(log, 0);
+    for (auto &s : slots)
+        wireSlotTracing(*s);
 }
 
 ServiceSlot &
@@ -248,6 +281,13 @@ IndraSystem::deployCoService(std::size_t host_slot,
 
     co->recovery->takeMacroCheckpoint(s.core->curTick());
 
+    if (traceLogPtr) {
+        auto src = static_cast<std::uint32_t>(s.coreId);
+        co->policy->setTraceLog(traceLogPtr, src);
+        co->macro->setTraceLog(traceLogPtr, src);
+        co->recovery->setTraceLog(traceLogPtr, src);
+    }
+
     s.coServices.push_back(std::move(co));
     return s.coServices.size() - 1;
 }
@@ -270,6 +310,13 @@ IndraSystem::runOneRequest(const ServiceRefs &refs,
     out.clientClass = req.clientClass;
     out.startTick = s.core->curTick();
     std::uint64_t instr0 = s.core->instructions();
+
+#if INDRA_OBS_TRACING_ENABLED
+    // Clockless emitters (the fault injector) stamp their events with
+    // the log's now(); keep it on the serving core's clock.
+    if (traceLogPtr)
+        traceLogPtr->setNow(out.startTick);
+#endif
 
     // Corruption detections before this request; the delta feeds the
     // health state machine (checksum mismatches are hard evidence the

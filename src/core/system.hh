@@ -39,6 +39,7 @@
 #include "net/client.hh"
 #include "net/request.hh"
 #include "net/workload.hh"
+#include "obs/trace_log.hh"
 #include "os/kernel.hh"
 #include "resilience/guard.hh"
 #include "resilience/resilience_config.hh"
@@ -247,6 +248,19 @@ class IndraSystem : public os::KernelListener
         return injectorPtr.get();
     }
 
+    /**
+     * Attach a structured event log (nullable) to every emission site
+     * of the machine: monitors and their FIFOs, checkpoint engines,
+     * recovery managers, service guards, and the fault injector.
+     * Events are tagged with the emitting core's id; services deployed
+     * after this call are wired as they come up. Passing nullptr
+     * detaches tracing everywhere.
+     */
+    void attachTraceLog(obs::TraceLog *log);
+
+    /** The attached event log, or nullptr. */
+    obs::TraceLog *traceLog() { return traceLogPtr; }
+
     /** The resilience config the system was built with. */
     const resilience::ResilienceConfig &
     resilienceConfig() const
@@ -287,7 +301,11 @@ class IndraSystem : public os::KernelListener
                        net::RequestOutcome &out, Tick fail_tick,
                        bool detected, mon::Violation violation);
 
+    /** Point @p slot's emitters (and its co-services') at the log. */
+    void wireSlotTracing(ServiceSlot &s);
+
     SystemConfig cfg;
+    obs::TraceLog *traceLogPtr = nullptr;
     resilience::ResilienceConfig resCfg;
     stats::StatGroup statRoot;
     std::unique_ptr<faults::FaultInjector> injectorPtr;

@@ -44,6 +44,11 @@ FaultInjector::fire(FaultKind kind)
         return false;
     ++fired[i];
     ++*statInjected[i];
+#if INDRA_OBS_TRACING_ENABLED
+    if (traceLog)
+        traceLog->emitNow(obs::EventKind::FaultInjected, traceSource,
+                          static_cast<std::uint64_t>(kind));
+#endif
     return true;
 }
 

@@ -24,6 +24,7 @@
 #include <memory>
 
 #include "faults/fault_plan.hh"
+#include "obs/trace_log.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -73,6 +74,20 @@ class FaultInjector
      */
     Cycles verdictDelay();
 
+    /**
+     * Attach a structured event log (nullable); @p source identifies
+     * the service whose injection sites consult this injector. The
+     * injector has no clock of its own — it fires inside another
+     * component's action — so injections are stamped with the log's
+     * current now() (advanced by the enclosing request/action).
+     */
+    void
+    setTraceLog(obs::TraceLog *log, std::uint32_t source)
+    {
+        traceLog = log;
+        traceSource = source;
+    }
+
     /** Times @p kind actually fired so far. */
     std::uint64_t injected(FaultKind kind) const;
 
@@ -87,6 +102,8 @@ class FaultInjector
     }
 
     FaultPlan thePlan;
+    obs::TraceLog *traceLog = nullptr;
+    std::uint32_t traceSource = 0;
     std::array<double, faultKindCount> rates{};
     std::array<Pcg32, faultKindCount> streams;
     std::array<std::uint64_t, faultKindCount> fired{};

@@ -18,6 +18,19 @@ TraceFifo::TraceFifo(std::uint32_t capacity, stats::StatGroup &parent)
       statOccupancy(statGroup, "occupancy", "entries in use at push time")
 {
     panic_if(cap == 0, "FIFO capacity must be nonzero");
+    // High/low watermarks with hysteresis: report saturation when a
+    // push finds 3/4 of the slots in use, and recovery only once it
+    // has drained back to 1/4, so an occupancy hovering around one
+    // threshold does not flood the trace.
+    highWater = std::max<std::uint32_t>(1, cap * 3 / 4);
+    lowWater = cap / 4;
+}
+
+void
+TraceFifo::setTraceLog(obs::TraceLog *log, std::uint32_t source)
+{
+    traceLog = log;
+    traceSource = source;
 }
 
 std::uint32_t
@@ -45,6 +58,16 @@ TraceFifo::push(Tick tick, Cycles service_cost)
 
     std::uint32_t occupied = occupancyAt(tick);
     statOccupancy.sample(static_cast<double>(occupied));
+
+    if (!aboveHigh && occupied >= highWater) {
+        aboveHigh = true;
+        INDRA_TRACE(traceLog, tick, obs::EventKind::FifoHighWater,
+                    traceSource, occupied);
+    } else if (aboveHigh && occupied <= lowWater) {
+        aboveHigh = false;
+        INDRA_TRACE(traceLog, tick, obs::EventKind::FifoLowWater,
+                    traceSource, occupied);
+    }
 
     result.pushDoneTick = tick;
     if (occupied >= cap) {
@@ -99,6 +122,7 @@ TraceFifo::reset()
 {
     lastServiceEnd = 0;
     inFlightStarts.clear();
+    aboveHigh = false;
 }
 
 } // namespace indra::mem

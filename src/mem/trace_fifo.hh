@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "obs/trace_log.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -87,11 +88,25 @@ class TraceFifo
     /** Forget all queued work (system reset between runs). */
     void reset();
 
+    /**
+     * Attach a structured event log (may be null). Watermark
+     * crossings — occupancy at push time reaching 3/4 of capacity, or
+     * falling back to 1/4 after a high crossing — are traced with
+     * @p source identifying the owning core.
+     */
+    void setTraceLog(obs::TraceLog *log, std::uint32_t source);
+
   private:
     std::uint32_t cap;
     Tick lastServiceEnd = 0;
     /** serviceStart ticks of the last `cap` records, oldest first. */
     std::deque<Tick> inFlightStarts;
+
+    obs::TraceLog *traceLog = nullptr;
+    std::uint32_t traceSource = 0;
+    std::uint32_t highWater;
+    std::uint32_t lowWater;
+    bool aboveHigh = false;
 
     stats::StatGroup statGroup;
     stats::Scalar statPushes;

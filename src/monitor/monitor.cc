@@ -27,6 +27,14 @@ Monitor::Monitor(const SystemConfig &cfg, stats::StatGroup &parent)
 }
 
 void
+Monitor::setTraceLog(obs::TraceLog *log, std::uint32_t source)
+{
+    traceLog = log;
+    traceSource = source;
+    traceFifo.setTraceLog(log, source);
+}
+
+void
 Monitor::registerCodePage(Pid pid, Addr page_addr)
 {
     codeOriginInspector.registerCodePage(pid, page_addr);
@@ -152,6 +160,10 @@ Monitor::submit(const cpu::TraceRecord &rec, Tick tick)
         ++statViolations;
         statDetectionLatency.sample(
             static_cast<double>(push.serviceEndTick - tick));
+        INDRA_TRACE(traceLog, push.serviceEndTick,
+                    obs::EventKind::MonitorViolation, traceSource,
+                    static_cast<std::uint64_t>(verdict.violation),
+                    inspected.pc);
         if (!pending) {
             Tick verdict_tick = push.serviceEndTick;
             if (injector)

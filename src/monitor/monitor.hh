@@ -20,6 +20,7 @@
 #include "cpu/trace.hh"
 #include "faults/fault_injector.hh"
 #include "mem/trace_fifo.hh"
+#include "obs/trace_log.hh"
 #include "monitor/call_return.hh"
 #include "monitor/code_origin.hh"
 #include "monitor/control_transfer.hh"
@@ -94,6 +95,14 @@ class Monitor : public cpu::TraceSink
      */
     void setFaultInjector(faults::FaultInjector *inj) { injector = inj; }
 
+    /**
+     * Attach a structured event log (nullable); @p source identifies
+     * the monitored core in the stream. Violations are traced at the
+     * tick the resurrector finishes the check, and the owned FIFO
+     * reports its watermark crossings to the same log.
+     */
+    void setTraceLog(obs::TraceLog *log, std::uint32_t source);
+
     // -------------------------------------------------------- access
     mem::TraceFifo &fifo() { return traceFifo; }
     const mem::TraceFifo &fifo() const { return traceFifo; }
@@ -126,6 +135,8 @@ class Monitor : public cpu::TraceSink
 
     const SystemConfig &config;
     faults::FaultInjector *injector = nullptr;
+    obs::TraceLog *traceLog = nullptr;
+    std::uint32_t traceSource = 0;
     mem::TraceFifo traceFifo;
     CodeOriginInspector codeOriginInspector;
     CallReturnInspector callReturnInspector;

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The structured-event taxonomy of the observability layer.
+ *
+ * Every load-bearing action of the dependability machinery — monitor
+ * verdicts, recovery-ladder escalations, backup/rollback actions,
+ * fault injections, admission sheds, health transitions, and trace
+ * FIFO watermark crossings — is describable as one TraceEvent: a
+ * cycle stamp, an event kind, the id of the emitting service/core,
+ * and two kind-typed integer arguments. Fixed-width payloads keep
+ * emission allocation-free; the sinks (trace_sinks.hh) attach the
+ * per-kind argument names when rendering.
+ */
+
+#ifndef INDRA_OBS_EVENTS_HH
+#define INDRA_OBS_EVENTS_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace indra::obs
+{
+
+/** Everything the dependability layers report as discrete events. */
+enum class EventKind : std::uint8_t
+{
+    MonitorViolation = 0, //!< inspector verdict != ok  (a0 violation id, a1 pc)
+    MicroRecovery,        //!< micro rollback ran        (a0 consecutive fails)
+    MacroRestore,         //!< macro restore attempted   (a0 ok, a1 cycles)
+    MacroCapture,         //!< macro checkpoint captured (a0 pages, a1 cycles)
+    Rejuvenation,         //!< full service rebirth      (a0 cycles)
+    RollbackArmed,        //!< delta rollback armed      (a0 pages, a1 cycles)
+    CorruptionDetected,   //!< backup checksum mismatch  (a0 bad units)
+    FaultInjected,        //!< injector fired            (a0 fault kind id)
+    Shed,                 //!< admission refused/dropped (a0 reason, a1 class)
+    HealthTransition,     //!< health state changed      (a0 from, a1 to)
+    FifoHighWater,        //!< FIFO occupancy crossed up (a0 occupancy)
+    FifoLowWater,         //!< FIFO drained back down    (a0 occupancy)
+};
+
+/** Number of distinct event kinds. */
+constexpr std::size_t eventKindCount = 12;
+
+/** Printable kind name ("monitor_violation", ...). */
+const char *eventKindName(EventKind k);
+
+/** Name of argument @p i (0 or 1) of @p k; nullptr when unused. */
+const char *eventArgName(EventKind k, int i);
+
+/** One structured event. */
+struct TraceEvent
+{
+    Tick tick = 0;            //!< cycle stamp (emitting core's clock)
+    EventKind kind = EventKind::MonitorViolation;
+    std::uint32_t source = 0; //!< emitting service/core id
+    std::uint64_t a0 = 0;     //!< first kind-typed argument
+    std::uint64_t a1 = 0;     //!< second kind-typed argument
+};
+
+} // namespace indra::obs
+
+#endif // INDRA_OBS_EVENTS_HH

@@ -1,0 +1,65 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+namespace indra::obs
+{
+
+void
+jsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << 0;
+        return;
+    }
+    // Counters dominate the stat tree; print them as integers so the
+    // JSON is stable and exactly representable.
+    if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+        v >= -9.0e15 && v <= 9.0e15) {
+        os << static_cast<std::int64_t>(v);
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    os << buf;
+}
+
+} // namespace indra::obs

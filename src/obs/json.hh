@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Minimal JSON writing helpers shared by the trace and stat sinks.
+ * Output is deterministic: no locale, no pointer-keyed maps, fixed
+ * formatting — the same tree always renders the same bytes.
+ */
+
+#ifndef INDRA_OBS_JSON_HH
+#define INDRA_OBS_JSON_HH
+
+#include <ostream>
+#include <string>
+
+namespace indra::obs
+{
+
+/** Write @p s as a JSON string literal (quotes + escapes). */
+void jsonString(std::ostream &os, const std::string &s);
+
+/**
+ * Write @p v as a JSON number. Integral values print without a
+ * fraction; non-finite values (which no stat should produce) print as
+ * 0 so the document stays parseable.
+ */
+void jsonNumber(std::ostream &os, double v);
+
+} // namespace indra::obs
+
+#endif // INDRA_OBS_JSON_HH

@@ -1,0 +1,132 @@
+#include "obs/trace_log.hh"
+
+#include "sim/logging.hh"
+
+namespace indra::obs
+{
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::MonitorViolation:
+        return "monitor_violation";
+      case EventKind::MicroRecovery:
+        return "micro_recovery";
+      case EventKind::MacroRestore:
+        return "macro_restore";
+      case EventKind::MacroCapture:
+        return "macro_capture";
+      case EventKind::Rejuvenation:
+        return "rejuvenation";
+      case EventKind::RollbackArmed:
+        return "rollback_armed";
+      case EventKind::CorruptionDetected:
+        return "corruption_detected";
+      case EventKind::FaultInjected:
+        return "fault_injected";
+      case EventKind::Shed:
+        return "shed";
+      case EventKind::HealthTransition:
+        return "health_transition";
+      case EventKind::FifoHighWater:
+        return "fifo_high_water";
+      case EventKind::FifoLowWater:
+        return "fifo_low_water";
+    }
+    return "??";
+}
+
+const char *
+eventArgName(EventKind k, int i)
+{
+    switch (k) {
+      case EventKind::MonitorViolation:
+        return i == 0 ? "violation" : "pc";
+      case EventKind::MicroRecovery:
+        return i == 0 ? "consecutive" : nullptr;
+      case EventKind::MacroRestore:
+        return i == 0 ? "ok" : "cycles";
+      case EventKind::MacroCapture:
+        return i == 0 ? "pages" : "cycles";
+      case EventKind::Rejuvenation:
+        return i == 0 ? "cycles" : nullptr;
+      case EventKind::RollbackArmed:
+        return i == 0 ? "pages" : "cycles";
+      case EventKind::CorruptionDetected:
+        return i == 0 ? "bad_units" : nullptr;
+      case EventKind::FaultInjected:
+        return i == 0 ? "fault_kind" : nullptr;
+      case EventKind::Shed:
+        return i == 0 ? "reason" : "client_class";
+      case EventKind::HealthTransition:
+        return i == 0 ? "from" : "to";
+      case EventKind::FifoHighWater:
+      case EventKind::FifoLowWater:
+        return i == 0 ? "occupancy" : nullptr;
+    }
+    return nullptr;
+}
+
+TraceLog::TraceLog(std::size_t capacity) : cap(capacity)
+{
+    panic_if(cap == 0, "TraceLog capacity must be nonzero");
+}
+
+void
+TraceLog::emit(Tick tick, EventKind kind, std::uint32_t source,
+               std::uint64_t a0, std::uint64_t a1)
+{
+    setNow(tick);
+    TraceEvent ev{tick, kind, source, a0, a1};
+    if (ring.size() < cap) {
+        ring.push_back(ev);
+    } else {
+        ring[head] = ev;
+        head = (head + 1) % cap;
+    }
+    ++nEmitted;
+}
+
+void
+TraceLog::emitNow(EventKind kind, std::uint32_t source, std::uint64_t a0,
+                  std::uint64_t a1)
+{
+    emit(curTick, kind, source, a0, a1);
+}
+
+void
+TraceLog::setNow(Tick tick)
+{
+    if (tick > curTick)
+        curTick = tick;
+}
+
+const TraceEvent &
+TraceLog::at(std::size_t i) const
+{
+    panic_if(i >= ring.size(), "TraceLog index out of range");
+    return ring[(head + i) % ring.size()];
+}
+
+std::uint64_t
+TraceLog::countOf(EventKind kind) const
+{
+    std::uint64_t n = 0;
+    for (const TraceEvent &ev : ring) {
+        if (ev.kind == kind)
+            ++n;
+    }
+    return n;
+}
+
+void
+TraceLog::clear()
+{
+    ring.clear();
+    head = 0;
+    nEmitted = 0;
+    curTick = 0;
+}
+
+} // namespace indra::obs

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * TraceLog: a cheap, deterministic, cycle-stamped structured event
+ * stream.
+ *
+ * One TraceLog serves one sweep cell (one or more IndraSystems built
+ * serially inside it); events append in emission order, which is a
+ * pure function of the cell's (config, plan, script), so a fixed-seed
+ * run produces an identical stream for any ParallelSweep --jobs
+ * count. The log doubles as the bounded in-memory ring sink used by
+ * tests: after `capacity` events the oldest are overwritten and the
+ * drop count records how many fell out.
+ *
+ * Cost contract: emission sites hold a nullable TraceLog pointer and
+ * go through INDRA_TRACE(), which is a null check and a struct append
+ * when tracing is compiled in, and expands to nothing at all when the
+ * build sets INDRA_OBS_TRACING=OFF — the compile-time-zero-cost
+ * disabled path.
+ */
+
+#ifndef INDRA_OBS_TRACE_LOG_HH
+#define INDRA_OBS_TRACE_LOG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/events.hh"
+
+#ifndef INDRA_OBS_TRACING_ENABLED
+#define INDRA_OBS_TRACING_ENABLED 1
+#endif
+
+#if INDRA_OBS_TRACING_ENABLED
+/**
+ * Emit one structured event through a nullable TraceLog pointer.
+ * Expands to nothing when tracing is compiled out.
+ */
+#define INDRA_TRACE(logptr, ...)                                       \
+    do {                                                               \
+        if (logptr)                                                    \
+            (logptr)->emit(__VA_ARGS__);                               \
+    } while (0)
+#else
+#define INDRA_TRACE(logptr, ...)                                       \
+    do {                                                               \
+    } while (0)
+#endif
+
+namespace indra::obs
+{
+
+/** True when event emission is compiled into this build. */
+constexpr bool
+tracingCompiledIn()
+{
+    return INDRA_OBS_TRACING_ENABLED != 0;
+}
+
+/**
+ * The bounded event ring. Default capacity holds every event a bench
+ * cell can realistically produce; tests shrink it to exercise the
+ * wrap-around path.
+ */
+class TraceLog
+{
+  public:
+    /** Default event capacity of the ring. */
+    static constexpr std::size_t defaultCapacity = 1u << 20;
+
+    explicit TraceLog(std::size_t capacity = defaultCapacity);
+
+    TraceLog(const TraceLog &) = delete;
+    TraceLog &operator=(const TraceLog &) = delete;
+
+    /** Append one event stamped @p tick; advances now() to the stamp. */
+    void emit(Tick tick, EventKind kind, std::uint32_t source,
+              std::uint64_t a0 = 0, std::uint64_t a1 = 0);
+
+    /**
+     * Append one event stamped with now() — for emitters with no
+     * clock of their own (the fault injector fires inside another
+     * component's action; its event is stamped with the cycle of the
+     * enclosing action).
+     */
+    void emitNow(EventKind kind, std::uint32_t source,
+                 std::uint64_t a0 = 0, std::uint64_t a1 = 0);
+
+    /** Advance the stamp used by emitNow() (monotonic). */
+    void setNow(Tick tick);
+
+    /** Stamp emitNow() would use. */
+    Tick now() const { return curTick; }
+
+    /** Events currently held (post-wrap: the newest `capacity`). */
+    std::size_t size() const { return ring.size(); }
+
+    /** Total events ever emitted, dropped ones included. */
+    std::uint64_t emitted() const { return nEmitted; }
+
+    /** Events lost to the ring bound. */
+    std::uint64_t dropped() const
+    {
+        return nEmitted - ring.size();
+    }
+
+    std::size_t capacity() const { return cap; }
+
+    /** The @p i-th oldest retained event. */
+    const TraceEvent &at(std::size_t i) const;
+
+    /** Events of @p kind retained in the ring. */
+    std::uint64_t countOf(EventKind kind) const;
+
+    /** Drop every event (between measurement phases). */
+    void clear();
+
+  private:
+    std::size_t cap;
+    std::size_t head = 0; //!< index of the oldest event once wrapped
+    std::vector<TraceEvent> ring;
+    std::uint64_t nEmitted = 0;
+    Tick curTick = 0;
+};
+
+} // namespace indra::obs
+
+#endif // INDRA_OBS_TRACE_LOG_HH

@@ -1,0 +1,95 @@
+#include "obs/trace_sinks.hh"
+
+#include "obs/json.hh"
+#include "sim/logging.hh"
+
+namespace indra::obs
+{
+
+TraceFormat
+traceFormatFromName(const std::string &name)
+{
+    if (name == "jsonl")
+        return TraceFormat::Jsonl;
+    if (name == "chrome")
+        return TraceFormat::Chrome;
+    fatal("unknown trace format '", name, "' (jsonl, chrome)");
+}
+
+const char *
+traceFormatName(TraceFormat f)
+{
+    switch (f) {
+      case TraceFormat::Jsonl:
+        return "jsonl";
+      case TraceFormat::Chrome:
+        return "chrome";
+    }
+    return "??";
+}
+
+namespace
+{
+
+/** Write the kind-typed args as `"name":value` members of @p os. */
+void
+writeArgs(std::ostream &os, const TraceEvent &ev)
+{
+    if (const char *n0 = eventArgName(ev.kind, 0)) {
+        os << ",\"" << n0 << "\":" << ev.a0;
+        if (const char *n1 = eventArgName(ev.kind, 1))
+            os << ",\"" << n1 << "\":" << ev.a1;
+    }
+}
+
+} // anonymous namespace
+
+void
+renderJsonl(const TraceLog &log, std::size_t cell, std::ostream &os)
+{
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        const TraceEvent &ev = log.at(i);
+        os << "{\"cell\":" << cell << ",\"tick\":" << ev.tick
+           << ",\"kind\":\"" << eventKindName(ev.kind)
+           << "\",\"src\":" << ev.source;
+        writeArgs(os, ev);
+        os << "}\n";
+    }
+}
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream &os) : out(os)
+{
+    out << "{\"traceEvents\":[";
+}
+
+void
+ChromeTraceWriter::append(const TraceLog &log, std::size_t cell)
+{
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        const TraceEvent &ev = log.at(i);
+        if (!first)
+            out << ",";
+        first = false;
+        // Instant events, one track per (cell, source): pid selects
+        // the sweep cell, tid the emitting service/core. Ticks map to
+        // the microsecond timestamps the viewers expect.
+        out << "\n{\"name\":";
+        jsonString(out, eventKindName(ev.kind));
+        out << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << ev.tick
+            << ",\"pid\":" << cell << ",\"tid\":" << ev.source
+            << ",\"args\":{\"tick\":" << ev.tick;
+        writeArgs(out, ev);
+        out << "}}";
+    }
+}
+
+void
+ChromeTraceWriter::finish()
+{
+    if (finished)
+        return;
+    finished = true;
+    out << "\n],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+} // namespace indra::obs

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Renderers for the TraceLog event stream.
+ *
+ *   JSONL   one self-describing JSON object per line; the format the
+ *           analysis/plotting side consumes (one `jq`/pandas read).
+ *   Chrome  the Chrome trace_event JSON document, loadable directly
+ *           in chrome://tracing or https://ui.perfetto.dev: events
+ *           render as instant events on a per-(cell, source) track
+ *           with the kind-typed arguments attached.
+ *
+ * Multi-cell outputs (a sweep writing one file) are merged in cell
+ * order by the callers, so the rendered bytes are identical for any
+ * --jobs count.
+ */
+
+#ifndef INDRA_OBS_TRACE_SINKS_HH
+#define INDRA_OBS_TRACE_SINKS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "obs/trace_log.hh"
+
+namespace indra::obs
+{
+
+/** On-disk trace formats. */
+enum class TraceFormat : std::uint8_t
+{
+    Jsonl = 0,
+    Chrome,
+};
+
+/** Parse "jsonl" / "chrome"; fatal() on anything else. */
+TraceFormat traceFormatFromName(const std::string &name);
+
+/** Printable format name. */
+const char *traceFormatName(TraceFormat f);
+
+/**
+ * Render @p log as JSONL: one event per line, tagged with @p cell
+ * (the sweep cell index the log belongs to).
+ */
+void renderJsonl(const TraceLog &log, std::size_t cell,
+                 std::ostream &os);
+
+/**
+ * Streaming Chrome trace_event writer: construct on the output,
+ * append any number of logs (one per cell), then finish() to close
+ * the JSON document.
+ */
+class ChromeTraceWriter
+{
+  public:
+    explicit ChromeTraceWriter(std::ostream &os);
+
+    /** Append every event of @p log as pid=@p cell instant events. */
+    void append(const TraceLog &log, std::size_t cell);
+
+    /** Close the traceEvents array and the document. */
+    void finish();
+
+  private:
+    std::ostream &out;
+    bool first = true;
+    bool finished = false;
+};
+
+} // namespace indra::obs
+
+#endif // INDRA_OBS_TRACE_SINKS_HH

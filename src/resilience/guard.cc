@@ -45,6 +45,14 @@ ServiceGuard::ServiceGuard(const ResilienceConfig &config,
     }
 }
 
+void
+ServiceGuard::setTraceLog(obs::TraceLog *log, std::uint32_t source)
+{
+    traceLog = log;
+    traceSource = source;
+    mon.setTraceLog(log, source);
+}
+
 AdmissionDecision
 ServiceGuard::tryAdmit(Tick now, net::ClientClass cls,
                        std::size_t queue_depth,
@@ -54,6 +62,11 @@ ServiceGuard::tryAdmit(Tick now, net::ClientClass cls,
     double scale = mon.admissionScale();
     AdmissionDecision d = adm.decide(now, cls, queue_depth, scale,
                                      mon.probeOnly(), bp.window());
+    if (!d.admitted) {
+        INDRA_TRACE(traceLog, now, obs::EventKind::Shed, traceSource,
+                    static_cast<std::uint64_t>(d.reason),
+                    static_cast<std::uint64_t>(cls));
+    }
     if (d.admitted) {
         std::uint32_t bound = adm.effectiveBound(scale);
         if (bound != 0 && cfg.degradeQueueFraction > 0.0) {
@@ -67,9 +80,12 @@ ServiceGuard::tryAdmit(Tick now, net::ClientClass cls,
 }
 
 void
-ServiceGuard::shedDeadline()
+ServiceGuard::shedDeadline(Tick now, net::ClientClass cls)
 {
     ++nDeadline;
+    INDRA_TRACE(traceLog, now, obs::EventKind::Shed, traceSource,
+                static_cast<std::uint64_t>(net::ShedReason::Deadline),
+                static_cast<std::uint64_t>(cls));
 }
 
 void

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/request.hh"
+#include "obs/trace_log.hh"
 #include "resilience/admission.hh"
 #include "resilience/backpressure.hh"
 #include "resilience/health.hh"
@@ -45,10 +46,10 @@ class ServiceGuard
                                std::uint32_t fifo_occupancy);
 
     /**
-     * An admitted request's deadline expired before service began;
-     * the caller drops it instead of executing it.
+     * An admitted request's deadline expired at @p now before service
+     * began; the caller drops it instead of executing it.
      */
-    void shedDeadline();
+    void shedDeadline(Tick now, net::ClientClass cls);
 
     /**
      * One executed request's outcome, with the number of
@@ -82,11 +83,20 @@ class ServiceGuard
 
     std::uint64_t deadlineSheds() const { return nDeadline; }
 
+    /**
+     * Attach a structured event log (nullable); @p source identifies
+     * the guarded service. Sheds (front-door and deadline) and health
+     * transitions are traced.
+     */
+    void setTraceLog(obs::TraceLog *log, std::uint32_t source);
+
   private:
     const ResilienceConfig cfg;
     AdmissionController adm;
     HealthMonitor mon;
     BackpressureGovernor bp;
+    obs::TraceLog *traceLog = nullptr;
+    std::uint32_t traceSource = 0;
 
     std::uint64_t nDeadline = 0;
     bool heapBaselineSet = false;

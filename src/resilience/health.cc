@@ -67,6 +67,9 @@ HealthMonitor::transitionTo(HealthState next, Tick now)
         break;
     }
 
+    INDRA_TRACE(traceLog, t, obs::EventKind::HealthTransition,
+                traceSource, static_cast<std::uint64_t>(cur),
+                static_cast<std::uint64_t>(next));
     cur = next;
     if (log.size() < logLimit)
         log.emplace_back(t, next);

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "net/request.hh"
+#include "obs/trace_log.hh"
 #include "resilience/resilience_config.hh"
 #include "sim/types.hh"
 
@@ -134,10 +135,24 @@ class HealthMonitor
      */
     std::uint64_t fullCycles() const { return nFullCycles; }
 
+    /**
+     * Attach a structured event log (nullable); @p source identifies
+     * the guarded service. Every state transition is traced with the
+     * states left and entered.
+     */
+    void
+    setTraceLog(obs::TraceLog *log, std::uint32_t source)
+    {
+        traceLog = log;
+        traceSource = source;
+    }
+
   private:
     void transitionTo(HealthState next, Tick now);
 
     const ResilienceConfig cfg;
+    obs::TraceLog *traceLog = nullptr;
+    std::uint32_t traceSource = 0;
     HealthState cur = HealthState::Healthy;
     Tick lastTransition = 0;
 

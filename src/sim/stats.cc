@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <iomanip>
 
 #include "sim/logging.hh"
 
@@ -17,24 +16,6 @@ StatBase::StatBase(StatGroup &parent, std::string name, std::string desc)
     parent.addStat(this);
 }
 
-namespace
-{
-
-void
-printLine(std::ostream &os, const std::string &key, double value,
-          const std::string &desc)
-{
-    std::ostringstream val;
-    val << std::setprecision(12) << value;
-    os << std::left << std::setw(44) << key << " " << std::right
-       << std::setw(16) << val.str();
-    if (!desc.empty())
-        os << "  # " << desc;
-    os << "\n";
-}
-
-} // anonymous namespace
-
 // ------------------------------------------------------------------ Scalar
 
 Scalar::Scalar(StatGroup &parent, std::string name, std::string desc)
@@ -43,9 +24,22 @@ Scalar::Scalar(StatGroup &parent, std::string name, std::string desc)
 }
 
 void
-Scalar::dump(std::ostream &os, const std::string &prefix) const
+Scalar::accept(StatSink &sink) const
 {
-    printLine(os, prefix + name(), _value, desc());
+    sink.visitScalar(*this, _value);
+}
+
+// ------------------------------------------------------------------- Gauge
+
+Gauge::Gauge(StatGroup &parent, std::string name, std::string desc)
+    : StatBase(parent, std::move(name), std::move(desc))
+{
+}
+
+void
+Gauge::accept(StatSink &sink) const
+{
+    sink.visitScalar(*this, _value);
 }
 
 // ----------------------------------------------------------------- Formula
@@ -57,9 +51,9 @@ Formula::Formula(StatGroup &parent, std::string name, std::string desc,
 }
 
 void
-Formula::dump(std::ostream &os, const std::string &prefix) const
+Formula::accept(StatSink &sink) const
 {
-    printLine(os, prefix + name(), value(), desc());
+    sink.visitScalar(*this, value());
 }
 
 // ------------------------------------------------------------ Distribution
@@ -100,14 +94,9 @@ Distribution::stddev() const
 }
 
 void
-Distribution::dump(std::ostream &os, const std::string &prefix) const
+Distribution::accept(StatSink &sink) const
 {
-    printLine(os, prefix + name() + ".count",
-              static_cast<double>(n), desc());
-    printLine(os, prefix + name() + ".mean", mean(), "");
-    printLine(os, prefix + name() + ".min", minValue(), "");
-    printLine(os, prefix + name() + ".max", maxValue(), "");
-    printLine(os, prefix + name() + ".stddev", stddev(), "");
+    sink.visitDistribution(*this);
 }
 
 void
@@ -146,24 +135,9 @@ Histogram::sample(double v)
 }
 
 void
-Histogram::dump(std::ostream &os, const std::string &prefix) const
+Histogram::accept(StatSink &sink) const
 {
-    printLine(os, prefix + name() + ".count",
-              static_cast<double>(n), desc());
-    for (std::size_t i = 0; i < bins.size(); ++i) {
-        if (bins[i] == 0)
-            continue;
-        std::ostringstream key;
-        key << prefix << name() << ".bucket[" << i * width << ","
-            << (i + 1) * width << ")";
-        printLine(os, key.str(), static_cast<double>(bins[i]), "");
-    }
-    if (under)
-        printLine(os, prefix + name() + ".underflow",
-                  static_cast<double>(under), "");
-    if (over)
-        printLine(os, prefix + name() + ".overflow",
-                  static_cast<double>(over), "");
+    sink.visitHistogram(*this);
 }
 
 void
@@ -216,13 +190,14 @@ StatGroup::removeChild(StatGroup *g)
 }
 
 void
-StatGroup::dump(std::ostream &os, const std::string &prefix) const
+StatGroup::accept(StatSink &sink) const
 {
-    std::string here = prefix.empty() ? _name + "." : prefix + _name + ".";
+    sink.beginGroup(*this);
     for (const StatBase *s : statList)
-        s->dump(os, here);
+        s->accept(sink);
     for (const StatGroup *g : children)
-        g->dump(os, here);
+        g->accept(sink);
+    sink.endGroup(*this);
 }
 
 void

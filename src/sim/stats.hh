@@ -2,10 +2,12 @@
  * @file
  * A small statistics package in the spirit of gem5's Stats.
  *
- * Components own StatGroup instances; scalar counters, averages, and
- * distributions register themselves with their group by name. Groups
- * nest, and a whole tree can be dumped as an aligned text table, which
- * is what the bench binaries print.
+ * Components own StatGroup instances; scalar counters, gauges,
+ * averages, and distributions register themselves with their group by
+ * name. Groups nest, and a whole tree is exported by walking it with
+ * a StatSink visitor: the sink decides the rendering (aligned text
+ * table, JSON, CSV — see obs/stat_sinks.hh), so the stats themselves
+ * never touch an ostream.
  */
 
 #ifndef INDRA_SIM_STATS_HH
@@ -14,7 +16,6 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <ostream>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,28 @@ namespace indra::stats
 {
 
 class StatGroup;
+class StatBase;
+class Distribution;
+class Histogram;
+
+/**
+ * Visitor over a statistics tree. StatGroup::accept() drives it:
+ * beginGroup/endGroup bracket each (nested) group, every scalar-like
+ * stat (Scalar, Gauge, Formula) arrives through visitScalar with its
+ * current value, and the multi-valued stats pass themselves so sinks
+ * can render whichever moments/buckets they care about.
+ */
+class StatSink
+{
+  public:
+    virtual ~StatSink() = default;
+
+    virtual void beginGroup(const StatGroup &group) = 0;
+    virtual void endGroup(const StatGroup &group) = 0;
+    virtual void visitScalar(const StatBase &stat, double value) = 0;
+    virtual void visitDistribution(const Distribution &dist) = 0;
+    virtual void visitHistogram(const Histogram &hist) = 0;
+};
 
 /** Base class for every named statistic. */
 class StatBase
@@ -36,8 +59,8 @@ class StatBase
     const std::string &name() const { return _name; }
     const std::string &desc() const { return _desc; }
 
-    /** Render the value(s) to @p os, one line per value. */
-    virtual void dump(std::ostream &os, const std::string &prefix) const = 0;
+    /** Present this stat's value(s) to @p sink. */
+    virtual void accept(StatSink &sink) const = 0;
 
     /** Reset to the post-construction state. */
     virtual void reset() = 0;
@@ -47,7 +70,12 @@ class StatBase
     std::string _desc;
 };
 
-/** A monotonically updated scalar counter. */
+/**
+ * A monotonically updated scalar counter: it only ever accumulates
+ * (operator++ / operator+=) and resets to zero. For a value that is
+ * *assigned* — a level, a high-water mark, a configuration echo — use
+ * Gauge, which is allowed to move in both directions.
+ */
 class Scalar : public StatBase
 {
   public:
@@ -55,10 +83,29 @@ class Scalar : public StatBase
 
     Scalar &operator++() { ++_value; return *this; }
     Scalar &operator+=(double v) { _value += v; return *this; }
+    double value() const { return _value; }
+
+    void accept(StatSink &sink) const override;
+    void reset() override { _value = 0; }
+
+  private:
+    double _value = 0;
+};
+
+/**
+ * An assignable level. Unlike Scalar there is no monotonicity
+ * contract: set() may move the value in either direction, and the
+ * last set wins.
+ */
+class Gauge : public StatBase
+{
+  public:
+    Gauge(StatGroup &parent, std::string name, std::string desc);
+
     void set(double v) { _value = v; }
     double value() const { return _value; }
 
-    void dump(std::ostream &os, const std::string &prefix) const override;
+    void accept(StatSink &sink) const override;
     void reset() override { _value = 0; }
 
   private:
@@ -77,7 +124,7 @@ class Formula : public StatBase
 
     double value() const { return fn ? fn() : 0.0; }
 
-    void dump(std::ostream &os, const std::string &prefix) const override;
+    void accept(StatSink &sink) const override;
     void reset() override {}
 
   private:
@@ -103,7 +150,7 @@ class Distribution : public StatBase
     double maxValue() const { return n ? hi : 0.0; }
     double stddev() const;
 
-    void dump(std::ostream &os, const std::string &prefix) const override;
+    void accept(StatSink &sink) const override;
     void reset() override;
 
   private:
@@ -132,8 +179,9 @@ class Histogram : public StatBase
     const std::vector<std::uint64_t> &buckets() const { return bins; }
     std::uint64_t underflow() const { return under; }
     std::uint64_t overflow() const { return over; }
+    double bucketWidth() const { return width; }
 
-    void dump(std::ostream &os, const std::string &prefix) const override;
+    void accept(StatSink &sink) const override;
     void reset() override;
 
   private:
@@ -146,8 +194,8 @@ class Histogram : public StatBase
 
 /**
  * A named, nestable collection of statistics. Owning components embed
- * a StatGroup and register their stats against it; the root group of a
- * system dumps the whole tree.
+ * a StatGroup and register their stats against it; the root group of
+ * a system walks the whole tree through any StatSink.
  */
 class StatGroup
 {
@@ -165,8 +213,12 @@ class StatGroup
 
     const std::string &name() const { return _name; }
 
-    /** Dump this group and all children to @p os. */
-    void dump(std::ostream &os, const std::string &prefix = "") const;
+    /**
+     * Walk this group and all children through @p sink: beginGroup,
+     * every registered stat in registration order, every child in
+     * creation order, endGroup.
+     */
+    void accept(StatSink &sink) const;
 
     /** Reset all stats in this group and its children. */
     void resetAll();

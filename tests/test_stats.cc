@@ -5,9 +5,25 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/stat_sinks.hh"
 #include "sim/stats.hh"
 
 using namespace indra::stats;
+
+namespace
+{
+
+/** Render @p root through the text sink, as the old dump() did. */
+std::string
+textDump(const StatGroup &root)
+{
+    std::ostringstream os;
+    indra::obs::TextStatSink sink(os);
+    root.accept(sink);
+    return os.str();
+}
+
+} // anonymous namespace
 
 TEST(Scalar, StartsAtZeroAndCounts)
 {
@@ -19,6 +35,31 @@ TEST(Scalar, StartsAtZeroAndCounts)
     EXPECT_DOUBLE_EQ(s.value(), 5.5);
     s.reset();
     EXPECT_EQ(s.value(), 0.0);
+}
+
+// Scalar is monotonic (++/+= only); level-valued quantities go
+// through Gauge, which is the only stat type with assignment.
+TEST(Gauge, SetOverwritesAndResets)
+{
+    StatGroup g("g");
+    Gauge w(g, "w", "watermark");
+    EXPECT_EQ(w.value(), 0.0);
+    w.set(17.5);
+    EXPECT_DOUBLE_EQ(w.value(), 17.5);
+    w.set(3.0); // gauges may go down; scalars must not
+    EXPECT_DOUBLE_EQ(w.value(), 3.0);
+    w.reset();
+    EXPECT_EQ(w.value(), 0.0);
+}
+
+TEST(Gauge, AppearsInTextDump)
+{
+    StatGroup root("sys");
+    Gauge w(root, "depth", "queue depth");
+    w.set(9);
+    std::string dump = textDump(root);
+    EXPECT_NE(dump.find("sys.depth"), std::string::npos);
+    EXPECT_NE(dump.find("9"), std::string::npos);
 }
 
 TEST(Formula, ComputesOnDemand)
@@ -135,9 +176,7 @@ TEST(Histogram, UnderflowAppearsInDump)
     StatGroup g("g");
     Histogram h(g, "h", "", 1.0, 2);
     h.sample(-1);
-    std::ostringstream os;
-    h.dump(os, "");
-    EXPECT_NE(os.str().find("h.underflow"), std::string::npos);
+    EXPECT_NE(textDump(g).find("h.underflow"), std::string::npos);
 }
 
 TEST(StatGroup, FindAndFindPath)
@@ -159,10 +198,9 @@ TEST(StatGroup, DumpContainsQualifiedNames)
     StatGroup child(root, "l1");
     Scalar s(child, "misses", "cache misses");
     s += 7;
-    std::ostringstream os;
-    root.dump(os);
-    EXPECT_NE(os.str().find("sys.l1.misses"), std::string::npos);
-    EXPECT_NE(os.str().find("7"), std::string::npos);
+    std::string dump = textDump(root);
+    EXPECT_NE(dump.find("sys.l1.misses"), std::string::npos);
+    EXPECT_NE(dump.find("7"), std::string::npos);
 }
 
 TEST(StatGroup, ResetAllRecurses)
@@ -185,9 +223,7 @@ TEST(StatGroup, ChildUnregistersOnDestruction)
         StatGroup child(root, "tmp");
         Scalar s(child, "x", "");
     }
-    std::ostringstream os;
-    root.dump(os);
-    EXPECT_EQ(os.str().find("tmp"), std::string::npos);
+    EXPECT_EQ(textDump(root).find("tmp"), std::string::npos);
 }
 
 TEST(StatGroup, DuplicateStatNamePanics)
