@@ -8,10 +8,14 @@
 #                  export smoke: --stats-json/--trace validation).
 #   ci-asan-ubsan  address+undefined sanitizers over the labelled
 #                  corruption paths: -L faults, resilience, harness,
-#                  obs.
+#                  obs, check (the differential-oracle tests run with
+#                  INDRA_CHECK=ON under both sanitizer configs).
 #   ci-tsan        thread sanitizer over the parallel sweep harness,
 #                  the storm cells, and the per-cell trace logs:
-#                  -L harness, resilience, obs.
+#                  -L harness, resilience, obs, check.
+#
+# After the presets, scripts/fuzz_smoke.sh runs a fixed-seed slice of
+# the oracle fuzzer plus its planted-bug sensitivity check.
 #
 # Usage: scripts/ci.sh [preset ...]   (default: all three in order)
 
@@ -33,5 +37,7 @@ for preset in "${presets[@]}"; do
     echo "=== [$preset] test"
     ctest --preset "$preset" -j "$jobs"
 done
+
+scripts/fuzz_smoke.sh
 
 echo "=== all CI presets passed: ${presets[*]}"

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Differential-oracle fuzz smoke: a fixed, deterministic slice of the
+# scenario space run with the golden-reference hooks compiled in, plus
+# the oracle's own sensitivity check (--plant-bug: an intentionally
+# corrupted rollback must be caught and shrunk to a small reproducer).
+#
+# The sweep is bit-reproducible: fixed seed base, fixed seed count,
+# --smoke budget, so a failure here is a real oracle violation (or a
+# lost detection), never flake. On violation the shrunk reproducer is
+# left next to the build dir for `bench_fuzz_scenarios --replay`.
+#
+# Usage: scripts/fuzz_smoke.sh [build-dir]
+#   build-dir defaults to build-fuzz-smoke; it is configured as a
+#   Release build with -DINDRA_CHECK=ON if not already configured.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build=${1:-build-fuzz-smoke}
+jobs=$(nproc 2>/dev/null || echo 4)
+
+if [ ! -f "$build/CMakeCache.txt" ]; then
+    echo "=== [fuzz-smoke] configure $build (Release, INDRA_CHECK=ON)"
+    cmake -S . -B "$build" -DCMAKE_BUILD_TYPE=Release -DINDRA_CHECK=ON
+fi
+
+echo "=== [fuzz-smoke] build bench_fuzz_scenarios"
+cmake --build "$build" --target bench_fuzz_scenarios -j "$jobs"
+
+bin="$build/bench/bench_fuzz_scenarios"
+
+# Fixed seed range under the smoke budget: seeds 1..24, two workers.
+echo "=== [fuzz-smoke] fuzz sweep (seeds 1..24, --smoke)"
+"$bin" --smoke --seeds 24 --seed-base 1 --jobs 2 \
+    --out "$build/fuzz_reproducer.json"
+
+# Sensitivity: the planted rollback bug must be caught and shrunk.
+echo "=== [fuzz-smoke] planted-bug self-check"
+"$bin" --plant-bug --out "$build/plant_repro.json"
+
+echo "=== [fuzz-smoke] passed"

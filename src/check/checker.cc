@@ -1,0 +1,267 @@
+#include "check/checker.hh"
+
+#include <sstream>
+
+#include "checkpoint/delta_backup.hh"
+#include "core/system.hh"
+#include "os/address_space.hh"
+#include "os/kernel.hh"
+
+namespace indra::check
+{
+
+namespace
+{
+
+/** The engines serving one pid, resolved from the slot table. */
+struct PidRefs
+{
+    ckpt::CheckpointPolicy *policy = nullptr;
+    ckpt::MacroCheckpoint *macro = nullptr;
+    resilience::ServiceGuard *guard = nullptr;
+    CoreId coreId = 0;
+};
+
+PidRefs
+resolve(core::IndraSystem &sys, Pid pid)
+{
+    PidRefs refs;
+    for (std::size_t i = 0; i < sys.serviceCount(); ++i) {
+        core::ServiceSlot &s = sys.slot(i);
+        if (s.pid == pid) {
+            refs.policy = s.policy.get();
+            refs.macro = s.macro.get();
+            refs.guard = s.guard.get();
+            refs.coreId = s.coreId;
+            return refs;
+        }
+        for (const auto &co : s.coServices) {
+            if (co->pid == pid) {
+                refs.policy = co->policy.get();
+                refs.macro = co->macro.get();
+                // Co-services share the host slot's front door.
+                refs.guard = s.guard.get();
+                refs.coreId = s.coreId;
+                return refs;
+            }
+        }
+    }
+    return refs;
+}
+
+} // anonymous namespace
+
+SystemChecker::SystemChecker(core::IndraSystem &sys) : sys(sys)
+{
+}
+
+ServiceShadow &
+SystemChecker::shadowFor(Pid pid)
+{
+    return shadows[pid];
+}
+
+std::uint64_t
+SystemChecker::epochOf(Pid pid) const
+{
+    auto it = shadows.find(pid);
+    return it == shadows.end() ? 0 : it->second.epoch;
+}
+
+void
+SystemChecker::capture(RefMemory &into, Pid pid)
+{
+    const os::Process &proc = sys.kernel().process(pid);
+    into.captureFrom(*proc.space, sys.physMem());
+}
+
+CheckContext
+SystemChecker::contextFor(Pid pid)
+{
+    PidRefs refs = resolve(sys, pid);
+    const os::Process &proc = sys.kernel().process(pid);
+    CheckContext ctx;
+    ctx.delta = dynamic_cast<const ckpt::DeltaBackup *>(refs.policy);
+    ctx.guard = refs.guard;
+    ctx.watchdog = sys.watchdog();
+    ctx.phys = &sys.physMem();
+    ctx.space = proc.space.get();
+    ctx.gts = proc.context->gts();
+    return ctx;
+}
+
+std::uint64_t
+SystemChecker::corruptionCount(Pid pid)
+{
+    PidRefs refs = resolve(sys, pid);
+    std::uint64_t n = 0;
+    if (refs.policy)
+        n += refs.policy->corruptionDetected();
+    if (refs.macro)
+        n += refs.macro->corruptionDetected();
+    return n;
+}
+
+void
+SystemChecker::report(Violation v)
+{
+    if (obs::TraceLog *log = sys.traceLog()) {
+        log->emit(v.tick, obs::EventKind::OracleViolation,
+                  static_cast<std::uint32_t>(v.pid),
+                  static_cast<std::uint64_t>(v.id), v.epoch);
+    }
+    fired.push_back(std::move(v));
+}
+
+void
+SystemChecker::onDeploy(Pid pid)
+{
+    ServiceShadow &shadow = shadowFor(pid);
+    // deployService takes the first macro checkpoint before this hook
+    // fires, so memory right now is both the rejuvenation target and
+    // the first macro image.
+    capture(shadow.deployImage, pid);
+    capture(shadow.macroImage, pid);
+}
+
+void
+SystemChecker::onEpochBegin(Tick tick, Pid pid)
+{
+    (void)tick;
+    ServiceShadow &shadow = shadowFor(pid);
+    ++shadow.epoch;
+    shadow.corruptionAtEpoch = corruptionCount(pid);
+    capture(shadow.epochImage, pid);
+}
+
+void
+SystemChecker::onMacroCapture(Tick tick, Pid pid)
+{
+    (void)tick;
+    capture(shadowFor(pid).macroImage, pid);
+}
+
+void
+SystemChecker::onVerdict(Tick tick, Pid pid, bool detected)
+{
+    (void)detected;
+    ServiceShadow &shadow = shadowFor(pid);
+    ++nChecks;
+    std::vector<Violation> found;
+    reg.evaluate(contextFor(pid), tick, pid, shadow.epoch, found);
+    for (Violation &v : found)
+        report(std::move(v));
+}
+
+void
+SystemChecker::compareMemory(const RefMemory &golden, Tick tick,
+                             Pid pid, RestoreLevel level)
+{
+    ++nCompares;
+    const os::Process &proc = sys.kernel().process(pid);
+    auto mismatch = golden.compareAgainst(*proc.space, sys.physMem());
+    if (mismatch) {
+        Violation v;
+        v.id = InvariantId::MemoryRestoreExact;
+        v.tick = tick;
+        v.pid = pid;
+        v.epoch = epochOf(pid);
+        v.detail = std::string(restoreLevelName(level)) +
+            " restore inexact: " + mismatch->describe();
+        report(std::move(v));
+    }
+}
+
+void
+SystemChecker::onRecovered(Tick tick, Pid pid, RestoreLevel level)
+{
+    ServiceShadow &shadow = shadowFor(pid);
+
+    // An epoch in which the engines *detected* backup corruption
+    // never promised byte-exactness — they refuse corrupt lines and
+    // the ladder escalates past them. Hold only clean recoveries to
+    // the golden image.
+    bool clean = corruptionCount(pid) == shadow.corruptionAtEpoch;
+    if (clean) {
+        switch (level) {
+          case RestoreLevel::Micro:
+            compareMemory(shadow.epochImage, tick, pid, level);
+            break;
+          case RestoreLevel::Macro:
+            compareMemory(shadow.macroImage, tick, pid, level);
+            break;
+          case RestoreLevel::Rejuvenation:
+            compareMemory(shadow.deployImage, tick, pid, level);
+            break;
+        }
+    }
+
+    if (level == RestoreLevel::Rejuvenation) {
+        // rejuvenate() ends by taking a fresh macro checkpoint of the
+        // reborn service; resync the golden macro image with it.
+        capture(shadow.macroImage, pid);
+    }
+
+    ++nChecks;
+    std::vector<Violation> found;
+    reg.evaluate(contextFor(pid), tick, pid, shadow.epoch, found);
+    for (Violation &v : found)
+        report(std::move(v));
+}
+
+// ------------------------------------------------------ PlantedBugSink
+
+PlantedBugSink::PlantedBugSink(SystemChecker &inner,
+                               core::IndraSystem &sys,
+                               std::uint64_t plant_at_epoch)
+    : inner(inner), sys(sys), plantAtEpoch(plant_at_epoch)
+{
+}
+
+void
+PlantedBugSink::onDeploy(Pid pid)
+{
+    inner.onDeploy(pid);
+}
+
+void
+PlantedBugSink::onEpochBegin(Tick tick, Pid pid)
+{
+    // Forward first: the golden epoch image must be captured *before*
+    // the corruption, exactly like a real backup write-path miss that
+    // damages memory after the checkpoint boundary.
+    inner.onEpochBegin(tick, pid);
+    if (didPlant || inner.epochOf(pid) != plantAtEpoch)
+        return;
+    const os::Process &proc = sys.kernel().process(pid);
+    Vpn vpn = os::layout::dataBase / sys.config().pageBytes;
+    if (!proc.space->isMapped(vpn))
+        return;
+    Pfn pfn = proc.space->pageInfo(vpn).pfn;
+    constexpr std::uint32_t off = 128;
+    std::uint8_t byte = 0;
+    sys.physMem().read(pfn, off, &byte, 1);
+    byte ^= 0x5a;
+    sys.physMem().write(pfn, off, &byte, 1);
+    didPlant = true;
+}
+
+void
+PlantedBugSink::onMacroCapture(Tick tick, Pid pid)
+{
+    inner.onMacroCapture(tick, pid);
+}
+
+void
+PlantedBugSink::onVerdict(Tick tick, Pid pid, bool detected)
+{
+    inner.onVerdict(tick, pid, detected);
+}
+
+void
+PlantedBugSink::onRecovered(Tick tick, Pid pid, RestoreLevel level)
+{
+    inner.onRecovered(tick, pid, level);
+}
+
+} // namespace indra::check

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The differential-oracle hook interface.
+ *
+ * IndraSystem notifies an attached CheckSink at the boundaries where
+ * golden reference models can be captured or compared: service
+ * deployment, request-epoch begin (the GTS bump), macro-checkpoint
+ * capture, the monitor's per-request verdict, and recovery completion.
+ *
+ * The hooks follow the zero-cost-when-off contract of the fault and
+ * tracing subsystems, but go one step further: the call sites are
+ * *compiled out* unless the build sets -DINDRA_CHECK=ON
+ * (INDRA_CHECK_ENABLED=1), so a default build's instruction stream —
+ * and therefore its timing and its bench output — is bit-identical to
+ * a tree without this subsystem.
+ *
+ * This header is dependency-free (sim/types.hh only) so core code can
+ * include it without pulling the checking layer's implementation in.
+ */
+
+#ifndef INDRA_CHECK_HOOKS_HH
+#define INDRA_CHECK_HOOKS_HH
+
+#include "sim/types.hh"
+
+#ifndef INDRA_CHECK_ENABLED
+#define INDRA_CHECK_ENABLED 0
+#endif
+
+namespace indra::check
+{
+
+/** Which rung of the recovery ladder just completed (mirrors
+ *  core::RecoveryLevel without depending on core headers). */
+enum class RestoreLevel : std::uint8_t
+{
+    Micro = 0,     //!< per-request rollback: memory must match the
+                   //!< epoch-begin image
+    Macro,         //!< application checkpoint restore: memory must
+                   //!< match the last macro capture
+    Rejuvenation,  //!< full rebirth: memory must match the load image
+};
+
+/** Printable restore-level name. */
+inline const char *
+restoreLevelName(RestoreLevel l)
+{
+    switch (l) {
+      case RestoreLevel::Micro:
+        return "micro";
+      case RestoreLevel::Macro:
+        return "macro";
+      case RestoreLevel::Rejuvenation:
+        return "rejuvenation";
+    }
+    return "??";
+}
+
+/**
+ * Receiver of oracle hook notifications. The production implementation
+ * is check::SystemChecker; tests install doctored sinks (e.g. the
+ * planted-bug wrapper) to prove the oracle catches real divergence.
+ */
+class CheckSink
+{
+  public:
+    virtual ~CheckSink() = default;
+
+    /** A service (or co-service) process finished deploying. */
+    virtual void onDeploy(Pid pid) = 0;
+
+    /**
+     * A request epoch is beginning for @p pid: the GTS was bumped and
+     * the recovery manager recorded its request snapshot. Memory at
+     * this instant is what a micro recovery must restore.
+     */
+    virtual void onEpochBegin(Tick tick, Pid pid) = 0;
+
+    /** A macro (application) checkpoint of @p pid was just captured. */
+    virtual void onMacroCapture(Tick tick, Pid pid) = 0;
+
+    /**
+     * The monitor delivered its verdict on @p pid's current request:
+     * @p detected is true when the request failed (violation/crash).
+     * Cheap invariants are evaluated here.
+     */
+    virtual void onVerdict(Tick tick, Pid pid, bool detected) = 0;
+
+    /**
+     * The recovery ladder finished reviving @p pid at @p level. For
+     * the oracle's benefit the system drains any lazy rollback before
+     * this hook fires, so memory is directly comparable to the golden
+     * image of the restored level.
+     */
+    virtual void onRecovered(Tick tick, Pid pid, RestoreLevel level) = 0;
+};
+
+} // namespace indra::check
+
+/**
+ * Hook invocation macro: expands to a null-checked call when checking
+ * is compiled in, and to nothing at all otherwise — call sites cost
+ * zero instructions in a default build.
+ */
+#if INDRA_CHECK_ENABLED
+#define INDRA_CHECK_HOOK(sink, call)                                   \
+    do {                                                               \
+        if (sink)                                                      \
+            (sink)->call;                                              \
+    } while (0)
+#else
+#define INDRA_CHECK_HOOK(sink, call)                                   \
+    do {                                                               \
+    } while (0)
+#endif
+
+#endif // INDRA_CHECK_HOOKS_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A minimal JSON reader for scenario reproducer files.
+ *
+ * The simulator writes JSON in several places (stats export, trace
+ * sinks, fuzz reproducers) but until now never read any back. This
+ * parser covers exactly the subset those writers emit — objects,
+ * arrays, strings with escapes, numbers, booleans, null — and calls
+ * fatal() with a character position on anything malformed, which is
+ * the right behaviour for a --replay file the fuzzer itself produced.
+ */
+
+#ifndef INDRA_CHECK_JSON_READER_HH
+#define INDRA_CHECK_JSON_READER_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace indra::check
+{
+
+/** One parsed JSON value (a small closed-world variant). */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> items;                       //!< Array
+    std::vector<std::pair<std::string, JsonValue>> fields; //!< Object
+
+    /** Object field by name, or nullptr. */
+    const JsonValue *field(const std::string &name) const;
+
+    /** Typed field accessors with defaults; fatal() on a field that
+     *  exists but has the wrong kind. */
+    double num(const std::string &name, double fallback) const;
+    std::uint64_t u64(const std::string &name,
+                      std::uint64_t fallback) const;
+    bool flag(const std::string &name, bool fallback) const;
+    std::string str(const std::string &name,
+                    const std::string &fallback) const;
+};
+
+/** Parse @p text as one JSON document; fatal() on malformed input. */
+JsonValue parseJson(const std::string &text);
+
+} // namespace indra::check
+
+#endif // INDRA_CHECK_JSON_READER_HH

@@ -1,0 +1,217 @@
+#include "check/ref_models.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "mem/phys_mem.hh"
+#include "os/address_space.hh"
+#include "sim/logging.hh"
+
+namespace indra::check
+{
+
+// ------------------------------------------------------------ RefMemory
+
+RefMemory::RefMemory(std::uint32_t page_bytes) : bytesPerPage(page_bytes)
+{
+    panic_if(bytesPerPage == 0, "RefMemory page size must be nonzero");
+}
+
+void
+RefMemory::clear()
+{
+    images.clear();
+}
+
+void
+RefMemory::capturePage(Vpn vpn, std::vector<std::uint8_t> bytes)
+{
+    bytes.resize(bytesPerPage, 0);
+    images[vpn] = std::move(bytes);
+}
+
+void
+RefMemory::captureFrom(const os::AddressSpace &space,
+                       const mem::PhysicalMemory &phys)
+{
+    images.clear();
+    std::vector<Vpn> vpns = space.mappedPages();
+    std::sort(vpns.begin(), vpns.end());
+    for (Vpn vpn : vpns)
+        capturePage(vpn, phys.snapshotFrame(space.pageInfo(vpn).pfn));
+}
+
+const std::vector<std::uint8_t> *
+RefMemory::page(Vpn vpn) const
+{
+    auto it = images.find(vpn);
+    return it == images.end() ? nullptr : &it->second;
+}
+
+void
+RefMemory::write(Addr vaddr, std::uint64_t value, std::uint32_t bytes)
+{
+    panic_if(bytes == 0 || bytes > 8, "RefMemory write width ",
+             bytes, " out of range");
+    Vpn vpn = vaddr / bytesPerPage;
+    std::uint32_t off =
+        static_cast<std::uint32_t>(vaddr % bytesPerPage);
+    panic_if(off + bytes > bytesPerPage,
+             "RefMemory write crosses a page boundary");
+    auto it = images.find(vpn);
+    if (it == images.end()) {
+        it = images.emplace(vpn,
+                            std::vector<std::uint8_t>(bytesPerPage, 0))
+                 .first;
+    }
+    for (std::uint32_t i = 0; i < bytes; ++i)
+        it->second[off + i] =
+            static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+std::uint64_t
+RefMemory::read(Addr vaddr, std::uint32_t bytes) const
+{
+    panic_if(bytes == 0 || bytes > 8, "RefMemory read width ",
+             bytes, " out of range");
+    Vpn vpn = vaddr / bytesPerPage;
+    std::uint32_t off =
+        static_cast<std::uint32_t>(vaddr % bytesPerPage);
+    auto it = images.find(vpn);
+    if (it == images.end())
+        return 0;
+    std::uint64_t value = 0;
+    for (std::uint32_t i = 0; i < bytes; ++i)
+        value |= static_cast<std::uint64_t>(it->second[off + i])
+            << (8 * i);
+    return value;
+}
+
+std::string
+RefMemory::Mismatch::describe() const
+{
+    std::ostringstream os;
+    os << "vpn 0x" << std::hex << vpn << " offset 0x" << offset
+       << ": expect 0x" << static_cast<unsigned>(expect)
+       << " actual 0x" << static_cast<unsigned>(actual);
+    return os.str();
+}
+
+std::optional<RefMemory::Mismatch>
+RefMemory::comparePage(Vpn vpn,
+                       const std::vector<std::uint8_t> &actual) const
+{
+    const std::vector<std::uint8_t> *golden = page(vpn);
+    if (!golden)
+        return std::nullopt;
+    std::size_t n = std::min(golden->size(), actual.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if ((*golden)[i] != actual[i]) {
+            return Mismatch{vpn, static_cast<std::uint32_t>(i),
+                            (*golden)[i], actual[i]};
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<RefMemory::Mismatch>
+RefMemory::compareAgainst(const os::AddressSpace &space,
+                          const mem::PhysicalMemory &phys) const
+{
+    for (const auto &[vpn, golden] : images) {
+        (void)golden;
+        if (!space.isMapped(vpn))
+            continue;
+        auto mismatch = comparePage(
+            vpn, phys.snapshotFrame(space.pageInfo(vpn).pfn));
+        if (mismatch)
+            return mismatch;
+    }
+    return std::nullopt;
+}
+
+// -------------------------------------------------------------- RefFifo
+
+RefFifo::RefFifo(std::uint32_t capacity) : cap(capacity)
+{
+    panic_if(cap == 0, "RefFifo capacity must be nonzero");
+    highWater = std::max<std::uint32_t>(1, cap * 3 / 4);
+    lowWater = cap / 4;
+}
+
+std::uint32_t
+RefFifo::occupancyAt(Tick tick) const
+{
+    // By definition: a record holds a slot from its push until its
+    // service starts, and at most the last `cap` records can still
+    // hold slots. Full scan of that window, no early exit.
+    std::size_t window = std::min<std::size_t>(starts.size(), cap);
+    std::uint32_t occupied = 0;
+    for (std::size_t i = starts.size() - window; i < starts.size(); ++i) {
+        if (starts[i] > tick)
+            ++occupied;
+    }
+    return occupied;
+}
+
+RefFifo::PushResult
+RefFifo::push(Tick tick, Cycles service_cost)
+{
+    PushResult r;
+    std::uint32_t occupied = occupancyAt(tick);
+
+    if (!aboveHigh && occupied >= highWater) {
+        aboveHigh = true;
+        ++nHigh;
+    } else if (aboveHigh && occupied <= lowWater) {
+        aboveHigh = false;
+        ++nLow;
+    }
+
+    r.pushDone = tick;
+    if (occupied >= cap) {
+        // Every slot is held: wait for the oldest holder to be pulled
+        // out, which happens when its service starts.
+        Tick frees_at = starts[starts.size() - cap];
+        if (frees_at > tick) {
+            r.stall = frees_at - tick;
+            r.pushDone = frees_at;
+        }
+    }
+
+    r.serviceStart = std::max(r.pushDone, lastEnd);
+    r.serviceEnd = r.serviceStart + service_cost;
+    lastEnd = r.serviceEnd;
+    starts.push_back(r.serviceStart);
+    return r;
+}
+
+void
+RefFifo::reset()
+{
+    starts.clear();
+    lastEnd = 0;
+    aboveHigh = false;
+    nHigh = 0;
+    nLow = 0;
+}
+
+// ----------------------------------------------------------- RefUndoLog
+
+void
+RefUndoLog::noteStore(Addr vaddr, std::uint64_t old_value,
+                      std::uint32_t bytes)
+{
+    // emplace only inserts when the address is new, so the first
+    // (oldest) pre-store value of the epoch wins.
+    oldest.emplace(vaddr, OldValue{old_value, bytes});
+}
+
+const RefUndoLog::OldValue *
+RefUndoLog::find(Addr vaddr) const
+{
+    auto it = oldest.find(vaddr);
+    return it == oldest.end() ? nullptr : &it->second;
+}
+
+} // namespace indra::check

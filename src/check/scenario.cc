@@ -1,0 +1,472 @@
+#include "check/scenario.hh"
+
+#include <array>
+#include <sstream>
+#include <utility>
+
+#include "check/checker.hh"
+#include "check/json_reader.hh"
+#include "core/system.hh"
+#include "obs/json.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace indra::check
+{
+
+namespace
+{
+
+CheckpointScheme
+schemeFromName(const std::string &name)
+{
+    static constexpr std::array<CheckpointScheme, 5> all = {
+        CheckpointScheme::None,
+        CheckpointScheme::DeltaBackup,
+        CheckpointScheme::VirtualCheckpoint,
+        CheckpointScheme::MemoryUpdateLog,
+        CheckpointScheme::SoftwareCheckpoint,
+    };
+    for (CheckpointScheme s : all) {
+        if (name == checkpointSchemeName(s))
+            return s;
+    }
+    fatal("unknown checkpoint scheme '", name, "'");
+}
+
+} // anonymous namespace
+
+std::uint64_t
+Scenario::requestCount() const
+{
+    std::uint64_t n = 0;
+    for (const ScenarioStep &s : steps)
+        n += s.repeat;
+    return n;
+}
+
+std::uint64_t
+Scenario::firstAttackEpoch() const
+{
+    std::uint64_t epoch = 0;
+    for (const ScenarioStep &s : steps) {
+        if (s.attack != net::AttackKind::None)
+            return epoch + 1;
+        epoch += s.repeat;
+    }
+    return 0;
+}
+
+std::string
+Scenario::describe() const
+{
+    std::uint64_t attacks = 0;
+    for (const ScenarioStep &s : steps) {
+        if (s.attack != net::AttackKind::None)
+            attacks += s.repeat;
+    }
+    std::ostringstream os;
+    os << "s" << seed << " " << daemon << " "
+       << checkpointSchemeName(scheme) << " f=" << faults.size()
+       << " a=" << attacks << "/" << requestCount();
+    if (guardArmed)
+        os << " guard";
+    if (stormBurst)
+        os << " storm" << stormBurst;
+    if (plantAtEpoch)
+        os << " plant@" << plantAtEpoch;
+    return os.str();
+}
+
+std::string
+Scenario::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"seed\": " << seed << ",\n  \"daemon\": ";
+    obs::jsonString(os, daemon);
+    os << ",\n  \"scheme\": ";
+    obs::jsonString(os, checkpointSchemeName(scheme));
+    os << ",\n  \"instr_per_request\": " << instrPerRequest
+       << ",\n  \"macro_period\": " << macroPeriod
+       << ",\n  \"fail_threshold\": " << failThreshold
+       << ",\n  \"guard\": " << (guardArmed ? "true" : "false")
+       << ",\n  \"storm_burst\": " << stormBurst
+       << ",\n  \"storm_attack_rate\": " << stormAttackRate
+       << ",\n  \"plant_at_epoch\": " << plantAtEpoch
+       << ",\n  \"faults\": [";
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        os << (i ? ", " : "") << "{\"kind\": ";
+        obs::jsonString(os, faults::faultKindName(faults[i].kind));
+        os << ", \"rate\": " << faults[i].rate << ", \"magnitude\": "
+           << faults[i].magnitude << "}";
+    }
+    os << "],\n  \"steps\": [";
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+        os << (i ? ", " : "") << "{\"attack\": ";
+        obs::jsonString(os, net::attackKindName(steps[i].attack));
+        os << ", \"repeat\": " << steps[i].repeat << "}";
+    }
+    os << "]\n}\n";
+    return os.str();
+}
+
+Scenario
+Scenario::fromJson(const std::string &text)
+{
+    JsonValue doc = parseJson(text);
+    if (doc.kind != JsonValue::Kind::Object)
+        fatal("scenario JSON must be an object");
+    Scenario sc;
+    sc.seed = doc.u64("seed", sc.seed);
+    sc.daemon = doc.str("daemon", sc.daemon);
+    sc.scheme = schemeFromName(
+        doc.str("scheme", checkpointSchemeName(sc.scheme)));
+    sc.instrPerRequest =
+        doc.u64("instr_per_request", sc.instrPerRequest);
+    sc.macroPeriod = doc.u64("macro_period", sc.macroPeriod);
+    sc.failThreshold = static_cast<std::uint32_t>(
+        doc.u64("fail_threshold", sc.failThreshold));
+    sc.guardArmed = doc.flag("guard", sc.guardArmed);
+    sc.stormBurst = static_cast<std::uint32_t>(
+        doc.u64("storm_burst", sc.stormBurst));
+    sc.stormAttackRate =
+        doc.num("storm_attack_rate", sc.stormAttackRate);
+    sc.plantAtEpoch = doc.u64("plant_at_epoch", sc.plantAtEpoch);
+    if (const JsonValue *fs = doc.field("faults")) {
+        for (const JsonValue &f : fs->items) {
+            FaultSetting setting;
+            setting.kind =
+                faults::faultKindFromName(f.str("kind", "trace-drop"));
+            setting.rate = f.num("rate", 0.0);
+            setting.magnitude = f.u64("magnitude", 0);
+            sc.faults.push_back(setting);
+        }
+    }
+    if (const JsonValue *ss = doc.field("steps")) {
+        for (const JsonValue &s : ss->items) {
+            ScenarioStep step;
+            step.attack =
+                net::attackKindFromName(s.str("attack", "none"));
+            step.repeat = static_cast<std::uint32_t>(
+                s.u64("repeat", 1));
+            sc.steps.push_back(step);
+        }
+    }
+    return sc;
+}
+
+Scenario
+makeScenario(std::uint64_t seed)
+{
+    Pcg32 rng(seed, 0x5eedf00d);
+    Scenario sc;
+    sc.seed = seed;
+
+    static constexpr const char *daemons[] = {"httpd", "bind", "ftpd",
+                                              "sendmail"};
+    sc.daemon = daemons[rng.nextBounded(4)];
+
+    // Weighted toward the paper's engine; the alternatives keep their
+    // restore contracts honest too.
+    static constexpr CheckpointScheme schemes[] = {
+        CheckpointScheme::DeltaBackup,
+        CheckpointScheme::DeltaBackup,
+        CheckpointScheme::DeltaBackup,
+        CheckpointScheme::VirtualCheckpoint,
+        CheckpointScheme::MemoryUpdateLog,
+        CheckpointScheme::SoftwareCheckpoint,
+    };
+    sc.scheme = schemes[rng.nextBounded(6)];
+    sc.macroPeriod = 3 + rng.nextBounded(8);
+    sc.failThreshold = 1 + rng.nextBounded(3);
+
+    if (rng.bernoulli(0.6)) {
+        static constexpr double rates[] = {0.05, 0.15, 0.4};
+        std::uint32_t n = 1 + (rng.bernoulli(0.35) ? 1 : 0);
+        const auto &kinds = faults::allFaultKinds();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            FaultSetting setting;
+            setting.kind = kinds[rng.nextBounded(
+                static_cast<std::uint32_t>(kinds.size()))];
+            setting.rate = rates[rng.nextBounded(3)];
+            setting.magnitude =
+                setting.kind == faults::FaultKind::MonitorDelay
+                    ? 20000
+                    : 0;
+            bool dup = false;
+            for (const FaultSetting &have : sc.faults)
+                dup = dup || have.kind == setting.kind;
+            if (!dup)
+                sc.faults.push_back(setting);
+        }
+    }
+
+    sc.guardArmed = rng.bernoulli(0.35);
+    if (sc.guardArmed && rng.bernoulli(0.5)) {
+        sc.stormBurst = 4u << rng.nextBounded(3);
+        sc.stormAttackRate = 10.0 * (1 + rng.nextBounded(4));
+    }
+
+    std::uint32_t nsteps = 3 + rng.nextBounded(6);
+    for (std::uint32_t i = 0; i < nsteps; ++i) {
+        ScenarioStep step;
+        static constexpr net::AttackKind attacks[] = {
+            net::AttackKind::StackSmash,
+            net::AttackKind::CodeInjection,
+            net::AttackKind::FuncPtrHijack,
+            net::AttackKind::FormatString,
+            net::AttackKind::DosFlood,
+            net::AttackKind::Dormant,
+        };
+        std::uint32_t pick = rng.nextBounded(11);
+        if (pick >= 5)
+            step.attack = attacks[pick - 5];
+        step.repeat = 1 + rng.nextBounded(4);
+        sc.steps.push_back(step);
+    }
+    return sc;
+}
+
+Scenario
+makePlantedScenario(std::uint64_t seed)
+{
+    Scenario sc;
+    sc.seed = seed;
+    sc.daemon = "httpd";
+    sc.scheme = CheckpointScheme::DeltaBackup;
+    // Keep the ladder at the micro level (the planted miss is only
+    // visible against the epoch image) and macro captures rare.
+    sc.failThreshold = 4;
+    sc.macroPeriod = 50;
+    sc.steps = {
+        {net::AttackKind::None, 2},
+        {net::AttackKind::StackSmash, 1},
+        {net::AttackKind::None, 2},
+        {net::AttackKind::FuncPtrHijack, 1},
+        {net::AttackKind::StackSmash, 2},
+    };
+    // Plant at the first attack's epoch: the detection-triggered
+    // micro rollback cannot repair a byte the backup engine never
+    // saw change.
+    sc.plantAtEpoch = sc.firstAttackEpoch();
+    return sc;
+}
+
+ScenarioVerdict
+runScenario(const Scenario &sc)
+{
+    SystemConfig cfg;
+    cfg.physMemBytes = 128ULL * 1024 * 1024;
+    cfg.rngSeed = sc.seed;
+    cfg.checkpointScheme = sc.scheme;
+    cfg.macroCheckpointPeriod = sc.macroPeriod;
+    cfg.consecutiveFailureThreshold = sc.failThreshold;
+
+    faults::FaultPlan plan;
+    plan.setSeed(sc.seed);
+    for (const FaultSetting &f : sc.faults)
+        plan.add(f.kind, f.rate, f.magnitude);
+
+    resilience::ResilienceConfig rcfg;
+    if (sc.guardArmed) {
+        rcfg.queueBound = 8;
+        rcfg.tokensPerMCycle[static_cast<std::size_t>(
+            net::ClientClass::Bulk)] = 40.0;
+        rcfg.tokenBurst[static_cast<std::size_t>(
+            net::ClientClass::Bulk)] = 10.0;
+        rcfg.fifoHighWater = 24;
+    }
+
+    core::IndraSystem sys(cfg, plan, rcfg);
+    SystemChecker checker(sys);
+    PlantedBugSink plantedSink(checker, sys, sc.plantAtEpoch);
+    sys.attachChecker(sc.plantAtEpoch
+                          ? static_cast<CheckSink *>(&plantedSink)
+                          : &checker);
+    sys.boot();
+
+    net::DaemonProfile profile = net::daemonByName(sc.daemon);
+    profile.instrPerRequest = sc.instrPerRequest;
+    std::size_t slot = sys.deployService(profile);
+
+    ScenarioVerdict verdict;
+    std::uint64_t seq = 0;
+    for (const ScenarioStep &step : sc.steps) {
+        for (std::uint32_t r = 0; r < step.repeat; ++r) {
+            net::ServiceRequest req;
+            req.seq = ++seq;
+            req.attack = step.attack;
+            sys.processRequest(slot, req);
+            ++verdict.requests;
+        }
+    }
+
+    if (sc.stormBurst) {
+        resilience::StormPlan splan;
+        splan.seed = sc.seed;
+        splan.legitRequests = 16;
+        splan.legitRatePerMCycle = 20.0;
+        splan.attackRatePerMCycle = sc.stormAttackRate;
+        splan.burstLen = sc.stormBurst;
+        splan.attackKind = net::AttackKind::DosFlood;
+        resilience::StormReport report = sys.runStorm(slot, splan);
+        verdict.requests += report.executed;
+    }
+
+    verdict.checks = checker.checksRun();
+    verdict.violations = checker.violations().size();
+    if (!checker.ok()) {
+        const Violation &first = checker.violations().front();
+        verdict.violated = true;
+        verdict.invariant = first.id;
+        verdict.epoch = first.epoch;
+        verdict.tick = first.tick;
+        verdict.detail = first.detail;
+    }
+    return verdict;
+}
+
+namespace
+{
+
+bool
+sameFailure(const ScenarioVerdict &v, const ScenarioVerdict &orig)
+{
+    return v.violated && v.invariant == orig.invariant;
+}
+
+} // anonymous namespace
+
+ShrinkResult
+shrinkScenario(const Scenario &sc, const ScenarioVerdict &original,
+               const ScenarioRunFn &run, std::uint64_t run_budget)
+{
+    ShrinkResult res{sc, original, 0};
+
+    // Accept a candidate iff it still violates the same invariant.
+    auto attempt = [&](Scenario cand) -> bool {
+        if (cand == res.scenario || res.runsUsed >= run_budget)
+            return false;
+        ++res.runsUsed;
+        ScenarioVerdict v = run(cand);
+        if (!sameFailure(v, original))
+            return false;
+        res.scenario = std::move(cand);
+        res.verdict = std::move(v);
+        return true;
+    };
+
+    // A planted scenario usually only reproduces when the plant epoch
+    // lands on an attack request, so every structural reduction is
+    // also tried with the plant realigned to the first attack.
+    auto attemptAligned = [&](Scenario cand) -> bool {
+        Scenario aligned = cand;
+        if (aligned.plantAtEpoch) {
+            std::uint64_t first = aligned.firstAttackEpoch();
+            if (first)
+                aligned.plantAtEpoch = first;
+        }
+        if (attempt(cand))
+            return true;
+        return aligned != cand && attempt(std::move(aligned));
+    };
+
+    bool changed = true;
+    while (changed && res.runsUsed < run_budget) {
+        changed = false;
+
+        // Drop whole chunks of the schedule, largest cuts first.
+        for (std::size_t chunk = res.scenario.steps.size();
+             chunk >= 1; chunk /= 2) {
+            bool cut = true;
+            while (cut) {
+                cut = false;
+                const auto &steps = res.scenario.steps;
+                for (std::size_t start = 0;
+                     start + chunk <= steps.size(); ++start) {
+                    Scenario cand = res.scenario;
+                    cand.steps.erase(
+                        cand.steps.begin() +
+                            static_cast<std::ptrdiff_t>(start),
+                        cand.steps.begin() +
+                            static_cast<std::ptrdiff_t>(start + chunk));
+                    if (attemptAligned(std::move(cand))) {
+                        cut = true;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+            if (chunk == 1)
+                break;
+        }
+
+        // Shrink burst sizes: halve repeats, and when halving
+        // overshoots the failure threshold fall back to stepping
+        // down by one, so a repeat of 4 can still reach 3.
+        for (std::size_t i = 0; i < res.scenario.steps.size(); ++i) {
+            while (res.scenario.steps[i].repeat > 1) {
+                Scenario cand = res.scenario;
+                cand.steps[i].repeat = cand.steps[i].repeat / 2;
+                if (attemptAligned(std::move(cand))) {
+                    changed = true;
+                    continue;
+                }
+                cand = res.scenario;
+                cand.steps[i].repeat -= 1;
+                if (!attemptAligned(std::move(cand)))
+                    break;
+                changed = true;
+            }
+        }
+
+        // Drop fault sites one at a time.
+        for (std::size_t i = 0; i < res.scenario.faults.size();) {
+            Scenario cand = res.scenario;
+            cand.faults.erase(cand.faults.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+            if (attemptAligned(std::move(cand)))
+                changed = true;
+            else
+                ++i;
+        }
+
+        // Storm phase: disarm entirely, else halve the burst.
+        if (res.scenario.stormBurst) {
+            Scenario cand = res.scenario;
+            cand.stormBurst = 0;
+            cand.stormAttackRate = 0.0;
+            if (attemptAligned(std::move(cand))) {
+                changed = true;
+            } else if (res.scenario.stormBurst > 1) {
+                cand = res.scenario;
+                cand.stormBurst /= 2;
+                if (attemptAligned(std::move(cand)))
+                    changed = true;
+            }
+        }
+
+        // Guard: try disarming.
+        if (res.scenario.guardArmed) {
+            Scenario cand = res.scenario;
+            cand.guardArmed = false;
+            cand.stormBurst = 0;
+            cand.stormAttackRate = 0.0;
+            if (attemptAligned(std::move(cand)))
+                changed = true;
+        }
+
+        // Pull the planted epoch toward the front.
+        if (res.scenario.plantAtEpoch > 1) {
+            Scenario cand = res.scenario;
+            std::uint64_t first = cand.firstAttackEpoch();
+            cand.plantAtEpoch =
+                first ? first : cand.plantAtEpoch / 2;
+            if (attempt(std::move(cand)))
+                changed = true;
+        }
+    }
+    return res;
+}
+
+} // namespace indra::check

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Deterministic scenario fuzzing with shrinking.
+ *
+ * A Scenario is a complete, serializable description of one oracle
+ * run: the daemon, the checkpoint scheme, the fault plan, the
+ * request/attack schedule, optional storm traffic, and (for oracle
+ * self-tests) a planted rollback bug. Every stochastic choice inside
+ * the run derives from the scenario's seed, so a scenario is a pure
+ * value: running it twice — or on different sweep workers — produces
+ * the same verdict.
+ *
+ * makeScenario() derives a scenario from a PCG seed (the fuzzer's
+ * generator); shrinkScenario() greedily minimizes a failing scenario
+ * while preserving the violated invariant; toJson()/fromJson() give
+ * reproducer files the bench can --replay.
+ */
+
+#ifndef INDRA_CHECK_SCENARIO_HH
+#define INDRA_CHECK_SCENARIO_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/invariants.hh"
+#include "faults/fault_plan.hh"
+#include "net/request.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace indra::check
+{
+
+/** One armed fault in a scenario (mirrors faults::FaultSpec as a
+ *  plain comparable value). */
+struct FaultSetting
+{
+    faults::FaultKind kind = faults::FaultKind::TraceDrop;
+    double rate = 0.0;
+    std::uint64_t magnitude = 0;
+
+    bool operator==(const FaultSetting &) const = default;
+};
+
+/** A run of identical requests in the schedule. */
+struct ScenarioStep
+{
+    net::AttackKind attack = net::AttackKind::None;
+    std::uint32_t repeat = 1;
+
+    bool operator==(const ScenarioStep &) const = default;
+};
+
+/** A complete fuzz scenario. */
+struct Scenario
+{
+    std::uint64_t seed = 1;
+    std::string daemon = "httpd";
+    CheckpointScheme scheme = CheckpointScheme::DeltaBackup;
+    std::uint64_t instrPerRequest = 25000;
+    std::uint64_t macroPeriod = 10;
+    std::uint32_t failThreshold = 2;
+    bool guardArmed = false;
+    /** Malicious requests per storm burst; 0 = no storm phase. */
+    std::uint32_t stormBurst = 0;
+    double stormAttackRate = 0.0;
+    /** Oracle self-test: corrupt one byte behind the backup engine's
+     *  back at the start of this epoch (0 = off). */
+    std::uint64_t plantAtEpoch = 0;
+    std::vector<FaultSetting> faults;
+    std::vector<ScenarioStep> steps;
+
+    /** Total scheduled requests (sum of step repeats). */
+    std::uint64_t requestCount() const;
+
+    /** 1-based epoch of the first attack request, or 0 if none. */
+    std::uint64_t firstAttackEpoch() const;
+
+    /** Short cell label: "s17 httpd delta-backup f=1 a=3/12 storm". */
+    std::string describe() const;
+
+    std::string toJson() const;
+    static Scenario fromJson(const std::string &text);
+
+    bool operator==(const Scenario &) const = default;
+};
+
+/** Derive the fuzz scenario of @p seed (pure function). */
+Scenario makeScenario(std::uint64_t seed);
+
+/** The oracle-sensitivity scenario: a planted rollback bug that a
+ *  correct oracle must catch at a micro recovery. */
+Scenario makePlantedScenario(std::uint64_t seed);
+
+/** What one scenario run concluded. */
+struct ScenarioVerdict
+{
+    bool violated = false;
+    InvariantId invariant = InvariantId::MemoryRestoreExact;
+    std::uint64_t epoch = 0;
+    Tick tick = 0;
+    std::string detail;
+    std::uint64_t requests = 0;  //!< requests actually executed
+    std::uint64_t checks = 0;    //!< oracle checks evaluated
+    std::uint64_t violations = 0;
+};
+
+/**
+ * Build the system described by @p sc, attach the oracle, run the
+ * schedule (and storm phase, if armed), and report. With checking
+ * compiled out the run still executes but no oracle ever fires.
+ */
+ScenarioVerdict runScenario(const Scenario &sc);
+
+/** Scenario evaluation function (injectable for shrinker tests). */
+using ScenarioRunFn =
+    std::function<ScenarioVerdict(const Scenario &)>;
+
+/** Outcome of shrinking one failing scenario. */
+struct ShrinkResult
+{
+    Scenario scenario;       //!< the minimized reproducer
+    ScenarioVerdict verdict; //!< its (still-failing) verdict
+    std::uint64_t runsUsed = 0;
+};
+
+/**
+ * Greedy delta-debugging shrink: repeatedly try structural
+ * reductions — dropping step chunks, halving repeats, dropping
+ * faults, shrinking or disarming the storm, disarming the guard,
+ * realigning the planted epoch — and keep any candidate that still
+ * violates the *same* invariant. Runs until a fixpoint or until
+ * @p run_budget evaluations have been spent.
+ */
+ShrinkResult shrinkScenario(const Scenario &sc,
+                            const ScenarioVerdict &original,
+                            const ScenarioRunFn &run,
+                            std::uint64_t run_budget = 200);
+
+} // namespace indra::check
+
+#endif // INDRA_CHECK_SCENARIO_HH

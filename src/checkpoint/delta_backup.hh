@@ -84,6 +84,20 @@ class DeltaBackup : public CheckpointPolicy
     /** The record for @p vpn, or nullptr if none exists yet. */
     const BackupPageRecord *record(Vpn vpn) const;
 
+    /** All backup records, for invariant checkers (read-only). */
+    const std::unordered_map<Vpn, BackupPageRecord> &
+    recordMap() const
+    {
+        return records;
+    }
+
+    /** Vpns whose record's LTS equals the current GTS (read-only). */
+    const std::unordered_set<Vpn> &
+    touchedSet() const
+    {
+        return touchedThisEpoch;
+    }
+
     /** Number of backup pages currently allocated. */
     std::uint64_t backupPagesAllocated() const;
 

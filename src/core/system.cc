@@ -149,6 +149,7 @@ IndraSystem::deployService(const net::DaemonProfile &profile)
         wireSlotTracing(*s);
 
     slots.push_back(std::move(s));
+    INDRA_CHECK_HOOK(checkSinkPtr, onDeploy(slots.back()->pid));
     return idx;
 }
 
@@ -229,6 +230,7 @@ IndraSystem::onRequestCheckpoint(Tick tick, Pid pid)
     ServiceRefs refs = refsForPid(pid);
     Cycles cost = refs.policy->onRequestBegin(tick);
     refs.recovery->noteRequestBegin(tick);
+    INDRA_CHECK_HOOK(checkSinkPtr, onEpochBegin(tick, pid));
     return cost;
 }
 
@@ -289,6 +291,7 @@ IndraSystem::deployCoService(std::size_t host_slot,
     }
 
     s.coServices.push_back(std::move(co));
+    INDRA_CHECK_HOOK(checkSinkPtr, onDeploy(s.coServices.back()->pid));
     return s.coServices.size() - 1;
 }
 
@@ -355,6 +358,9 @@ IndraSystem::runOneRequest(const ServiceRefs &refs,
             break;
     }
 
+    INDRA_CHECK_HOOK(checkSinkPtr,
+                     onVerdict(s.core->curTick(), refs.pid, detected));
+
     if (failed) {
         handleFailure(refs, out, fail_tick, detected, out.violation);
     } else {
@@ -364,6 +370,8 @@ IndraSystem::runOneRequest(const ServiceRefs &refs,
         if (++*refs.requestsSinceMacro >= cfg.macroCheckpointPeriod) {
             refs.recovery->takeMacroCheckpoint(s.core->curTick());
             *refs.requestsSinceMacro = 0;
+            INDRA_CHECK_HOOK(checkSinkPtr,
+                             onMacroCapture(s.core->curTick(), refs.pid));
         }
     }
 
@@ -405,6 +413,23 @@ IndraSystem::handleFailure(const ServiceRefs &refs,
 
     if (cfg.checkpointScheme != CheckpointScheme::None) {
         RecoveryLevel level = refs.recovery->recover(fail_tick);
+#if INDRA_CHECK_ENABLED
+        if (checkSinkPtr) {
+            // The delta engine restores lazily (rollback-on-demand);
+            // force the remaining pages back so the oracle compares
+            // fully restored memory. The cost is discarded — the
+            // checker must not perturb the timing it audits.
+            if (level == RecoveryLevel::Micro)
+                refs.policy->drainRollback(s.core->curTick());
+            check::RestoreLevel rl =
+                level == RecoveryLevel::Micro
+                    ? check::RestoreLevel::Micro
+                    : level == RecoveryLevel::Macro
+                          ? check::RestoreLevel::Macro
+                          : check::RestoreLevel::Rejuvenation;
+            checkSinkPtr->onRecovered(s.core->curTick(), refs.pid, rl);
+        }
+#endif
         if (level == RecoveryLevel::Rejuvenation) {
             // The reborn service starts from its load image: nothing
             // dormant survives, and a fresh macro checkpoint was

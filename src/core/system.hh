@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "check/hooks.hh"
 #include "checkpoint/macro_ckpt.hh"
 #include "checkpoint/policy.hh"
 #include "core/recovery.hh"
@@ -261,6 +262,18 @@ class IndraSystem : public os::KernelListener
     /** The attached event log, or nullptr. */
     obs::TraceLog *traceLog() { return traceLogPtr; }
 
+    /**
+     * Attach a differential-oracle sink (nullable). The sink sees
+     * deploy/epoch/macro/verdict/recovery boundaries — but only in a
+     * build configured with -DINDRA_CHECK=ON; in the default build
+     * the hook sites compile out entirely and an attached sink is
+     * never called.
+     */
+    void attachChecker(check::CheckSink *sink) { checkSinkPtr = sink; }
+
+    /** The attached oracle sink, or nullptr. */
+    check::CheckSink *checker() { return checkSinkPtr; }
+
     /** The resilience config the system was built with. */
     const resilience::ResilienceConfig &
     resilienceConfig() const
@@ -316,6 +329,7 @@ class IndraSystem : public os::KernelListener
     bool isBooted = false;
     std::uint64_t rtsFrames = 0;
     std::vector<Pfn> resurrectorPrivate;
+    check::CheckSink *checkSinkPtr = nullptr;
 };
 
 } // namespace indra::core

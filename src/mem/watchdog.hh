@@ -63,6 +63,13 @@ class MemWatchdog
     /** Number of denied accesses observed so far. */
     std::uint64_t denials() const;
 
+    /** Per-frame grant masks, for invariant checkers (read-only). */
+    const std::unordered_map<Pfn, std::uint64_t> &
+    grantTable() const
+    {
+        return grants;
+    }
+
   private:
     /** Bitmask of granted core IDs per frame (up to 64 cores). */
     std::unordered_map<Pfn, std::uint64_t> grants;

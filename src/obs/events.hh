@@ -37,10 +37,11 @@ enum class EventKind : std::uint8_t
     HealthTransition,     //!< health state changed      (a0 from, a1 to)
     FifoHighWater,        //!< FIFO occupancy crossed up (a0 occupancy)
     FifoLowWater,         //!< FIFO drained back down    (a0 occupancy)
+    OracleViolation,      //!< differential oracle fired (a0 invariant, a1 epoch)
 };
 
 /** Number of distinct event kinds. */
-constexpr std::size_t eventKindCount = 12;
+constexpr std::size_t eventKindCount = 13;
 
 /** Printable kind name ("monitor_violation", ...). */
 const char *eventKindName(EventKind k);

@@ -33,6 +33,8 @@ eventKindName(EventKind k)
         return "fifo_high_water";
       case EventKind::FifoLowWater:
         return "fifo_low_water";
+      case EventKind::OracleViolation:
+        return "oracle_violation";
     }
     return "??";
 }
@@ -64,6 +66,8 @@ eventArgName(EventKind k, int i)
       case EventKind::FifoHighWater:
       case EventKind::FifoLowWater:
         return i == 0 ? "occupancy" : nullptr;
+      case EventKind::OracleViolation:
+        return i == 0 ? "invariant" : "epoch";
     }
     return nullptr;
 }

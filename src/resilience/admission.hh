@@ -58,6 +58,9 @@ class TokenBucket
 
     double tokens() const { return level; }
 
+    /** Burst depth (maximum level tokens() can legally reach). */
+    double burstDepth() const { return depth; }
+
   private:
     double ratePerMCycle;
     double depth;
@@ -108,6 +111,13 @@ class AdmissionController
 
     /** Total shed decisions. */
     std::uint64_t shedTotal() const;
+
+    /** The token bucket of @p cls, for invariant checkers. */
+    const TokenBucket &
+    bucket(net::ClientClass cls) const
+    {
+        return buckets[static_cast<std::size_t>(cls)];
+    }
 
   private:
     const ResilienceConfig cfg;
