@@ -1,0 +1,271 @@
+/**
+ * @file
+ * The perf-regression kernel: a canonical three-workload sweep over
+ * the simulator's hot paths, timed end to end and exported as
+ * machine-readable JSON for scripts/perf_gate.sh.
+ *
+ * Workloads (all fixed-seed, all bit-identical across hosts):
+ *
+ *   recovery_storm  idle-heavy attack storm against a corrupt macro
+ *                   level: long inter-arrival gaps the event-skipping
+ *                   kernel jumps over, with every burst driving the
+ *                   ladder through rejuvenation + re-checkpoint. The
+ *                   checkpoint capture/verify/restore paths dominate.
+ *   overload_storm  saturated storm with admission control armed:
+ *                   guard, shed, retry, and FIFO backpressure paths.
+ *   monitor_stream  clean high-rate legitimate load, no attacks, no
+ *                   guard: the core engine, trace FIFO, and monitor
+ *                   verification paths.
+ *
+ * Simulation results (executed/served/shed counts, end ticks) go to
+ * stdout and are deterministic; wall-clock timing never touches
+ * stdout and is written to the path given by --json. The stdout
+ * digest is the equivalence check, the JSON is the perf trajectory.
+ *
+ * INDRA_PERF_SYNTHETIC_SLOWDOWN=<fraction> busy-spins for that
+ * fraction of each workload's measured time after it completes —
+ * the hook the CI gate's self-test uses to prove a >15% regression
+ * actually fails the pipeline. It perturbs timing only, never the
+ * simulation.
+ *
+ * Usage: bench_perf_kernel [--smoke] [--json PATH]
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "faults/fault_plan.hh"
+#include "resilience/storm.hh"
+
+using namespace indra;
+
+namespace
+{
+
+struct WorkloadResult
+{
+    std::string name;
+    resilience::StormReport rep;
+    double wallSeconds = 0;
+    std::uint64_t ops = 0; //!< executed requests
+};
+
+struct WorkloadSpec
+{
+    std::string name;
+    std::string daemon = "httpd";
+    double legitRate = 1.0;
+    std::uint64_t legitRequests = 100;
+    double attackRate = 0;
+    std::uint32_t burst = 1;
+    std::uint32_t bound = 0; //!< 0 = guard disarmed
+    bool plantDormant = false;
+    std::string faultSpec;
+};
+
+double
+syntheticSlowdown()
+{
+    const char *env = std::getenv("INDRA_PERF_SYNTHETIC_SLOWDOWN");
+    if (!env || !*env)
+        return 0.0;
+    double f = std::atof(env);
+    return f > 0 ? f : 0.0;
+}
+
+/** Busy-spin for @p seconds without touching the simulation state. */
+void
+spinFor(double seconds)
+{
+    using clock = std::chrono::steady_clock;
+    auto until = clock::now() +
+        std::chrono::duration_cast<clock::duration>(
+            std::chrono::duration<double>(seconds));
+    volatile std::uint64_t sink = 0;
+    while (clock::now() < until)
+        sink = sink + 1;
+    (void)sink;
+}
+
+WorkloadResult
+runWorkload(const WorkloadSpec &spec)
+{
+    SystemConfig cfg;
+    cfg.physMemBytes = 128ULL * 1024 * 1024;
+    cfg.consecutiveFailureThreshold = 4;
+
+    resilience::ResilienceConfig rc;
+    if (spec.bound != 0) {
+        rc.queueBound = spec.bound;
+        rc.fifoHighWater = 48;
+        rc.degradeViolations = 2;
+        rc.quarantineFailStreak = 2;
+        rc.healServedStreak = 3;
+    }
+
+    faults::FaultPlan fplan;
+    if (!spec.faultSpec.empty())
+        fplan = faults::FaultPlan::parse(spec.faultSpec);
+
+    net::DaemonProfile profile = net::daemonByName(spec.daemon);
+    profile.instrPerRequest = 25000;
+
+    resilience::StormPlan plan;
+    plan.seed = 1;
+    plan.legitRequests = spec.legitRequests;
+    plan.legitRatePerMCycle = spec.legitRate;
+    plan.attackRatePerMCycle = spec.attackRate;
+    plan.burstLen = spec.burst;
+    plan.attackKind = net::AttackKind::StackSmash;
+    plan.plantDormant = spec.plantDormant;
+    plan.deadline = 3000000;
+    plan.probePeriod = 50000;
+
+    using clock = std::chrono::steady_clock;
+    auto t0 = clock::now();
+
+    core::IndraSystem sys(cfg, fplan, rc);
+    sys.boot();
+    std::size_t slot = sys.deployService(profile);
+
+    WorkloadResult res;
+    res.name = spec.name;
+    res.rep = sys.runStorm(slot, plan);
+
+    auto t1 = clock::now();
+    res.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    res.ops = res.rep.executed;
+
+    double slow = syntheticSlowdown();
+    if (slow > 0) {
+        spinFor(res.wallSeconds * slow);
+        res.wallSeconds *= (1.0 + slow);
+    }
+    return res;
+}
+
+void
+writeJson(const std::string &path,
+          const std::vector<WorkloadResult> &results)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "bench_perf_kernel: cannot write " << path
+                  << "\n";
+        std::exit(1);
+    }
+    double total = 0;
+    for (const WorkloadResult &r : results)
+        total += r.wallSeconds;
+    os << "{\n  \"schema\": \"indra-perf-kernel-v1\",\n"
+       << "  \"benches\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const WorkloadResult &r = results[i];
+        double ops_per_sec = r.wallSeconds > 0
+            ? static_cast<double>(r.ops) / r.wallSeconds
+            : 0.0;
+        os << "    {\"name\": \"" << r.name << "\", "
+           << "\"wall_seconds\": " << std::setprecision(6)
+           << std::fixed << r.wallSeconds << ", "
+           << "\"ops\": " << r.ops << ", "
+           << "\"ops_per_sec\": " << std::setprecision(3)
+           << ops_per_sec << "}"
+           << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"total_wall_seconds\": " << std::setprecision(6)
+       << total << "\n}\n";
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogVerbosity(0);
+    bool smoke = false;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: bench_perf_kernel [--smoke] "
+                         "[--json PATH]\n";
+            return 0;
+        } else {
+            std::cerr << "unknown argument: " << arg << "\n";
+            return 2;
+        }
+    }
+
+    // The canonical sweep. Sizes are chosen so each workload runs in
+    // seconds on a development host; --smoke shrinks them ~20x for CI
+    // functional coverage (the gate always uses the full sizes).
+    std::vector<WorkloadSpec> specs;
+    {
+        // The headline: a sparse legitimate trickle (long idle gaps
+        // the kernel skips in one jump) under an unguarded 16/Mcycle
+        // burst storm — every attack executes, is detected, and walks
+        // the recovery ladder, so checkpoint verify/capture/restore
+        // dominates the wall clock.
+        WorkloadSpec w;
+        w.name = "recovery_storm";
+        w.legitRate = 0.5;
+        w.legitRequests = smoke ? 10 : 100;
+        w.attackRate = 16.0;
+        w.burst = 8;
+        w.bound = 0;
+        specs.push_back(w);
+    }
+    {
+        WorkloadSpec w;
+        w.name = "overload_storm";
+        w.legitRate = 1.0;
+        w.legitRequests = smoke ? 20 : 900;
+        w.attackRate = 8.0;
+        w.burst = 4;
+        w.bound = 6;
+        specs.push_back(w);
+    }
+    {
+        WorkloadSpec w;
+        w.name = "monitor_stream";
+        w.legitRate = 4.0;
+        w.legitRequests = smoke ? 40 : 1400;
+        w.attackRate = 0.0;
+        w.bound = 0;
+        specs.push_back(w);
+    }
+
+    std::cout << "Perf kernel: canonical hot-path sweep\n\n"
+              << std::left << std::setw(16) << "workload"
+              << std::right << std::setw(10) << "executed"
+              << std::setw(10) << "served"
+              << std::setw(10) << "sheds"
+              << std::setw(14) << "end_mcycle" << "\n";
+
+    std::vector<WorkloadResult> results;
+    for (const WorkloadSpec &spec : specs) {
+        WorkloadResult r = runWorkload(spec);
+        std::cout << std::left << std::setw(16) << r.name
+                  << std::right << std::setw(10) << r.rep.executed
+                  << std::setw(10) << r.rep.legitServed
+                  << std::setw(10) << r.rep.shedTotal()
+                  << std::setw(14) << std::fixed
+                  << std::setprecision(1)
+                  << static_cast<double>(r.rep.endTick) / 1e6
+                  << "\n";
+        results.push_back(std::move(r));
+    }
+
+    if (!json_path.empty())
+        writeJson(json_path, results);
+    return 0;
+}

@@ -14,6 +14,11 @@
 #                  the storm cells, and the per-cell trace logs:
 #                  -L harness, resilience, obs, check.
 #
+# The ci-release leg additionally runs scripts/perf_gate.sh: the
+# canonical bench_perf_kernel sweep, exported as BENCH_perf.json and
+# judged against bench/perf_baseline.json (>15% ops/sec regression on
+# any workload fails the pipeline).
+#
 # After the presets, scripts/fuzz_smoke.sh runs a fixed-seed slice of
 # the oracle fuzzer plus its planted-bug sensitivity check.
 #
@@ -36,6 +41,14 @@ for preset in "${presets[@]}"; do
     cmake --build --preset "$preset" -j "$jobs"
     echo "=== [$preset] test"
     ctest --preset "$preset" -j "$jobs"
+    if [ "$preset" = ci-release ]; then
+        # Perf regression gate: release timing only — sanitizer builds
+        # are order-of-magnitude slower and would only measure the
+        # instrumentation. Emits BENCH_perf.json, fails on a >15%
+        # ops/sec regression against bench/perf_baseline.json.
+        echo "=== [$preset] perf gate"
+        scripts/perf_gate.sh --build build-ci-release
+    fi
 done
 
 scripts/fuzz_smoke.sh

@@ -1,0 +1,152 @@
+#!/usr/bin/env bash
+# The perf-regression gate: run the canonical bench_perf_kernel sweep
+# on a release build, emit BENCH_perf.json (per-bench wall seconds,
+# ops, ops/sec, speedup vs the seed tree), and FAIL if any workload
+# regresses more than 15% against the checked-in baseline
+# (bench/perf_baseline.json).
+#
+# Methodology: the sweep runs RUNS times (default 2) and the gate
+# judges each workload's best ops/sec — wall-clock noise on a busy
+# host only ever slows a run down, so the max is the least-noisy
+# estimate. Absolute ops/sec is host-dependent; after a deliberate
+# perf change or on new CI hardware, refresh with --rebaseline and
+# commit the updated baseline next to the change that explains it.
+#
+# The gate's own sensitivity is testable end to end:
+#   INDRA_PERF_SYNTHETIC_SLOWDOWN=0.3 scripts/perf_gate.sh
+# busy-spins 30% extra per workload inside the bench and must fail.
+#
+# Usage: scripts/perf_gate.sh [--build DIR] [--rebaseline] [--runs N]
+#   --build DIR    build tree holding bench/bench_perf_kernel
+#                  (default: build-ci-release)
+#   --rebaseline   rewrite bench/perf_baseline.json from this run
+#                  (gate still reports, but always passes)
+#   --runs N       timing repetitions (default 2)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build=build-ci-release
+rebaseline=0
+runs=2
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --build) build=$2; shift 2 ;;
+        --rebaseline) rebaseline=1; shift ;;
+        --runs) runs=$2; shift 2 ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+
+bin="$build/bench/bench_perf_kernel"
+if [ ! -x "$bin" ]; then
+    echo "perf_gate: $bin not built (build the release preset first)" >&2
+    exit 2
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "=== [perf-gate] $runs timing run(s) of the canonical sweep"
+for i in $(seq 1 "$runs"); do
+    "$bin" --json "$tmp/run$i.json" > "$tmp/stdout$i.txt"
+done
+
+# Simulation results must not vary across timing runs: the sweep is
+# deterministic, so differing stdout means the build is broken.
+for i in $(seq 2 "$runs"); do
+    cmp "$tmp/stdout1.txt" "$tmp/stdout$i.txt"
+done
+
+REBASELINE=$rebaseline python3 - "$tmp" "$runs" \
+    bench/perf_baseline.json BENCH_perf.json <<'EOF'
+import json, os, sys
+
+tmp, runs, baseline_path, out_path = (
+    sys.argv[1], int(sys.argv[2]), sys.argv[3], sys.argv[4])
+rebaseline = os.environ.get("REBASELINE") == "1"
+TOLERANCE = 0.15
+
+# Best ops/sec (and its wall time) per workload across the runs.
+best = {}
+order = []
+for i in range(1, runs + 1):
+    with open(f"{tmp}/run{i}.json") as f:
+        doc = json.load(f)
+    assert doc["schema"] == "indra-perf-kernel-v1", doc["schema"]
+    for b in doc["benches"]:
+        name = b["name"]
+        if name not in best:
+            order.append(name)
+        if name not in best or b["ops_per_sec"] > best[name]["ops_per_sec"]:
+            best[name] = b
+
+baseline = None
+if os.path.exists(baseline_path):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    assert baseline["schema"] == "indra-perf-baseline-v1"
+
+failed = []
+report = {"schema": "indra-perf-kernel-v1", "tolerance": TOLERANCE,
+          "benches": [], "total_wall_seconds": 0.0}
+for name in order:
+    b = dict(best[name])
+    report["total_wall_seconds"] += b["wall_seconds"]
+    if baseline and name in baseline["benches"]:
+        ref = baseline["benches"][name]
+        base_rate = ref["baseline_ops_per_sec"]
+        b["baseline_ops_per_sec"] = base_rate
+        b["ratio_vs_baseline"] = (
+            b["ops_per_sec"] / base_rate if base_rate else 0.0)
+        if "seed_ops_per_sec" in ref and ref["seed_ops_per_sec"]:
+            b["seed_ops_per_sec"] = ref["seed_ops_per_sec"]
+            b["speedup_vs_seed"] = b["ops_per_sec"] / ref["seed_ops_per_sec"]
+        if b["ops_per_sec"] < base_rate * (1.0 - TOLERANCE):
+            failed.append((name, b["ops_per_sec"], base_rate))
+    report["benches"].append(b)
+
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+
+print(f"{'workload':<16}{'ops/sec':>12}{'vs baseline':>13}"
+      f"{'vs seed':>10}")
+for b in report["benches"]:
+    ratio = b.get("ratio_vs_baseline")
+    speed = b.get("speedup_vs_seed")
+    print(f"{b['name']:<16}{b['ops_per_sec']:>12.2f}"
+          f"{(f'{ratio:.2f}x' if ratio else '-'):>13}"
+          f"{(f'{speed:.2f}x' if speed else '-'):>10}")
+
+if rebaseline:
+    doc = {"schema": "indra-perf-baseline-v1",
+           "note": ("best ops/sec of a perf_gate run; refresh with "
+                    "scripts/perf_gate.sh --rebaseline on the CI host "
+                    "after any deliberate perf change"),
+           "benches": {}}
+    for name in order:
+        entry = {"baseline_ops_per_sec": round(best[name]["ops_per_sec"], 2)}
+        if baseline and name in baseline.get("benches", {}) and \
+                "seed_ops_per_sec" in baseline["benches"][name]:
+            entry["seed_ops_per_sec"] = \
+                baseline["benches"][name]["seed_ops_per_sec"]
+        doc["benches"][name] = entry
+    with open(baseline_path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"rebaselined {baseline_path}")
+    sys.exit(0)
+
+if baseline is None:
+    print("no baseline checked in: reporting only "
+          "(run --rebaseline to create one)")
+    sys.exit(0)
+
+if failed:
+    for name, got, want in failed:
+        print(f"PERF GATE FAILED: {name} at {got:.2f} ops/sec, "
+              f">15% below baseline {want:.2f}")
+    sys.exit(1)
+print("perf gate passed (within 15% of baseline)")
+EOF

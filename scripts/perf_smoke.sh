@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Functional smoke of bench_perf_kernel: run the tiny --smoke sweep,
+# then validate the emitted BENCH_perf.json against the
+# indra-perf-kernel-v1 schema. Timing magnitudes are deliberately not
+# judged here — any build type and any host must pass. The perf
+# verdict lives in scripts/perf_gate.sh, which runs on the release
+# preset only.
+#
+# Usage: scripts/perf_smoke.sh <path-to-bench_perf_kernel>
+
+set -euo pipefail
+
+bin=${1:?usage: perf_smoke.sh <bench_perf_kernel>}
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+"$bin" --smoke --json "$out/BENCH_perf.json" > "$out/stdout.txt"
+
+# The stdout digest must be deterministic: a second run is
+# byte-identical (timing never leaks into stdout).
+"$bin" --smoke --json "$out/BENCH_perf2.json" > "$out/stdout2.txt"
+cmp "$out/stdout.txt" "$out/stdout2.txt"
+
+python3 - "$out/BENCH_perf.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+assert doc.get("schema") == "indra-perf-kernel-v1", doc.get("schema")
+benches = doc["benches"]
+assert isinstance(benches, list) and benches, "no benches"
+names = [b["name"] for b in benches]
+assert names == ["recovery_storm", "overload_storm",
+                 "monitor_stream"], names
+total = 0.0
+for b in benches:
+    assert isinstance(b["ops"], int) and b["ops"] > 0, b
+    assert b["wall_seconds"] >= 0, b
+    assert b["ops_per_sec"] >= 0, b
+    if b["wall_seconds"] > 0:
+        # wall_seconds is serialized to 1e-6 resolution while
+        # ops_per_sec was computed from the unrounded wall, so the
+        # recomputed ratio only matches to ~0.1% for short runs.
+        ratio = b["ops"] / b["wall_seconds"]
+        assert abs(ratio - b["ops_per_sec"]) <= 1e-3 * ratio + 0.01, b
+    total += b["wall_seconds"]
+assert abs(total - doc["total_wall_seconds"]) < 1e-3, \
+    (total, doc["total_wall_seconds"])
+print("perf kernel JSON schema ok:", ", ".join(names))
+EOF
+
+echo "perf smoke passed"

@@ -180,7 +180,9 @@ RefFifo::push(Tick tick, Cycles service_cost)
     }
 
     r.serviceStart = std::max(r.pushDone, lastEnd);
-    r.serviceEnd = r.serviceStart + service_cost;
+    // Same boundary semantics as the real FIFO: the consumer timeline
+    // pins to the maxTick "never" sentinel instead of wrapping.
+    r.serviceEnd = saturatingAdd(r.serviceStart, service_cost);
     lastEnd = r.serviceEnd;
     starts.push_back(r.serviceStart);
     return r;

@@ -85,6 +85,13 @@ class LineBitVector
         return n;
     }
 
+    /**
+     * Raw 64-bit words, bit i of word w covering line w*64+i. Lets
+     * integrity scans skip whole words of clear bits instead of
+     * testing every line of every page.
+     */
+    const std::vector<std::uint64_t> &rawWords() const { return words; }
+
   private:
     std::uint32_t bits;
     std::vector<std::uint64_t> words;

@@ -1,5 +1,7 @@
 #include "checkpoint/delta_backup.hh"
 
+#include <bit>
+
 #include "sim/logging.hh"
 
 namespace indra::ckpt
@@ -77,7 +79,8 @@ void
 DeltaBackup::sealBackupLine(BackupPageRecord &rec, std::uint32_t line)
 {
     std::uint32_t off = line * config.backupLineBytes;
-    rec.lineSums[line] = lineChecksum(rec.backupPfn, off);
+    std::uint32_t sum = lineChecksum(rec.backupPfn, off);
+    rec.lineSums[line] = sum;
     if (injector && injector->fire(faults::FaultKind::DeltaFlip)) {
         std::uint32_t bit = injector->pick(faults::FaultKind::DeltaFlip,
                                            config.backupLineBytes * 8);
@@ -85,36 +88,49 @@ DeltaBackup::sealBackupLine(BackupPageRecord &rec, std::uint32_t line)
         phys.read(rec.backupPfn, off + bit / 8, &byte, 1);
         byte ^= static_cast<std::uint8_t>(1u << (bit % 8));
         phys.write(rec.backupPfn, off + bit / 8, &byte, 1);
+        // The flip changed the backup bytes after the seal; recompute
+        // the live sum from the damaged content so the cached compare
+        // reports exactly what a full re-hash would.
+        sum = lineChecksum(rec.backupPfn, off);
     }
+    rec.liveSums[line] = sum;
 }
 
 bool
 DeltaBackup::lineIntact(const BackupPageRecord &rec,
                         std::uint32_t line) const
 {
-    std::uint32_t off = line * config.backupLineBytes;
-    return lineChecksum(rec.backupPfn, off) == rec.lineSums[line];
+    // sealBackupLine maintains liveSums on every backup write, so the
+    // intactness test is a pure integer compare. FNV-1a's byte steps
+    // are bijective in the running hash, so any injected single-bit
+    // flip is guaranteed (not just probabilistically likely) to make
+    // the two sums differ — detection outcomes are identical to
+    // re-hashing the line on every check.
+    return rec.liveSums[line] == rec.lineSums[line];
 }
 
 BackupPageRecord &
 DeltaBackup::recordFor(Vpn vpn, Tick tick, Cycles &cost)
 {
     (void)tick;
-    auto it = records.find(vpn);
-    if (it == records.end()) {
+    BackupPageRecord *found = findRecord(vpn);
+    if (!found) {
         BackupPageRecord rec;
         rec.dirtyBv = LineBitVector(linesPerPage());
         rec.rollbackBv = LineBitVector(linesPerPage());
         rec.lineSums.assign(linesPerPage(), 0);
+        rec.liveSums.assign(linesPerPage(), 0);
         rec.lts = 0;
-        it = records.emplace(vpn, std::move(rec)).first;
+        found = &records.emplace(vpn, std::move(rec)).first->second;
+        lastVpn = vpn;
+        lastRec = found;
         ++statRecordsAllocated;
     }
     // The record rides in the extended TLB entry (Figure 3); a D-TLB
     // miss pays an extra fetch from the backup page table.
     if (!memsys.dTlb().contains(context.pid(), vpn))
         cost += config.backupRecordFetchCycles;
-    return it->second;
+    return *found;
 }
 
 Cycles
@@ -208,13 +224,13 @@ DeltaBackup::onLoad(Tick tick, Pid pid, Addr vaddr, std::uint32_t bytes)
     if (pid != context.pid())
         return 0;
     Vpn vpn = vaddr / config.pageBytes;
-    auto it = records.find(vpn);
-    if (it == records.end() || !it->second.rollbackVld)
+    BackupPageRecord *found = findRecord(vpn);
+    if (!found || !found->rollbackVld)
         return 0;
     if (!space.isMapped(vpn))
         return 0;
 
-    BackupPageRecord &rec = it->second;
+    BackupPageRecord &rec = *found;
     const os::PageInfo &page = space.pageInfo(vpn);
     Cycles cost = 0;
     if (!memsys.dTlb().contains(context.pid(), vpn))
@@ -318,15 +334,28 @@ DeltaBackup::verifyIntegrity(Tick tick)
     for (auto &[vpn, rec] : records) {
         if (rec.backupPfn == invalidPfn)
             continue;
-        for (std::uint32_t line = 0; line < linesPerPage(); ++line) {
-            // A micro recovery consumes lines already pending rollback
-            // plus this epoch's dirty lines (armed by onFailure).
-            bool pending = rec.rollbackVld && rec.rollbackBv.test(line);
-            bool armed = rec.lts == gts && rec.dirtyBv.test(line);
-            if (!pending && !armed)
-                continue;
-            if (!lineIntact(rec, line))
-                ++bad;
+        // A micro recovery consumes lines already pending rollback
+        // plus this epoch's dirty lines (armed by onFailure). Build
+        // that set a 64-line word at a time and skip clear words, so
+        // quiescent records cost two flag tests instead of a
+        // lines-per-page loop.
+        bool use_pending = rec.rollbackVld;
+        bool use_armed = rec.lts == gts;
+        if (!use_pending && !use_armed)
+            continue;
+        const auto &rb = rec.rollbackBv.rawWords();
+        const auto &db = rec.dirtyBv.rawWords();
+        for (std::size_t w = 0; w < rb.size(); ++w) {
+            std::uint64_t mask = (use_pending ? rb[w] : 0) |
+                                 (use_armed ? db[w] : 0);
+            while (mask) {
+                auto line = static_cast<std::uint32_t>(
+                    w * 64 +
+                    static_cast<unsigned>(std::countr_zero(mask)));
+                mask &= mask - 1;
+                if (!lineIntact(rec, line))
+                    ++bad;
+            }
         }
     }
     if (bad) {

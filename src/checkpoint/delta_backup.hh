@@ -41,6 +41,14 @@ struct BackupPageRecord
      * or rollback bit set before their backup copy is trusted.
      */
     std::vector<std::uint32_t> lineSums;
+    /**
+     * FNV checksum of the backup line's *current* bytes, updated on
+     * every write to the backup copy (the seal itself and any injected
+     * flip). Backup frames are written only through sealBackupLine, so
+     * this cache is exact and integrity checks reduce to comparing it
+     * against lineSums — no memory is re-read or re-hashed.
+     */
+    std::vector<std::uint32_t> liveSums;
 };
 
 /**
@@ -123,8 +131,24 @@ class DeltaBackup : public CheckpointPolicy
     }
 
   private:
-    /** First-store handling when the record's epoch is stale. */
-    void refreshEpoch(BackupPageRecord &rec);
+    /**
+     * records.find with a one-entry memo: stores and loads cluster on
+     * the same page, so most lookups repeat the previous vpn. Node
+     * pointers of std::unordered_map are stable across inserts and
+     * records are never erased, so the memo cannot dangle.
+     */
+    BackupPageRecord *
+    findRecord(Vpn vpn)
+    {
+        if (lastRec && lastVpn == vpn)
+            return lastRec;
+        auto it = records.find(vpn);
+        if (it == records.end())
+            return nullptr;
+        lastVpn = vpn;
+        lastRec = &it->second;
+        return lastRec;
+    }
 
     /** Get-or-create the record for @p vpn. */
     BackupPageRecord &recordFor(Vpn vpn, Tick tick, Cycles &cost);
@@ -143,6 +167,8 @@ class DeltaBackup : public CheckpointPolicy
                     std::uint32_t line) const;
 
     std::unordered_map<Vpn, BackupPageRecord> records;
+    Vpn lastVpn = ~static_cast<Vpn>(0);
+    BackupPageRecord *lastRec = nullptr;
     mutable std::vector<std::uint8_t> lineBuf;
     /** vpns whose record's LTS equals the current GTS. */
     std::unordered_set<Vpn> touchedThisEpoch;

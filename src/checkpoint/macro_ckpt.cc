@@ -33,12 +33,21 @@ MacroCheckpoint::capture(Tick tick, os::ProcessContext &ctx,
 {
     image.clear();
     imageSums.clear();
+    imageLiveSums.clear();
     Cycles cost = 0;
     for (Vpn vpn : space.mappedPages()) {
         const os::PageInfo &info = space.pageInfo(vpn);
-        image[vpn] = phys.snapshotFrame(info.pfn);
-        imageSums[vpn] = faults::checksum32(image[vpn].data(),
-                                            image[vpn].size());
+        auto &bytes = image[vpn];
+        bytes = phys.snapshotFrame(info.pfn);
+        std::uint64_t ver = phys.frameVersion(info.pfn);
+        PageSeal &seal = sealCache[vpn];
+        if (seal.pfn != info.pfn || seal.version != ver) {
+            seal.pfn = info.pfn;
+            seal.version = ver;
+            seal.sum = faults::checksum32(bytes.data(), bytes.size());
+        }
+        imageSums[vpn] = seal.sum;
+        imageLiveSums[vpn] = seal.sum;
         // Software copy of a full page through the memory system.
         for (std::uint32_t off = 0; off < config.pageBytes;
              off += config.backupLineBytes) {
@@ -74,6 +83,12 @@ MacroCheckpoint::capture(Tick tick, os::ProcessContext &ctx,
                 faults::FaultKind::MacroCorrupt,
                 static_cast<std::uint32_t>(bytes.size() * 8));
             bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+            // The image page changed after sealing: refresh its live
+            // sum so the cached verify sees exactly the damage a full
+            // re-hash would (FNV-1a maps a one-bit difference to a
+            // different sum unconditionally).
+            imageLiveSums[victim] =
+                faults::checksum32(bytes.data(), bytes.size());
         }
         if (injector->fire(faults::FaultKind::MacroTruncate)) {
             Vpn victim = vpns[injector->pick(
@@ -81,6 +96,7 @@ MacroCheckpoint::capture(Tick tick, os::ProcessContext &ctx,
                 static_cast<std::uint32_t>(vpns.size()))];
             image.erase(victim);
             imageSums.erase(victim);
+            imageLiveSums.erase(victim);
         }
     }
     return cost;
@@ -94,8 +110,9 @@ MacroCheckpoint::verifyImage(Tick tick)
         ++bad;
     for (const auto &[vpn, bytes] : image) {
         auto it = imageSums.find(vpn);
-        if (it == imageSums.end() ||
-            faults::checksum32(bytes.data(), bytes.size()) != it->second)
+        auto live = imageLiveSums.find(vpn);
+        if (it == imageSums.end() || live == imageLiveSums.end() ||
+            live->second != it->second)
             ++bad;
     }
     if (bad) {
@@ -132,6 +149,13 @@ MacroCheckpoint::restore(Tick tick, os::ProcessContext &ctx,
         const os::PageInfo &info = space.pageInfo(vpn);
         phys.write(info.pfn, 0, bytes.data(),
                    static_cast<std::uint32_t>(bytes.size()));
+        // The frame now holds exactly the sealed image bytes (the
+        // image verified, so its live sum equals the seal), which
+        // means the page's checksum at its new write version is
+        // already known: refresh the memo so the next capture does
+        // not re-hash pages only a rollback touched.
+        sealCache[vpn] = {info.pfn, phys.frameVersion(info.pfn),
+                          imageSums.at(vpn)};
         for (std::uint32_t off = 0; off < config.pageBytes;
              off += config.backupLineBytes) {
             cost += memsys.lineTransfer(
@@ -154,6 +178,7 @@ MacroCheckpoint::discard()
     captured = false;
     image.clear();
     imageSums.clear();
+    imageLiveSums.clear();
     expectedPages = 0;
 }
 

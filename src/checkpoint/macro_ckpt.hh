@@ -82,6 +82,19 @@ class MacroCheckpoint
     void setFaultInjector(faults::FaultInjector *inj) { injector = inj; }
 
     /**
+     * Record that frame @p pfn (mapped at @p vpn) was just rewritten
+     * with bytes whose checksum @p sum the caller already knows —
+     * e.g. a rejuvenation writing the load-time image back. The next
+     * capture of an untouched page then reuses @p sum instead of
+     * re-hashing the frame.
+     */
+    void
+    resealPage(Vpn vpn, Pfn pfn, std::uint32_t sum)
+    {
+        sealCache[vpn] = {pfn, phys.frameVersion(pfn), sum};
+    }
+
+    /**
      * Attach a structured event log (nullable); @p source identifies
      * the checkpointed service's core. Captures, restore attempts
      * (successful or refused), and image-verification failures are
@@ -118,6 +131,29 @@ class MacroCheckpoint
     bool captured = false;
     std::unordered_map<Vpn, std::vector<std::uint8_t>> image;
     std::unordered_map<Vpn, std::uint32_t> imageSums;
+    /**
+     * FNV checksum of each image page's *current* bytes. Image pages
+     * are only written at capture time (snapshot, then any injected
+     * corruption, which refreshes this cache), so verifyImage can
+     * compare these against the sealed imageSums without re-hashing
+     * megabytes of page data on every restore attempt.
+     */
+    std::unordered_map<Vpn, std::uint32_t> imageLiveSums;
+    /** Memoized seal of one page: frame identity plus its checksum. */
+    struct PageSeal
+    {
+        Pfn pfn = invalidPfn;
+        std::uint64_t version = 0;  //!< PhysicalMemory::frameVersion
+        std::uint32_t sum = 0;
+    };
+    /**
+     * Checksum memo, keyed by vpn and validated against the page's
+     * current (pfn, frame version) pair. A page untouched since the
+     * previous capture re-uses its sealed checksum instead of
+     * re-hashing the whole frame; any write (or frame reuse) bumps the
+     * version and forces a fresh hash, so the memo is exact.
+     */
+    std::unordered_map<Vpn, PageSeal> sealCache;
     std::uint64_t expectedPages = 0;
     os::ProcessContext::Snapshot contextSnap;
     os::ResourceSnapshot resourceSnap;

@@ -57,20 +57,6 @@ CheckpointPolicy::recoveryCycles() const
     return static_cast<std::uint64_t>(statRecoveryCycles.value());
 }
 
-void
-CheckpointPolicy::copyLine(Pfn dst_pfn, std::uint32_t dst_off,
-                           Pfn src_pfn, std::uint32_t src_off)
-{
-    phys.copy(dst_pfn, dst_off, src_pfn, src_off, config.backupLineBytes);
-}
-
-Cycles
-CheckpointPolicy::chargeLineTransfer(Tick tick, Addr cache_addr,
-                                     bool is_write)
-{
-    return memsys.lineTransfer(tick, cache_addr, is_write);
-}
-
 Cycles
 CheckpointPolicy::chargePageCopy(Tick tick, Pfn src_pfn, Pfn dst_pfn)
 {
@@ -88,12 +74,6 @@ CheckpointPolicy::chargePageCopy(Tick tick, Pfn src_pfn, Pfn dst_pfn)
             tick + total, memsys.backupAddr(dst_pfn, off));
     }
     return total;
-}
-
-std::uint32_t
-CheckpointPolicy::linesPerPage() const
-{
-    return config.pageBytes / config.backupLineBytes;
 }
 
 NullPolicy::NullPolicy(const SystemConfig &cfg,

@@ -133,18 +133,35 @@ class CheckpointPolicy : public cpu::CheckpointHooks
     std::uint64_t recoveryCycles() const;
 
   protected:
+    // The three per-line helpers are inline: every engine calls them
+    // for every backed-up or restored line, hundreds of millions of
+    // times per storm.
+
     /** Copy one backup-granularity line between frames (functional). */
-    void copyLine(Pfn dst_pfn, std::uint32_t dst_off, Pfn src_pfn,
-                  std::uint32_t src_off);
+    void
+    copyLine(Pfn dst_pfn, std::uint32_t dst_off, Pfn src_pfn,
+             std::uint32_t src_off)
+    {
+        phys.copy(dst_pfn, dst_off, src_pfn, src_off,
+                  config.backupLineBytes);
+    }
 
     /** Timing: move one line through the L2/bus/DRAM path. */
-    Cycles chargeLineTransfer(Tick tick, Addr cache_addr, bool is_write);
+    Cycles
+    chargeLineTransfer(Tick tick, Addr cache_addr, bool is_write)
+    {
+        return memsys.lineTransfer(tick, cache_addr, is_write);
+    }
 
     /** Timing: copy a whole page (read + write every line). */
     Cycles chargePageCopy(Tick tick, Pfn src_pfn, Pfn dst_pfn);
 
     /** Lines per page at backup granularity. */
-    std::uint32_t linesPerPage() const;
+    std::uint32_t
+    linesPerPage() const
+    {
+        return config.pageBytes / config.backupLineBytes;
+    }
 
     const SystemConfig &config;
     os::ProcessContext &context;

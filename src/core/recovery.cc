@@ -46,8 +46,10 @@ RecoveryManager::RecoveryManager(const SystemConfig &cfg,
     initialContext = proc.context->snapshot();
     initialResources = proc.resources->snapshot();
     for (Vpn vpn : proc.space->mappedPages()) {
-        initialImage[vpn] =
-            phys.snapshotFrame(proc.space->pageInfo(vpn).pfn);
+        auto &bytes = initialImage[vpn];
+        bytes = phys.snapshotFrame(proc.space->pageInfo(vpn).pfn);
+        initialSums[vpn] =
+            faults::checksum32(bytes.data(), bytes.size());
     }
 }
 
@@ -197,8 +199,13 @@ RecoveryManager::rejuvenate(Tick tick)
     for (const auto &[vpn, bytes] : initialImage) {
         if (!proc.space->isMapped(vpn))
             continue;
-        phys.write(proc.space->pageInfo(vpn).pfn, 0, bytes.data(),
+        Pfn pfn = proc.space->pageInfo(vpn).pfn;
+        phys.write(pfn, 0, bytes.data(),
                    static_cast<std::uint32_t>(bytes.size()));
+        // The frame now holds the load-time bytes whose checksum was
+        // computed at construction: reseal so the checkpoint taken
+        // right below skips re-hashing every page.
+        macro.resealPage(vpn, pfn, initialSums.at(vpn));
     }
     proc.context->restore(initialContext);
 

@@ -150,6 +150,12 @@ class RecoveryManager
     os::ProcessContext::Snapshot initialContext;
     os::ResourceSnapshot initialResources;
     std::unordered_map<Vpn, std::vector<std::uint8_t>> initialImage;
+    /**
+     * Checksum of each load-time page, computed once at construction.
+     * Rejuvenation writes these exact bytes back, so it can re-seal
+     * the macro engine's page-checksum memo without re-hashing.
+     */
+    std::unordered_map<Vpn, std::uint32_t> initialSums;
 
     stats::StatGroup statGroup;
     stats::Scalar statMicroRecoveries;

@@ -10,8 +10,20 @@
  * the health machine admits only probes. Events are ordered by
  * (tick, creation order), both derived from the plan seed alone, so
  * a fixed-seed storm is bit-identical on any sweep --jobs count.
+ *
+ * The kernel is event-skipping: time advances by jumping straight to
+ * the next scheduled arrival (stallUntil), never by iterating idle
+ * ticks. The schedule itself is split by lifetime: every arrival
+ * known up front (legitimate clients and attack bursts, all derived
+ * from the plan seed before the loop starts) lives in one sorted
+ * flat arena consumed by a cursor, while the few events created
+ * mid-loop (retries, probes) go through a small binary heap. Popping
+ * the minimum of the two sources by (tick, order) yields exactly the
+ * sequence a single priority queue over all events would produce,
+ * without heap-percolating millions of statically known arrivals.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <deque>
 #include <queue>
@@ -38,19 +50,80 @@ struct Arrival
     bool probe = false;
 };
 
+/** Strict weak order: a is scheduled strictly before b. */
+inline bool
+arrivalBefore(const Arrival &a, const Arrival &b)
+{
+    if (a.tick != b.tick)
+        return a.tick < b.tick;
+    return a.order < b.order;
+}
+
 struct ArrivalAfter
 {
     bool
     operator()(const Arrival &a, const Arrival &b) const
     {
-        if (a.tick != b.tick)
-            return a.tick > b.tick;
-        return a.order > b.order;
+        return arrivalBefore(b, a);
     }
 };
 
-using ArrivalQueue =
-    std::priority_queue<Arrival, std::vector<Arrival>, ArrivalAfter>;
+/**
+ * The two-source event schedule: a sorted arena of statically known
+ * arrivals behind a cursor, and a heap for events created while the
+ * loop runs. Orders are unique, so min-merging the sources is
+ * deterministic and identical to one big priority queue.
+ */
+class ArrivalSchedule
+{
+  public:
+    /** Sort the arena once all static arrivals have been appended. */
+    void
+    seal()
+    {
+        std::sort(arena.begin(), arena.end(), arrivalBefore);
+    }
+
+    void pushStatic(Arrival &&a) { arena.push_back(std::move(a)); }
+    void pushDynamic(Arrival &&a) { dynamic.push(std::move(a)); }
+
+    bool
+    empty() const
+    {
+        return cursor == arena.size() && dynamic.empty();
+    }
+
+    /** The next event by (tick, order); valid only when !empty(). */
+    const Arrival &
+    top() const
+    {
+        if (cursor == arena.size())
+            return dynamic.top();
+        if (dynamic.empty() ||
+            arrivalBefore(arena[cursor], dynamic.top()))
+            return arena[cursor];
+        return dynamic.top();
+    }
+
+    Arrival
+    pop()
+    {
+        if (cursor != arena.size() &&
+            (dynamic.empty() ||
+             arrivalBefore(arena[cursor], dynamic.top()))) {
+            return std::move(arena[cursor++]);
+        }
+        Arrival a = dynamic.top();
+        dynamic.pop();
+        return a;
+    }
+
+  private:
+    std::vector<Arrival> arena;
+    std::size_t cursor = 0;
+    std::priority_queue<Arrival, std::vector<Arrival>, ArrivalAfter>
+        dynamic;
+};
 
 /** Exponential interarrival gap (>= 1 cycle) for @p rate_per_mcycle. */
 Cycles
@@ -74,7 +147,7 @@ IndraSystem::runStorm(std::size_t slot_idx,
     resilience::ServiceGuard *guard = s.guard.get();
 
     resilience::StormReport rep;
-    ArrivalQueue events;
+    ArrivalSchedule events;
     std::uint64_t order = 0;
 
     // ---------------------------------------------- arrival timelines
@@ -84,7 +157,7 @@ IndraSystem::runStorm(std::size_t slot_idx,
 
     Tick t = 0;
     for (std::uint64_t i = 0; i < plan.legitRequests; ++i) {
-        t += expGap(legitRng, plan.legitRatePerMCycle);
+        t = saturatingAdd(t, expGap(legitRng, plan.legitRatePerMCycle));
         Arrival a;
         a.tick = t;
         a.order = order++;
@@ -92,7 +165,7 @@ IndraSystem::runStorm(std::size_t slot_idx,
         a.req.clientClass = net::ClientClass::Standard;
         a.req.admissionDeadline = plan.deadline;
         a.legit = true;
-        events.push(a);
+        events.pushStatic(std::move(a));
     }
     rep.legitArrivals = plan.legitRequests;
     Tick horizon = t; // the storm rages while legit load is offered
@@ -104,19 +177,19 @@ IndraSystem::runStorm(std::size_t slot_idx,
         Tick bt = 0;
         bool first_burst = true;
         while (true) {
-            bt += expGap(attackRng, burst_rate);
+            bt = saturatingAdd(bt, expGap(attackRng, burst_rate));
             if (bt > horizon)
                 break;
             for (std::uint32_t k = 0; k < burst_len; ++k) {
                 Arrival a;
-                a.tick = bt + k * plan.burstSpacing;
+                a.tick = saturatingAdd(bt, k * plan.burstSpacing);
                 a.order = order++;
                 a.req.attack =
                     (first_burst && plan.plantDormant && k == 0)
                         ? net::AttackKind::Dormant
                         : plan.attackKind;
                 a.req.clientClass = net::ClientClass::Bulk;
-                events.push(a);
+                events.pushStatic(std::move(a));
                 ++rep.attackArrivals;
             }
             first_burst = false;
@@ -127,9 +200,13 @@ IndraSystem::runStorm(std::size_t slot_idx,
         a.order = order++;
         a.req.attack = net::AttackKind::Dormant;
         a.req.clientClass = net::ClientClass::Bulk;
-        events.push(a);
+        events.pushStatic(std::move(a));
         ++rep.attackArrivals;
     }
+
+    // Every statically known arrival is in: one sort replaces millions
+    // of heap percolations, and consumption is a cursor walk.
+    events.seal();
 
     // ------------------------------------------------ the event loop
     std::deque<Arrival> queue; // admitted, not yet started
@@ -150,12 +227,12 @@ IndraSystem::runStorm(std::size_t slot_idx,
         probe_pending = true;
         --probes_left;
         Arrival a;
-        a.tick = now + plan.probePeriod;
+        a.tick = saturatingAdd(now, plan.probePeriod);
         a.order = order++;
         a.req.attack = net::AttackKind::None;
         a.req.clientClass = net::ClientClass::Probe;
         a.probe = true;
-        events.push(a);
+        events.pushDynamic(std::move(a));
         ++rep.probes;
     };
 
@@ -172,10 +249,10 @@ IndraSystem::runStorm(std::size_t slot_idx,
         if (retry.mayRetry(a.attempt)) {
             ++rep.retries;
             Arrival r = a;
-            r.tick = now + retry.delay(a.attempt);
+            r.tick = saturatingAdd(now, retry.delay(a.attempt));
             r.order = order++;
             ++r.attempt;
-            events.push(r);
+            events.pushDynamic(std::move(r));
         } else {
             ++rep.legitGaveUp;
         }
@@ -192,8 +269,7 @@ IndraSystem::runStorm(std::size_t slot_idx,
                 : std::max(core_free, queue.front().tick);
             if (events.top().tick > next_start)
                 break;
-            Arrival a = events.top();
-            events.pop();
+            Arrival a = events.pop();
             if (guard) {
                 std::uint32_t occ = s.monitor
                     ? s.monitor->fifoOccupancyAt(a.tick)
@@ -205,19 +281,19 @@ IndraSystem::runStorm(std::size_t slot_idx,
                     continue;
                 }
             }
-            queue.push_back(a);
+            queue.push_back(std::move(a));
         }
         if (queue.empty())
             break; // events drained entirely into sheds
 
-        Arrival q = queue.front();
+        Arrival q = std::move(queue.front());
         queue.pop_front();
 
         // Deadline shedding happens when service would begin, not at
         // enqueue: the client has hung up by the time we get to it.
         Tick start = std::max(s.core->curTick(), q.tick);
         if (q.req.admissionDeadline != 0 &&
-            start > q.tick + q.req.admissionDeadline) {
+            start > saturatingAdd(q.tick, q.req.admissionDeadline)) {
             if (guard)
                 guard->shedDeadline(start, q.req.clientClass);
             recordShed(q, net::ShedReason::Deadline, start);

@@ -33,15 +33,6 @@ Core::Core(const SystemConfig &cfg, CoreId core_id, Privilege privilege,
 }
 
 void
-Core::consumeSlot()
-{
-    if (++slotsUsed >= config.commitWidth) {
-        slotsUsed = 0;
-        ++tick;
-    }
-}
-
-void
 Core::stall(Cycles cycles)
 {
     if (cycles == 0)
@@ -151,7 +142,7 @@ Core::doFetch(Pid pid, const Instruction &inst)
 }
 
 ExecResult
-Core::execute(Pid pid, const Instruction &inst)
+Core::executeSlow(Pid pid, const Instruction &inst)
 {
     ExecResult result;
 

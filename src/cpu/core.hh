@@ -72,7 +72,21 @@ class Core
     void setSyscallHandler(SyscallHandler *handler) { osHandler = handler; }
 
     /** Execute one instruction of process @p pid. */
-    ExecResult execute(Pid pid, const Instruction &inst);
+    ExecResult
+    execute(Pid pid, const Instruction &inst)
+    {
+        // Fast path: a simple op whose fetch line is already warm
+        // retires with no memory access, trace record, or hook call —
+        // only the retire accounting below has any effect, so the
+        // general path is bypassed for the bulk of the stream.
+        if ((inst.op == Op::Alu || inst.op == Op::Jump) &&
+            alignDown(inst.pc, config.l1i.lineBytes) == lastFetchLine) {
+            ++statInstructions;
+            consumeSlot();
+            return ExecResult{};
+        }
+        return executeSlow(pid, inst);
+    }
 
     /** Current simulated time on this core. */
     Tick curTick() const { return tick; }
@@ -111,7 +125,17 @@ class Core
 
   private:
     /** Account one issue slot; rolls the cycle over at full width. */
-    void consumeSlot();
+    void
+    consumeSlot()
+    {
+        if (++slotsUsed >= config.commitWidth) {
+            slotsUsed = 0;
+            ++tick;
+        }
+    }
+
+    /** The general execute path (misses, memory ops, records). */
+    ExecResult executeSlow(Pid pid, const Instruction &inst);
 
     /** Instruction-fetch path; returns any fault. */
     mem::MemFault doFetch(Pid pid, const Instruction &inst);

@@ -1,7 +1,5 @@
 #include "mem/bus.hh"
 
-#include <algorithm>
-
 #include "sim/logging.hh"
 
 namespace indra::mem
@@ -17,25 +15,6 @@ MemoryBus::MemoryBus(std::uint32_t bus_ratio, std::uint32_t width_bytes,
                      "core cycles spent waiting for the bus")
 {
     panic_if(ratio == 0 || width == 0, "bad bus parameters");
-}
-
-BusResult
-MemoryBus::transfer(Tick tick, std::uint32_t bytes)
-{
-    ++statTransfers;
-    statBytes += static_cast<double>(bytes);
-
-    std::uint32_t beats = (bytes + width - 1) / width;
-    if (beats == 0)
-        beats = 1;
-
-    BusResult result;
-    result.startTick = std::max(tick, busyUntil);
-    statWaitCycles += static_cast<double>(result.startTick - tick);
-    result.doneTick = result.startTick +
-        static_cast<Cycles>(beats) * ratio;
-    busyUntil = result.doneTick;
-    return result;
 }
 
 } // namespace indra::mem

@@ -8,6 +8,7 @@ namespace indra::mem
 Cache::Cache(const CacheConfig &cfg, stats::StatGroup &parent)
     : config(cfg), numSets(cfg.numSets()), ways(cfg.associativity),
       lineShift(floorLog2(cfg.lineBytes)),
+      setShift(floorLog2(cfg.numSets())),
       lines(numSets * ways),
       statGroup(parent, cfg.name),
       statAccesses(statGroup, "accesses", "total accesses"),
@@ -20,69 +21,6 @@ Cache::Cache(const CacheConfig &cfg, stats::StatGroup &parent)
                    })
 {
     panic_if(!isPowerOf2(numSets), "cache set count must be a power of 2");
-}
-
-std::uint64_t
-Cache::setIndex(Addr addr) const
-{
-    return (addr >> lineShift) & (numSets - 1);
-}
-
-Addr
-Cache::tagOf(Addr addr) const
-{
-    return addr >> lineShift >> floorLog2(numSets);
-}
-
-Addr
-Cache::lineAddr(Addr tag, std::uint64_t set) const
-{
-    return ((tag << floorLog2(numSets)) | set) << lineShift;
-}
-
-CacheResult
-Cache::access(Addr addr, bool is_write)
-{
-    ++statAccesses;
-    CacheResult result;
-    std::uint64_t set = setIndex(addr);
-    Addr tag = tagOf(addr);
-    Line *base = &lines[set * ways];
-
-    for (std::uint32_t w = 0; w < ways; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.tag == tag) {
-            line.lastUse = ++useClock;
-            if (is_write && config.writeBack)
-                line.dirty = true;
-            result.hit = true;
-            return result;
-        }
-    }
-
-    // Miss: pick an invalid way if one exists, otherwise the LRU way.
-    ++statMisses;
-    Line *victim = nullptr;
-    for (std::uint32_t w = 0; w < ways; ++w) {
-        Line &line = base[w];
-        if (!line.valid) {
-            victim = &line;
-            break;
-        }
-        if (!victim || line.lastUse < victim->lastUse)
-            victim = &line;
-    }
-    if (victim->valid && victim->dirty) {
-        result.writeback = true;
-        result.victimAddr = lineAddr(victim->tag, set);
-        ++statWritebacks;
-    }
-    victim->valid = true;
-    victim->tag = tag;
-    victim->dirty = is_write && config.writeBack;
-    victim->lastUse = ++useClock;
-    result.filled = true;
-    return result;
 }
 
 bool

@@ -49,7 +49,50 @@ class Cache
      * @param is_write marks the line dirty on hit/fill (write-back)
      * @return hit/miss plus any dirty victim information
      */
-    CacheResult access(Addr addr, bool is_write);
+    CacheResult
+    access(Addr addr, bool is_write)
+    {
+        ++statAccesses;
+        CacheResult result;
+        std::uint64_t set = setIndex(addr);
+        Addr tag = tagOf(addr);
+        Line *base = &lines[set * ways];
+
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            Line &line = base[w];
+            if (line.valid && line.tag == tag) {
+                line.lastUse = ++useClock;
+                if (is_write && config.writeBack)
+                    line.dirty = true;
+                result.hit = true;
+                return result;
+            }
+        }
+
+        // Miss: pick an invalid way if one exists, otherwise the LRU way.
+        ++statMisses;
+        Line *victim = nullptr;
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            Line &line = base[w];
+            if (!line.valid) {
+                victim = &line;
+                break;
+            }
+            if (!victim || line.lastUse < victim->lastUse)
+                victim = &line;
+        }
+        if (victim->valid && victim->dirty) {
+            result.writeback = true;
+            result.victimAddr = lineAddr(victim->tag, set);
+            ++statWritebacks;
+        }
+        victim->valid = true;
+        victim->tag = tag;
+        victim->dirty = is_write && config.writeBack;
+        victim->lastUse = ++useClock;
+        result.filled = true;
+        return result;
+    }
 
     /**
      * Probe without side effects.
@@ -83,14 +126,25 @@ class Cache
         std::uint64_t lastUse = 0;
     };
 
-    std::uint64_t setIndex(Addr addr) const;
-    Addr tagOf(Addr addr) const;
-    Addr lineAddr(Addr tag, std::uint64_t set) const;
+    std::uint64_t
+    setIndex(Addr addr) const
+    {
+        return (addr >> lineShift) & (numSets - 1);
+    }
+
+    Addr tagOf(Addr addr) const { return addr >> lineShift >> setShift; }
+
+    Addr
+    lineAddr(Addr tag, std::uint64_t set) const
+    {
+        return ((tag << setShift) | set) << lineShift;
+    }
 
     CacheConfig config;
     std::uint64_t numSets;
     std::uint32_t ways;
     unsigned lineShift;
+    unsigned setShift;  //!< floorLog2(numSets), fixed at construction
     std::vector<Line> lines;  //!< numSets * ways, set-major
     std::uint64_t useClock = 0;
 

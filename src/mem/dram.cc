@@ -1,7 +1,5 @@
 #include "mem/dram.hh"
 
-#include <algorithm>
-
 #include "sim/logging.hh"
 
 namespace indra::mem
@@ -22,44 +20,6 @@ DramModel::DramModel(const DramConfig &cfg, std::uint32_t bus_ratio,
 {
     panic_if(ratio == 0, "bus ratio must be nonzero");
     panic_if(busWidth == 0, "bus width must be nonzero");
-}
-
-DramResult
-DramModel::access(Tick tick, Addr addr, std::uint32_t bytes)
-{
-    ++statAccesses;
-    std::uint64_t row = addr / config.rowBytes;
-    Bank &bank = banks[row & (config.numBanks - 1)];
-
-    // Command latency in bus clocks depends on the row-buffer state.
-    std::uint32_t cmd_bus_clocks;
-    if (bank.rowOpen && bank.openRow == row) {
-        cmd_bus_clocks = config.casLatency;
-        ++statRowHits;
-    } else if (!bank.rowOpen) {
-        cmd_bus_clocks = config.rasToCasLatency + config.casLatency;
-        ++statRowMisses;
-    } else {
-        cmd_bus_clocks = config.prechargeLatency +
-            config.rasToCasLatency + config.casLatency;
-        ++statRowConflicts;
-    }
-    bank.rowOpen = true;
-    bank.openRow = row;
-
-    std::uint32_t beats = (bytes + busWidth - 1) / busWidth;
-    if (beats == 0)
-        beats = 1;
-    Cycles service =
-        static_cast<Cycles>(cmd_bus_clocks + beats) * ratio;
-
-    DramResult result;
-    result.startTick = std::max(tick, bank.busyUntil);
-    result.doneTick = result.startTick + service;
-    result.latency = result.doneTick - tick;
-    bank.busyUntil = result.doneTick;
-    statLatency.sample(static_cast<double>(result.latency));
-    return result;
 }
 
 std::uint64_t

@@ -13,6 +13,7 @@
 #ifndef INDRA_MEM_DRAM_HH
 #define INDRA_MEM_DRAM_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -49,8 +50,47 @@ class DramModel
     /**
      * Access @p bytes at physical address @p addr at time @p tick.
      * @return start/done ticks and total latency in core cycles.
+     * Inline: every L2 miss and every checkpoint/restore line lands
+     * here, which makes it the single most-called timing model.
      */
-    DramResult access(Tick tick, Addr addr, std::uint32_t bytes);
+    DramResult
+    access(Tick tick, Addr addr, std::uint32_t bytes)
+    {
+        ++statAccesses;
+        std::uint64_t row = addr / config.rowBytes;
+        Bank &bank = banks[row & (config.numBanks - 1)];
+
+        // Command latency in bus clocks depends on the row-buffer
+        // state.
+        std::uint32_t cmd_bus_clocks;
+        if (bank.rowOpen && bank.openRow == row) {
+            cmd_bus_clocks = config.casLatency;
+            ++statRowHits;
+        } else if (!bank.rowOpen) {
+            cmd_bus_clocks = config.rasToCasLatency + config.casLatency;
+            ++statRowMisses;
+        } else {
+            cmd_bus_clocks = config.prechargeLatency +
+                config.rasToCasLatency + config.casLatency;
+            ++statRowConflicts;
+        }
+        bank.rowOpen = true;
+        bank.openRow = row;
+
+        std::uint32_t beats = (bytes + busWidth - 1) / busWidth;
+        if (beats == 0)
+            beats = 1;
+        Cycles service =
+            static_cast<Cycles>(cmd_bus_clocks + beats) * ratio;
+
+        DramResult result;
+        result.startTick = std::max(tick, bank.busyUntil);
+        result.doneTick = result.startTick + service;
+        result.latency = result.doneTick - tick;
+        bank.busyUntil = result.doneTick;
+        statLatency.sample(static_cast<double>(result.latency));
+        return result;
+    }
 
     std::uint64_t rowHits() const;
     std::uint64_t rowMisses() const;

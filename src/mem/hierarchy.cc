@@ -5,14 +5,6 @@
 namespace indra::mem
 {
 
-namespace
-{
-
-/** Synthetic address region for checkpoint/backup traffic. */
-constexpr Addr backupRegionBase = 1ULL << 40;
-
-} // anonymous namespace
-
 MemHierarchy::MemHierarchy(const SystemConfig &cfg, CoreId core_id,
                            Privilege privilege, const Translator &xlate,
                            MemWatchdog *watchdog_ptr, MemoryBus &bus_ref,
@@ -27,152 +19,6 @@ MemHierarchy::MemHierarchy(const SystemConfig &cfg, CoreId core_id,
       dtlb(cfg.dtlb, statGroup),
       statFaults(statGroup, "faults", "translation/protection faults")
 {
-}
-
-MemFault
-MemHierarchy::translateAndCheck(Pid pid, Addr vaddr) const
-{
-    Vpn vpn = vaddr / config.pageBytes;
-    Pfn pfn = xlate.translate(pid, vpn);
-    if (pfn == invalidPfn)
-        return MemFault::Unmapped;
-    if (watchdog &&
-        watchdog->check(core, priv, pfn) != WatchdogVerdict::Allowed) {
-        return MemFault::Protection;
-    }
-    return MemFault::None;
-}
-
-MemOutcome
-MemHierarchy::l2Path(Tick tick, Addr vaddr, bool is_write,
-                     Cycles latency_so_far)
-{
-    MemOutcome out;
-    out.latency = latency_so_far + config.l2.hitLatency;
-
-    CacheResult l2r = l2.access(vaddr, is_write);
-    if (l2r.hit)
-        return out;
-
-    // L2 miss: fetch the line over the bus from DRAM.
-    out.wentToDram = true;
-    Tick request_tick = tick + out.latency;
-    BusResult busr = bus.transfer(request_tick, config.l2.lineBytes);
-    DramResult dr =
-        dram.access(busr.startTick, vaddr, config.l2.lineBytes);
-    out.latency = (dr.doneTick > tick) ? (dr.doneTick - tick)
-                                       : out.latency;
-
-    // A dirty L2 victim is written back; it occupies the bus and a DRAM
-    // bank but is off the load's critical path.
-    if (l2r.writeback) {
-        BusResult wb = bus.transfer(dr.doneTick, config.l2.lineBytes);
-        dram.access(wb.startTick, l2r.victimAddr, config.l2.lineBytes);
-    }
-    return out;
-}
-
-MemOutcome
-MemHierarchy::fetch(Tick tick, Pid pid, Addr vaddr)
-{
-    MemOutcome out;
-    out.fault = translateAndCheck(pid, vaddr);
-    if (out.fault != MemFault::None) {
-        ++statFaults;
-        return out;
-    }
-
-    Cycles latency = 0;
-    if (!itlb.access(pid, vaddr / config.pageBytes).hit)
-        latency += itlb.missPenalty();
-
-    CacheResult l1r = l1i.access(vaddr, false);
-    latency += config.l1i.hitLatency;
-    if (l1r.hit) {
-        out.latency = latency;
-        return out;
-    }
-
-    // L1I miss: the fill crosses the L2->IL1 interface, which is where
-    // INDRA's code-origin inspection hooks in (Section 2.3.2).
-    out = l2Path(tick, vaddr, false, latency);
-    out.l1iFill = true;
-    return out;
-}
-
-MemOutcome
-MemHierarchy::load(Tick tick, Pid pid, Addr vaddr)
-{
-    MemOutcome out;
-    out.fault = translateAndCheck(pid, vaddr);
-    if (out.fault != MemFault::None) {
-        ++statFaults;
-        return out;
-    }
-
-    Cycles latency = 0;
-    if (!dtlb.access(pid, vaddr / config.pageBytes).hit)
-        latency += dtlb.missPenalty();
-
-    CacheResult l1r = l1d.access(vaddr, false);
-    latency += config.l1d.hitLatency;
-    if (l1r.hit) {
-        out.latency = latency;
-        return out;
-    }
-    if (l1r.writeback)
-        l2.access(l1r.victimAddr, true);
-    return l2Path(tick, vaddr, false, latency);
-}
-
-MemOutcome
-MemHierarchy::store(Tick tick, Pid pid, Addr vaddr)
-{
-    MemOutcome out;
-    out.fault = translateAndCheck(pid, vaddr);
-    if (out.fault != MemFault::None) {
-        ++statFaults;
-        return out;
-    }
-
-    Cycles latency = 0;
-    if (!dtlb.access(pid, vaddr / config.pageBytes).hit)
-        latency += dtlb.missPenalty();
-
-    CacheResult l1r = l1d.access(vaddr, true);
-    latency += config.l1d.hitLatency;
-    if (l1r.hit) {
-        out.latency = latency;
-        return out;
-    }
-    if (l1r.writeback)
-        l2.access(l1r.victimAddr, true);
-    // Write-allocate: fetch the line, then the store completes.
-    return l2Path(tick, vaddr, true, latency);
-}
-
-Cycles
-MemHierarchy::lineTransfer(Tick tick, Addr cache_addr, bool is_write)
-{
-    CacheResult l2r = l2.access(cache_addr, is_write);
-    if (l2r.hit)
-        return config.l2.hitLatency;
-    BusResult busr =
-        bus.transfer(tick + config.l2.hitLatency, config.l2.lineBytes);
-    DramResult dr =
-        dram.access(busr.startTick, cache_addr, config.l2.lineBytes);
-    if (l2r.writeback) {
-        BusResult wb = bus.transfer(dr.doneTick, config.l2.lineBytes);
-        dram.access(wb.startTick, l2r.victimAddr, config.l2.lineBytes);
-    }
-    return dr.doneTick > tick ? dr.doneTick - tick
-                              : config.l2.hitLatency;
-}
-
-Addr
-MemHierarchy::backupAddr(Pfn pfn, std::uint32_t offset) const
-{
-    return backupRegionBase + pfn * config.pageBytes + offset;
 }
 
 Cycles

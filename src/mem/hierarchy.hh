@@ -81,13 +81,86 @@ class MemHierarchy
                  stats::StatGroup &parent);
 
     /** Instruction fetch touching the block at @p vaddr. */
-    MemOutcome fetch(Tick tick, Pid pid, Addr vaddr);
+    MemOutcome
+    fetch(Tick tick, Pid pid, Addr vaddr)
+    {
+        MemOutcome out;
+        out.fault = translateAndCheck(pid, vaddr);
+        if (out.fault != MemFault::None) {
+            ++statFaults;
+            return out;
+        }
+
+        Cycles latency = 0;
+        if (!itlb.access(pid, vaddr / config.pageBytes).hit)
+            latency += itlb.missPenalty();
+
+        CacheResult l1r = l1i.access(vaddr, false);
+        latency += config.l1i.hitLatency;
+        if (l1r.hit) {
+            out.latency = latency;
+            return out;
+        }
+
+        // L1I miss: the fill crosses the L2->IL1 interface, which is
+        // where INDRA's code-origin inspection hooks in (Section 2.3.2).
+        out = l2Path(tick, vaddr, false, latency);
+        out.l1iFill = true;
+        return out;
+    }
 
     /** Data load of up to one line at @p vaddr. */
-    MemOutcome load(Tick tick, Pid pid, Addr vaddr);
+    MemOutcome
+    load(Tick tick, Pid pid, Addr vaddr)
+    {
+        MemOutcome out;
+        out.fault = translateAndCheck(pid, vaddr);
+        if (out.fault != MemFault::None) {
+            ++statFaults;
+            return out;
+        }
+
+        Cycles latency = 0;
+        if (!dtlb.access(pid, vaddr / config.pageBytes).hit)
+            latency += dtlb.missPenalty();
+
+        CacheResult l1r = l1d.access(vaddr, false);
+        latency += config.l1d.hitLatency;
+        if (l1r.hit) {
+            out.latency = latency;
+            return out;
+        }
+        if (l1r.writeback)
+            l2.access(l1r.victimAddr, true);
+        return l2Path(tick, vaddr, false, latency);
+    }
 
     /** Data store of up to one line at @p vaddr. */
-    MemOutcome store(Tick tick, Pid pid, Addr vaddr);
+    MemOutcome
+    store(Tick tick, Pid pid, Addr vaddr)
+    {
+        MemOutcome out;
+        out.fault = translateAndCheck(pid, vaddr);
+        if (out.fault != MemFault::None) {
+            ++statFaults;
+            return out;
+        }
+
+        Cycles latency = 0;
+        if (!dtlb.access(pid, vaddr / config.pageBytes).hit)
+            latency += dtlb.missPenalty();
+
+        CacheResult l1r = l1d.access(vaddr, true);
+        latency += config.l1d.hitLatency;
+        if (l1r.hit) {
+            out.latency = latency;
+            return out;
+        }
+        if (l1r.writeback)
+            l2.access(l1r.victimAddr, true);
+        // Write-allocate: fetch the line, then the store completes.
+        return l2Path(tick, vaddr, true, latency);
+    }
 
     /**
      * Move one backup-granularity line through the data path on behalf
@@ -95,13 +168,36 @@ class MemHierarchy
      * @p cache_addr is a synthetic address that must not collide with
      * application virtual addresses; use backupAddr() for frames.
      */
-    Cycles lineTransfer(Tick tick, Addr cache_addr, bool is_write);
+    Cycles
+    lineTransfer(Tick tick, Addr cache_addr, bool is_write)
+    {
+        CacheResult l2r = l2.access(cache_addr, is_write);
+        if (l2r.hit)
+            return config.l2.hitLatency;
+        BusResult busr =
+            bus.transfer(tick + config.l2.hitLatency, config.l2.lineBytes);
+        DramResult dr =
+            dram.access(busr.startTick, cache_addr, config.l2.lineBytes);
+        if (l2r.writeback) {
+            BusResult wb = bus.transfer(dr.doneTick, config.l2.lineBytes);
+            dram.access(wb.startTick, l2r.victimAddr, config.l2.lineBytes);
+        }
+        return dr.doneTick > tick ? dr.doneTick - tick
+                                  : config.l2.hitLatency;
+    }
+
+    /** Synthetic address region for checkpoint/backup traffic. */
+    static constexpr Addr backupRegionBase = 1ULL << 40;
 
     /**
      * Synthetic cache address for byte @p offset of physical frame
      * @p pfn, disjoint from the application's virtual address range.
      */
-    Addr backupAddr(Pfn pfn, std::uint32_t offset) const;
+    Addr
+    backupAddr(Pfn pfn, std::uint32_t offset) const
+    {
+        return backupRegionBase + pfn * config.pageBytes + offset;
+    }
 
     /**
      * Move one line over the bus to/from DRAM without touching the
@@ -127,11 +223,48 @@ class MemHierarchy
 
   private:
     /** Shared L2-and-beyond path for both instruction and data. */
-    MemOutcome l2Path(Tick tick, Addr vaddr, bool is_write,
-                      Cycles latency_so_far);
+    MemOutcome
+    l2Path(Tick tick, Addr vaddr, bool is_write, Cycles latency_so_far)
+    {
+        MemOutcome out;
+        out.latency = latency_so_far + config.l2.hitLatency;
+
+        CacheResult l2r = l2.access(vaddr, is_write);
+        if (l2r.hit)
+            return out;
+
+        // L2 miss: fetch the line over the bus from DRAM.
+        out.wentToDram = true;
+        Tick request_tick = tick + out.latency;
+        BusResult busr = bus.transfer(request_tick, config.l2.lineBytes);
+        DramResult dr =
+            dram.access(busr.startTick, vaddr, config.l2.lineBytes);
+        out.latency = (dr.doneTick > tick) ? (dr.doneTick - tick)
+                                           : out.latency;
+
+        // A dirty L2 victim is written back; it occupies the bus and a
+        // DRAM bank but is off the load's critical path.
+        if (l2r.writeback) {
+            BusResult wb = bus.transfer(dr.doneTick, config.l2.lineBytes);
+            dram.access(wb.startTick, l2r.victimAddr, config.l2.lineBytes);
+        }
+        return out;
+    }
 
     /** Translate and watchdog-check; fills fault on failure. */
-    MemFault translateAndCheck(Pid pid, Addr vaddr) const;
+    MemFault
+    translateAndCheck(Pid pid, Addr vaddr) const
+    {
+        Vpn vpn = vaddr / config.pageBytes;
+        Pfn pfn = xlate.translate(pid, vpn);
+        if (pfn == invalidPfn)
+            return MemFault::Unmapped;
+        if (watchdog &&
+            watchdog->check(core, priv, pfn) != WatchdogVerdict::Allowed) {
+            return MemFault::Protection;
+        }
+        return MemFault::None;
+    }
 
     const SystemConfig &config;
     CoreId core;

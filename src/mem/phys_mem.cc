@@ -41,6 +41,10 @@ PhysicalMemory::freeFrame(Pfn pfn)
              "freeing unallocated frame ", pfn);
     it->second = false;
     frames.erase(pfn);
+    // Contents are discarded: a later reuse of this pfn starts from
+    // zeros, so the version must move on even though nothing was
+    // written through write().
+    ++versions[pfn];
     freeList.push_back(pfn);
     --allocated;
 }
@@ -50,67 +54,6 @@ PhysicalMemory::isAllocated(Pfn pfn) const
 {
     auto it = live.find(pfn);
     return it != live.end() && it->second;
-}
-
-void
-PhysicalMemory::checkFrame(Pfn pfn) const
-{
-    panic_if(pfn >= frameCount, "frame ", pfn, " out of range");
-}
-
-std::vector<std::uint8_t> &
-PhysicalMemory::materialize(Pfn pfn)
-{
-    auto it = frames.find(pfn);
-    if (it == frames.end())
-        it = frames.emplace(pfn,
-                            std::vector<std::uint8_t>(frameBytes, 0)).first;
-    return it->second;
-}
-
-const std::vector<std::uint8_t> *
-PhysicalMemory::peek(Pfn pfn) const
-{
-    auto it = frames.find(pfn);
-    return it == frames.end() ? nullptr : &it->second;
-}
-
-void
-PhysicalMemory::read(Pfn pfn, std::uint32_t offset, void *out,
-                     std::uint32_t len) const
-{
-    checkFrame(pfn);
-    panic_if(offset + len > frameBytes, "read crosses frame boundary");
-    const auto *data = peek(pfn);
-    if (!data) {
-        std::memset(out, 0, len);
-        return;
-    }
-    std::memcpy(out, data->data() + offset, len);
-}
-
-void
-PhysicalMemory::write(Pfn pfn, std::uint32_t offset, const void *in,
-                      std::uint32_t len)
-{
-    checkFrame(pfn);
-    panic_if(offset + len > frameBytes, "write crosses frame boundary");
-    auto &data = materialize(pfn);
-    std::memcpy(data.data() + offset, in, len);
-}
-
-std::uint64_t
-PhysicalMemory::read64(Pfn pfn, std::uint32_t offset) const
-{
-    std::uint64_t v;
-    read(pfn, offset, &v, sizeof(v));
-    return v;
-}
-
-void
-PhysicalMemory::write64(Pfn pfn, std::uint32_t offset, std::uint64_t value)
-{
-    write(pfn, offset, &value, sizeof(value));
 }
 
 void

@@ -12,9 +12,11 @@
 #define INDRA_MEM_PHYS_MEM_HH
 
 #include <cstdint>
+#include <cstring>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace indra::mem
@@ -54,18 +56,45 @@ class PhysicalMemory
     bool isAllocated(Pfn pfn) const;
 
     /** Read @p len bytes at (@p pfn, @p offset) into @p out. */
-    void read(Pfn pfn, std::uint32_t offset, void *out,
-              std::uint32_t len) const;
+    void
+    read(Pfn pfn, std::uint32_t offset, void *out, std::uint32_t len) const
+    {
+        checkFrame(pfn);
+        panic_if(offset + len > frameBytes, "read crosses frame boundary");
+        const auto *data = peek(pfn);
+        if (!data) {
+            std::memset(out, 0, len);
+            return;
+        }
+        std::memcpy(out, data->data() + offset, len);
+    }
 
     /** Write @p len bytes from @p in at (@p pfn, @p offset). */
-    void write(Pfn pfn, std::uint32_t offset, const void *in,
-               std::uint32_t len);
+    void
+    write(Pfn pfn, std::uint32_t offset, const void *in, std::uint32_t len)
+    {
+        checkFrame(pfn);
+        panic_if(offset + len > frameBytes, "write crosses frame boundary");
+        auto &data = materialize(pfn);
+        std::memcpy(data.data() + offset, in, len);
+        ++versions[pfn];
+    }
 
     /** Convenience: read one 64-bit word. */
-    std::uint64_t read64(Pfn pfn, std::uint32_t offset) const;
+    std::uint64_t
+    read64(Pfn pfn, std::uint32_t offset) const
+    {
+        std::uint64_t v;
+        read(pfn, offset, &v, sizeof(v));
+        return v;
+    }
 
     /** Convenience: write one 64-bit word. */
-    void write64(Pfn pfn, std::uint32_t offset, std::uint64_t value);
+    void
+    write64(Pfn pfn, std::uint32_t offset, std::uint64_t value)
+    {
+        write(pfn, offset, &value, sizeof(value));
+    }
 
     /**
      * Copy @p len bytes from (@p src_pfn, @p src_off) to
@@ -77,12 +106,47 @@ class PhysicalMemory
     /** Snapshot an entire frame's bytes (for tests / verification). */
     std::vector<std::uint8_t> snapshotFrame(Pfn pfn) const;
 
+    /**
+     * Monotone per-frame write version: bumped on every write to the
+     * frame and when the frame is freed (its contents are discarded).
+     * Two observations of the same (pfn, version) pair are guaranteed
+     * to have seen identical frame contents, which lets checkpoint
+     * engines memoize whole-page checksums across captures.
+     */
+    std::uint64_t
+    frameVersion(Pfn pfn) const
+    {
+        auto it = versions.find(pfn);
+        return it == versions.end() ? 0 : it->second;
+    }
+
   private:
     /** Backing store for a frame, created on first write. */
-    std::vector<std::uint8_t> &materialize(Pfn pfn);
-    const std::vector<std::uint8_t> *peek(Pfn pfn) const;
+    std::vector<std::uint8_t> &
+    materialize(Pfn pfn)
+    {
+        auto it = frames.find(pfn);
+        if (it == frames.end()) {
+            it = frames
+                     .emplace(pfn,
+                              std::vector<std::uint8_t>(frameBytes, 0))
+                     .first;
+        }
+        return it->second;
+    }
 
-    void checkFrame(Pfn pfn) const;
+    const std::vector<std::uint8_t> *
+    peek(Pfn pfn) const
+    {
+        auto it = frames.find(pfn);
+        return it == frames.end() ? nullptr : &it->second;
+    }
+
+    void
+    checkFrame(Pfn pfn) const
+    {
+        panic_if(pfn >= frameCount, "frame ", pfn, " out of range");
+    }
 
     std::uint32_t frameBytes;
     std::uint64_t frameCount;
@@ -91,6 +155,7 @@ class PhysicalMemory
     std::vector<Pfn> freeList;
     std::unordered_map<Pfn, std::vector<std::uint8_t>> frames;
     std::unordered_map<Pfn, bool> live;
+    std::unordered_map<Pfn, std::uint64_t> versions;
 };
 
 } // namespace indra::mem

@@ -20,49 +20,6 @@ Tlb::Tlb(const TlbConfig &cfg, stats::StatGroup &parent)
     panic_if(!isPowerOf2(numSets), "TLB set count must be a power of 2");
 }
 
-std::uint64_t
-Tlb::setIndex(Vpn vpn) const
-{
-    return vpn & (numSets - 1);
-}
-
-TlbResult
-Tlb::access(Pid pid, Vpn vpn)
-{
-    ++statAccesses;
-    TlbResult result;
-    Entry *base = &entries[setIndex(vpn) * ways];
-    for (std::uint32_t w = 0; w < ways; ++w) {
-        Entry &e = base[w];
-        if (e.valid && e.pid == pid && e.vpn == vpn) {
-            e.lastUse = ++useClock;
-            result.hit = true;
-            return result;
-        }
-    }
-
-    ++statMisses;
-    Entry *victim = nullptr;
-    for (std::uint32_t w = 0; w < ways; ++w) {
-        Entry &e = base[w];
-        if (!e.valid) {
-            victim = &e;
-            break;
-        }
-        if (!victim || e.lastUse < victim->lastUse)
-            victim = &e;
-    }
-    if (victim->valid) {
-        result.evicted = true;
-        result.victimVpn = victim->vpn;
-    }
-    victim->valid = true;
-    victim->pid = pid;
-    victim->vpn = vpn;
-    victim->lastUse = ++useClock;
-    return result;
-}
-
 bool
 Tlb::contains(Pid pid, Vpn vpn) const
 {

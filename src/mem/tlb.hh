@@ -44,7 +44,42 @@ class Tlb
      * Look up (@p pid, @p vpn); inserts on miss.
      * @return hit flag plus victim info.
      */
-    TlbResult access(Pid pid, Vpn vpn);
+    TlbResult
+    access(Pid pid, Vpn vpn)
+    {
+        ++statAccesses;
+        TlbResult result;
+        Entry *base = &entries[setIndex(vpn) * ways];
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            Entry &e = base[w];
+            if (e.valid && e.pid == pid && e.vpn == vpn) {
+                e.lastUse = ++useClock;
+                result.hit = true;
+                return result;
+            }
+        }
+
+        ++statMisses;
+        Entry *victim = nullptr;
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            Entry &e = base[w];
+            if (!e.valid) {
+                victim = &e;
+                break;
+            }
+            if (!victim || e.lastUse < victim->lastUse)
+                victim = &e;
+        }
+        if (victim->valid) {
+            result.evicted = true;
+            result.victimVpn = victim->vpn;
+        }
+        victim->valid = true;
+        victim->pid = pid;
+        victim->vpn = vpn;
+        victim->lastUse = ++useClock;
+        return result;
+    }
 
     /** Probe without side effects. */
     bool contains(Pid pid, Vpn vpn) const;
@@ -70,7 +105,7 @@ class Tlb
         std::uint64_t lastUse = 0;
     };
 
-    std::uint64_t setIndex(Vpn vpn) const;
+    std::uint64_t setIndex(Vpn vpn) const { return vpn & (numSets - 1); }
 
     TlbConfig config;
     std::uint64_t numSets;

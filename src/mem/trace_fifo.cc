@@ -1,7 +1,5 @@
 #include "mem/trace_fifo.hh"
 
-#include <algorithm>
-
 #include "sim/logging.hh"
 
 namespace indra::mem
@@ -18,6 +16,7 @@ TraceFifo::TraceFifo(std::uint32_t capacity, stats::StatGroup &parent)
       statOccupancy(statGroup, "occupancy", "entries in use at push time")
 {
     panic_if(cap == 0, "FIFO capacity must be nonzero");
+    ring.resize(cap, 0);
     // High/low watermarks with hysteresis: report saturation when a
     // push finds 3/4 of the slots in use, and recovery only once it
     // has drained back to 1/4, so an occupancy hovering around one
@@ -31,66 +30,6 @@ TraceFifo::setTraceLog(obs::TraceLog *log, std::uint32_t source)
 {
     traceLog = log;
     traceSource = source;
-}
-
-std::uint32_t
-TraceFifo::occupancyAt(Tick tick) const
-{
-    // Records whose service has not yet started by `tick`. The deque
-    // never holds more than `cap` entries, so the count cannot exceed
-    // the capacity (and fits a uint32 by construction).
-    std::uint32_t occupied = 0;
-    for (auto it = inFlightStarts.rbegin(); it != inFlightStarts.rend();
-         ++it) {
-        if (*it > tick)
-            ++occupied;
-        else
-            break;
-    }
-    return occupied;
-}
-
-FifoPushResult
-TraceFifo::push(Tick tick, Cycles service_cost)
-{
-    ++statPushes;
-    FifoPushResult result;
-
-    std::uint32_t occupied = occupancyAt(tick);
-    statOccupancy.sample(static_cast<double>(occupied));
-
-    if (!aboveHigh && occupied >= highWater) {
-        aboveHigh = true;
-        INDRA_TRACE(traceLog, tick, obs::EventKind::FifoHighWater,
-                    traceSource, occupied);
-    } else if (aboveHigh && occupied <= lowWater) {
-        aboveHigh = false;
-        INDRA_TRACE(traceLog, tick, obs::EventKind::FifoLowWater,
-                    traceSource, occupied);
-    }
-
-    result.pushDoneTick = tick;
-    if (occupied >= cap) {
-        // Wait until the oldest in-flight record is pulled out.
-        Tick frees_at =
-            inFlightStarts[inFlightStarts.size() - cap];
-        if (frees_at > tick) {
-            result.stallCycles = frees_at - tick;
-            result.pushDoneTick = frees_at;
-            ++statStalls;
-            statStallCycles += static_cast<double>(result.stallCycles);
-        }
-    }
-
-    result.serviceStartTick =
-        std::max(result.pushDoneTick, lastServiceEnd);
-    result.serviceEndTick = result.serviceStartTick + service_cost;
-    lastServiceEnd = result.serviceEndTick;
-
-    inFlightStarts.push_back(result.serviceStartTick);
-    if (inFlightStarts.size() > cap)
-        inFlightStarts.pop_front();
-    return result;
 }
 
 std::uint64_t
@@ -121,7 +60,8 @@ void
 TraceFifo::reset()
 {
     lastServiceEnd = 0;
-    inFlightStarts.clear();
+    head = 0;
+    count = 0;
     aboveHigh = false;
 }
 

@@ -20,8 +20,9 @@
 #ifndef INDRA_MEM_TRACE_FIFO_HH
 #define INDRA_MEM_TRACE_FIFO_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "obs/trace_log.hh"
 #include "sim/stats.hh"
@@ -51,7 +52,51 @@ class TraceFifo
      * Push a record at @p tick whose verification will occupy the
      * consumer for @p service_cost cycles.
      */
-    FifoPushResult push(Tick tick, Cycles service_cost);
+    FifoPushResult
+    push(Tick tick, Cycles service_cost)
+    {
+        ++statPushes;
+        FifoPushResult result;
+
+        std::uint32_t occupied = occupancyAt(tick);
+        statOccupancy.sample(static_cast<double>(occupied));
+
+        if (!aboveHigh && occupied >= highWater) {
+            aboveHigh = true;
+            INDRA_TRACE(traceLog, tick, obs::EventKind::FifoHighWater,
+                        traceSource, occupied);
+        } else if (aboveHigh && occupied <= lowWater) {
+            aboveHigh = false;
+            INDRA_TRACE(traceLog, tick, obs::EventKind::FifoLowWater,
+                        traceSource, occupied);
+        }
+
+        result.pushDoneTick = tick;
+        if (occupied >= cap) {
+            // All `cap` retained starts are after `tick`: wait until
+            // the oldest in-flight record is pulled out.
+            Tick frees_at = ringAt(0);
+            if (frees_at > tick) {
+                result.stallCycles = frees_at - tick;
+                result.pushDoneTick = frees_at;
+                ++statStalls;
+                statStallCycles +=
+                    static_cast<double>(result.stallCycles);
+            }
+        }
+
+        result.serviceStartTick =
+            std::max(result.pushDoneTick, lastServiceEnd);
+        // The consumer's timeline advances a whole service interval in
+        // one jump; near the end of the representable range it must pin
+        // to "never" rather than wrap behind the producer.
+        result.serviceEndTick =
+            saturatingAdd(result.serviceStartTick, service_cost);
+        lastServiceEnd = result.serviceEndTick;
+
+        ringPush(result.serviceStartTick);
+        return result;
+    }
 
     /**
      * Tick by which every record pushed so far has been verified.
@@ -64,8 +109,27 @@ class TraceFifo
      * service has not started by then. This is the same arithmetic
      * push() uses to decide fullness, exposed so the resilience
      * layer's backpressure can sample saturation without pushing.
+     *
+     * Retained starts are non-decreasing (each is max'ed against the
+     * previous service end), so "entries newer than @p tick" is a
+     * suffix of the ring and binary search finds its length.
      */
-    std::uint32_t occupancyAt(Tick tick) const;
+    std::uint32_t
+    occupancyAt(Tick tick) const
+    {
+        std::uint32_t lo = 0, hi = count;
+        while (lo < hi) {
+            std::uint32_t mid = lo + (hi - lo) / 2;
+            if (ringAt(mid) > tick)
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        return count - lo;
+    }
+
+    /** Service-start entries currently retained (bounded by cap). */
+    std::uint32_t inFlightDepth() const { return count; }
 
     /** Records pushed so far. */
     std::uint64_t pushes() const;
@@ -97,10 +161,45 @@ class TraceFifo
     void setTraceLog(obs::TraceLog *log, std::uint32_t source);
 
   private:
+    /** Logical index @p i (0 = oldest retained start) in the ring. */
+    Tick
+    ringAt(std::uint32_t i) const
+    {
+        std::uint32_t phys_idx = head + i;
+        if (phys_idx >= cap)
+            phys_idx -= cap;
+        return ring[phys_idx];
+    }
+
+    /** Append a start, evicting the oldest once the ring is full. */
+    void
+    ringPush(Tick start)
+    {
+        if (count == cap) {
+            ring[head] = start;
+            if (++head == cap)
+                head = 0;
+        } else {
+            std::uint32_t phys_idx = head + count;
+            if (phys_idx >= cap)
+                phys_idx -= cap;
+            ring[phys_idx] = start;
+            ++count;
+        }
+    }
+
     std::uint32_t cap;
     Tick lastServiceEnd = 0;
-    /** serviceStart ticks of the last `cap` records, oldest first. */
-    std::deque<Tick> inFlightStarts;
+    /**
+     * serviceStart ticks of the last `cap` records as a fixed-size
+     * ring (oldest at `head`, `count` valid). The storage is sized
+     * once in the constructor and never grows, so the structure is
+     * allocation-free on the push path and bounded by construction —
+     * arbitrarily long storms cannot leak in-flight bookkeeping.
+     */
+    std::vector<Tick> ring;
+    std::uint32_t head = 0;
+    std::uint32_t count = 0;
 
     obs::TraceLog *traceLog = nullptr;
     std::uint32_t traceSource = 0;

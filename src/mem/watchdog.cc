@@ -37,28 +37,6 @@ MemWatchdog::revokeAll(Pfn pfn)
     grants.erase(pfn);
 }
 
-WatchdogVerdict
-MemWatchdog::check(CoreId core, Privilege priv, Pfn pfn)
-{
-    ++checks;
-    if (priv == Privilege::High)
-        return WatchdogVerdict::Allowed;
-    // Guard the shift below: a core ID of 64+ would be undefined
-    // behaviour, not a denial, and grant() already enforces the limit
-    // on the producing side.
-    panic_if(core >= 64, "watchdog supports at most 64 cores");
-    auto it = grants.find(pfn);
-    if (it == grants.end()) {
-        ++denied;
-        return WatchdogVerdict::DeniedPrivate;
-    }
-    if (!(it->second & (1ULL << core))) {
-        ++denied;
-        return WatchdogVerdict::DeniedWrongCore;
-    }
-    return WatchdogVerdict::Allowed;
-}
-
 bool
 MemWatchdog::isGranted(Pfn pfn, CoreId core) const
 {

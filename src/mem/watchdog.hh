@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -55,7 +56,27 @@ class MemWatchdog
      * Check an access. High-privilege cores are always allowed;
      * low-privilege cores must hold a grant on the frame.
      */
-    WatchdogVerdict check(CoreId core, Privilege priv, Pfn pfn);
+    WatchdogVerdict
+    check(CoreId core, Privilege priv, Pfn pfn)
+    {
+        ++checks;
+        if (priv == Privilege::High)
+            return WatchdogVerdict::Allowed;
+        // Guard the shift below: a core ID of 64+ would be undefined
+        // behaviour, not a denial, and grant() already enforces the
+        // limit on the producing side.
+        panic_if(core >= 64, "watchdog supports at most 64 cores");
+        auto it = grants.find(pfn);
+        if (it == grants.end()) {
+            ++denied;
+            return WatchdogVerdict::DeniedPrivate;
+        }
+        if (!(it->second & (1ULL << core))) {
+            ++denied;
+            return WatchdogVerdict::DeniedWrongCore;
+        }
+        return WatchdogVerdict::Allowed;
+    }
 
     /** True if @p core currently holds a grant on @p pfn. */
     bool isGranted(Pfn pfn, CoreId core) const;

@@ -15,30 +15,6 @@ Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
     next();
 }
 
-std::uint32_t
-Pcg32::next()
-{
-    std::uint64_t old = state;
-    state = old * 6364136223846793005ULL + inc;
-    std::uint32_t xorshifted =
-        static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
-    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59);
-    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
-}
-
-std::uint32_t
-Pcg32::nextBounded(std::uint32_t bound)
-{
-    panic_if(bound == 0, "nextBounded(0)");
-    // Lemire-style rejection to avoid modulo bias.
-    std::uint32_t threshold = -bound % bound;
-    for (;;) {
-        std::uint32_t r = next();
-        if (r >= threshold)
-            return r % bound;
-    }
-}
-
 std::uint64_t
 Pcg32::next64()
 {
@@ -71,22 +47,6 @@ Pcg32::uniform(std::uint64_t lo, std::uint64_t hi)
         if (r >= threshold)
             return lo + (r % span);
     }
-}
-
-double
-Pcg32::uniformReal()
-{
-    return next() * (1.0 / 4294967296.0);
-}
-
-bool
-Pcg32::bernoulli(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return uniformReal() < p;
 }
 
 std::uint32_t

@@ -65,35 +65,6 @@ Distribution::Distribution(StatGroup &parent, std::string name,
 }
 
 void
-Distribution::sample(double v)
-{
-    if (n == 0) {
-        lo = hi = v;
-    } else {
-        lo = std::min(lo, v);
-        hi = std::max(hi, v);
-    }
-    ++n;
-    total += v;
-    // Welford update: E[x^2] - E[x]^2 cancels catastrophically for
-    // large-mean/small-variance samples (e.g. response times in the
-    // 1e9-cycle range), reporting 0 where the true spread is small
-    // but nonzero.
-    double delta = v - runMean;
-    runMean += delta / n;
-    m2 += delta * (v - runMean);
-}
-
-double
-Distribution::stddev() const
-{
-    if (n < 2)
-        return 0.0;
-    double var = m2 / n;
-    return var > 0 ? std::sqrt(var) : 0.0;
-}
-
-void
 Distribution::accept(StatSink &sink) const
 {
     sink.visitDistribution(*this);
@@ -115,23 +86,6 @@ Histogram::Histogram(StatGroup &parent, std::string name, std::string desc,
 {
     panic_if(bucket_width <= 0, "Histogram bucket width must be positive");
     panic_if(num_buckets == 0, "Histogram needs at least one bucket");
-}
-
-void
-Histogram::sample(double v)
-{
-    ++n;
-    if (v < 0) {
-        // Negative samples are not [0, width) samples; counting them
-        // in bins[0] would silently inflate the first bucket.
-        ++under;
-        return;
-    }
-    std::size_t idx = static_cast<std::size_t>(v / width);
-    if (idx >= bins.size())
-        ++over;
-    else
-        ++bins[idx];
 }
 
 void

@@ -13,6 +13,8 @@
 #ifndef INDRA_SIM_STATS_HH
 #define INDRA_SIM_STATS_HH
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -141,14 +143,50 @@ class Distribution : public StatBase
   public:
     Distribution(StatGroup &parent, std::string name, std::string desc);
 
-    void sample(double v);
+    void
+    sample(double v)
+    {
+        if (n == 0) {
+            lo = hi = v;
+        } else {
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+        ++n;
+        total += v;
+        // Welford update: E[x^2] - E[x]^2 cancels catastrophically for
+        // large-mean/small-variance samples (e.g. response times in
+        // the 1e9-cycle range), reporting 0 where the true spread is
+        // small but nonzero.
+        double delta = v - runMean;
+        runMean += delta / n;
+        m2 += delta * (v - runMean);
+    }
 
     std::uint64_t count() const { return n; }
     double sum() const { return total; }
     double mean() const { return n ? total / n : 0.0; }
     double minValue() const { return n ? lo : 0.0; }
     double maxValue() const { return n ? hi : 0.0; }
-    double stddev() const;
+
+    /**
+     * Population variance (m2 / n). Welford keeps m2 mathematically
+     * nonnegative, but the final `delta * (v - runMean)` product can
+     * round to a tiny negative value when the spread is at the limit
+     * of double precision; that residue is clamped to 0 here so
+     * stddev() can never take sqrt of a negative and return NaN.
+     * n < 2 (no spread information) reports 0.
+     */
+    double
+    variance() const
+    {
+        if (n < 2)
+            return 0.0;
+        double var = m2 / n;
+        return var > 0 ? var : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
 
     void accept(StatSink &sink) const override;
     void reset() override;
@@ -166,6 +204,11 @@ class Distribution : public StatBase
  * Fixed-bucket histogram over [0, bucketWidth * numBuckets), with
  * underflow (v < 0) and overflow buckets. Used for FIFO occupancy and
  * latency profiles.
+ *
+ * Buckets are right-open intervals [i*width, (i+1)*width): a sample
+ * landing exactly on a bucket edge counts in the *higher* bucket (the
+ * one whose interval starts there). underflow + overflow + the bucket
+ * sum always equals count().
  */
 class Histogram : public StatBase
 {
@@ -173,7 +216,50 @@ class Histogram : public StatBase
     Histogram(StatGroup &parent, std::string name, std::string desc,
               double bucket_width, std::size_t num_buckets);
 
-    void sample(double v);
+    void
+    sample(double v)
+    {
+        ++n;
+        if (v < 0) {
+            // Negative samples are not [0, width) samples; counting
+            // them in bins[0] would silently inflate the first bucket.
+            ++under;
+            return;
+        }
+        double q = v / width;
+        // The negated comparison also routes NaN to overflow; values
+        // at or past the last edge must never reach the size_t cast
+        // (casting a double >= 2^64 is undefined, not merely wrong).
+        if (!(q < static_cast<double>(bins.size()))) {
+            ++over;
+            return;
+        }
+        ++bins[static_cast<std::size_t>(q)];
+    }
+
+    /**
+     * Record @p k samples of the same value @p v, exactly equivalent
+     * to k sample(v) calls: every histogram counter is integral, so
+     * batching is lossless (unlike Welford moments, which must stay
+     * per-sample to keep rounding identical).
+     */
+    void
+    sampleN(double v, std::uint64_t k)
+    {
+        if (k == 0)
+            return;
+        n += k;
+        if (v < 0) {
+            under += k;
+            return;
+        }
+        double q = v / width;
+        if (!(q < static_cast<double>(bins.size()))) {
+            over += k;
+            return;
+        }
+        bins[static_cast<std::size_t>(q)] += k;
+    }
 
     std::uint64_t count() const { return n; }
     const std::vector<std::uint64_t> &buckets() const { return bins; }

@@ -98,6 +98,20 @@ floorLog2(std::uint64_t x)
     return l;
 }
 
+/**
+ * @p tick + @p delta, saturating at maxTick instead of wrapping.
+ *
+ * Event-skipping advancement adds whole event gaps (FIFO service ends,
+ * retry backoffs, watchdog deadlines) to 64-bit ticks in one step, so
+ * a sum near the end of the representable range must pin to the "never"
+ * sentinel rather than silently wrap to a tick in the past.
+ */
+constexpr Tick
+saturatingAdd(Tick tick, Cycles delta)
+{
+    return tick > maxTick - delta ? maxTick : tick + delta;
+}
+
 } // namespace indra
 
 #endif // INDRA_SIM_TYPES_HH

@@ -111,6 +111,48 @@ TEST(RefFifo, MatchesTraceFifoOnRandomSchedules)
     }
 }
 
+// The flat-ring FIFO must keep matching the reference once the ring
+// has wrapped many times over (pushes >> capacity) — the regime where
+// an off-by-one in head/count bookkeeping would first diverge — and
+// through the saturation region near maxTick, where both timelines
+// pin to the "never" sentinel instead of wrapping.
+TEST(RefFifo, MatchesTraceFifoThroughWrapAndSaturation)
+{
+    stats::StatGroup group("fifo");
+    mem::TraceFifo fifo(4, group);
+    check::RefFifo ref(4);
+    Pcg32 rng(11, 7);
+
+    // Phase 1: thousands of pushes through a tiny ring.
+    Tick tick = 0;
+    for (int i = 0; i < 5000; ++i) {
+        tick += rng.nextBounded(6);
+        Cycles cost = 1 + rng.nextBounded(9);
+        mem::FifoPushResult real = fifo.push(tick, cost);
+        check::RefFifo::PushResult model = ref.push(tick, cost);
+        ASSERT_EQ(real.serviceStartTick, model.serviceStart) << i;
+        ASSERT_EQ(real.serviceEndTick, model.serviceEnd) << i;
+        ASSERT_EQ(real.stallCycles, model.stall) << i;
+        ASSERT_EQ(fifo.occupancyAt(tick), ref.occupancyAt(tick)) << i;
+    }
+
+    // Phase 2: jump to the edge of representable time.
+    fifo.reset();
+    ref.reset();
+    Tick edge = maxTick - 200;
+    for (int i = 0; i < 50; ++i) {
+        edge = saturatingAdd(edge, rng.nextBounded(8));
+        Cycles cost = 1 + rng.nextBounded(100);
+        mem::FifoPushResult real = fifo.push(edge, cost);
+        check::RefFifo::PushResult model = ref.push(edge, cost);
+        ASSERT_EQ(real.serviceStartTick, model.serviceStart) << i;
+        ASSERT_EQ(real.serviceEndTick, model.serviceEnd) << i;
+        ASSERT_LE(real.serviceEndTick, maxTick) << i;
+    }
+    EXPECT_EQ(fifo.drainTick(), maxTick);
+    EXPECT_EQ(ref.drainTick(), maxTick);
+}
+
 // --------------------------------------------------------- RefUndoLog
 
 TEST(RefUndoLog, OldestValuePerAddressWins)

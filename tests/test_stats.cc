@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "obs/stat_sinks.hh"
@@ -137,6 +138,57 @@ TEST(Distribution, StddevMatchesAfterReset)
     EXPECT_NEAR(d.stddev(), std::sqrt(8.0 / 3.0), 1e-9);
 }
 
+// Edge cases of the moment accumulator: a single sample has no spread
+// information, so variance and stddev must be exactly 0 (a
+// sample-variance m2/(n-1) form divides 0/0 here and reports NaN).
+TEST(Distribution, SingleSampleHasZeroSpread)
+{
+    StatGroup g("g");
+    Distribution d(g, "d", "");
+    d.sample(42.5);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_DOUBLE_EQ(d.mean(), 42.5);
+    EXPECT_DOUBLE_EQ(d.minValue(), 42.5);
+    EXPECT_DOUBLE_EQ(d.maxValue(), 42.5);
+    EXPECT_EQ(d.variance(), 0.0);
+    EXPECT_EQ(d.stddev(), 0.0);
+    EXPECT_FALSE(std::isnan(d.stddev()));
+}
+
+// A constant stream has zero variance *exactly*: the first sample
+// makes runMean == v, every later delta contribution is a clean 0,
+// and the clamp guarantees sqrt never sees a negative residue. The
+// naive E[x^2]-E[x]^2 form rounds this to a tiny negative for large
+// magnitudes and poisons stddev with NaN.
+TEST(Distribution, ConstantSamplesHaveExactlyZeroVariance)
+{
+    StatGroup g("g");
+    for (double v : {1e-3, 3.0, 1e9 + 0.25, 1e15}) {
+        Distribution d(g, "d" + std::to_string(v), "");
+        for (int i = 0; i < 1000; ++i)
+            d.sample(v);
+        EXPECT_EQ(d.variance(), 0.0) << v;
+        EXPECT_EQ(d.stddev(), 0.0) << v;
+    }
+}
+
+// The variance clamp: m2 is provably nonnegative under IEEE
+// round-to-nearest (each increment multiplies two same-sign factors),
+// but the clamp keeps stddev() NaN-free even against adversarial
+// large-mean/tiny-spread streams at the limit of double precision.
+TEST(Distribution, StddevNeverNanUnderTinySpread)
+{
+    StatGroup g("g");
+    Distribution d(g, "d", "");
+    const double base = 1e15;
+    const double ulp = std::nextafter(base, 2e15) - base;
+    for (int i = 0; i < 257; ++i)
+        d.sample(base + (i % 3 - 1) * ulp);
+    EXPECT_GE(d.variance(), 0.0);
+    EXPECT_FALSE(std::isnan(d.stddev()));
+    EXPECT_GE(d.stddev(), 0.0);
+}
+
 TEST(Histogram, BucketsAndOverflow)
 {
     StatGroup g("g");
@@ -169,6 +221,86 @@ TEST(Histogram, NegativeGoesToUnderflow)
     EXPECT_EQ(h.buckets()[0], 1u);
     h.reset();
     EXPECT_EQ(h.underflow(), 0u);
+}
+
+// Bucket-boundary determinism: buckets are right-open [i*w, (i+1)*w),
+// so a sample landing exactly on an edge always counts in the bucket
+// whose interval *starts* there, and the last edge (bins * width) is
+// the first overflow value. This pins the documented tie side — an
+// implementation that rounds or uses <= on the edge double-counts or
+// shifts edge samples between buckets nondeterministically.
+TEST(Histogram, EdgeSamplesBucketDeterministically)
+{
+    StatGroup g("g");
+    Histogram h(g, "h", "", 10.0, 4);
+    for (int edge = 0; edge < 4; ++edge)
+        h.sample(edge * 10.0); // start of bucket `edge`
+    h.sample(40.0);            // the last edge: first overflow value
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+    EXPECT_EQ(h.buckets()[3], 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.underflow(), 0u);
+}
+
+// Values at or beyond the last edge must never reach the size_t cast:
+// casting a double >= 2^64 (or NaN) to an integer is undefined
+// behavior, not merely a wrong bucket. Pre-fix code compared
+// `q < bins.size()` after the cast (or not at all) and tripped UBSan
+// on huge and NaN samples; the negated comparison routes both to
+// overflow before any cast happens.
+TEST(Histogram, HugeAndNanSamplesRouteToOverflow)
+{
+    StatGroup g("g");
+    Histogram h(g, "h", "", 1.0, 8);
+    h.sample(1e300);
+    h.sample(std::numeric_limits<double>::infinity());
+    h.sample(std::numeric_limits<double>::quiet_NaN());
+    h.sample(9e18); // > 2^63: the cast itself would be UB
+    EXPECT_EQ(h.overflow(), 4u);
+    EXPECT_EQ(h.count(), 4u);
+}
+
+// Accounting reconciliation: every sample lands in exactly one of
+// underflow, a bucket, or overflow, so the three always sum to
+// count() — the invariant the perf-gate schema check leans on.
+TEST(Histogram, UnderOverAndBucketsReconcileWithCount)
+{
+    StatGroup g("g");
+    Histogram h(g, "h", "", 2.5, 6);
+    const double vals[] = {-3, -0.0001, 0, 2.5, 2.4999, 7.5, 14.9999,
+                           15, 100, 1e300, 3.3, 12.0, -7};
+    for (double v : vals)
+        h.sample(v);
+    std::uint64_t in_bins = 0;
+    for (std::uint64_t b : h.buckets())
+        in_bins += b;
+    EXPECT_EQ(h.underflow() + in_bins + h.overflow(), h.count());
+    EXPECT_EQ(h.count(), sizeof(vals) / sizeof(vals[0]));
+}
+
+// sampleN(v, k) is defined as exactly k sample(v) calls: integral
+// counters batch losslessly, including on the underflow, overflow,
+// NaN, and edge paths.
+TEST(Histogram, SampleNMatchesRepeatedSample)
+{
+    StatGroup g("g");
+    Histogram a(g, "a", "", 4.0, 4);
+    Histogram b(g, "b", "", 4.0, 4);
+    const double probes[] = {-2.0, 0.0, 3.9999, 4.0, 15.9999, 16.0,
+                             1e300,
+                             std::numeric_limits<double>::quiet_NaN()};
+    for (double v : probes) {
+        for (int i = 0; i < 7; ++i)
+            a.sample(v);
+        b.sampleN(v, 7);
+    }
+    b.sampleN(1.0, 0); // k == 0 is a no-op
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.underflow(), b.underflow());
+    EXPECT_EQ(a.overflow(), b.overflow());
+    EXPECT_EQ(a.buckets(), b.buckets());
 }
 
 TEST(Histogram, UnderflowAppearsInDump)

@@ -98,6 +98,42 @@ TEST(FifoCorners, BurstStallIsExact)
     EXPECT_EQ(fifo.drainTick(), 1000u);
 }
 
+// Tick/Cycles widening at the event-skipping jump points: adding a
+// whole event gap to a tick near the end of the representable range
+// must pin to maxTick, never wrap behind the current time. Pre-fix
+// code added raw uint64s, so `maxTick - 10 + 100` wrapped to 89 — a
+// tick in the past — and every downstream comparison inverted.
+TEST(TimingCorners, SaturatingAddPinsAtMaxTick)
+{
+    EXPECT_EQ(saturatingAdd(0, 0), 0u);
+    EXPECT_EQ(saturatingAdd(100, 23), 123u);
+    EXPECT_EQ(saturatingAdd(maxTick, 0), maxTick);
+    EXPECT_EQ(saturatingAdd(maxTick, 1), maxTick);
+    EXPECT_EQ(saturatingAdd(maxTick - 1, 1), maxTick);
+    EXPECT_EQ(saturatingAdd(maxTick - 10, 100), maxTick);
+    EXPECT_EQ(saturatingAdd(1, maxTick), maxTick);
+    EXPECT_EQ(saturatingAdd(maxTick, maxTick), maxTick);
+    // The wrap the raw add would have produced, as a guard against
+    // the assertion itself going stale: the saturated result must be
+    // no less than either operand.
+    const Tick near_end = maxTick - 10;
+    EXPECT_GE(saturatingAdd(near_end, 100), near_end);
+}
+
+// The skip path is monotone through saturation: jumping a core's
+// timeline by successive saturated gaps can never move time backward.
+TEST(TimingCorners, SaturatedJumpsStayMonotone)
+{
+    Tick t = maxTick - 1000;
+    Tick prev = t;
+    for (Cycles gap : {1u, 999u, 1u, 5000u, 0u, 1u << 30}) {
+        t = saturatingAdd(t, gap);
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+    EXPECT_EQ(t, maxTick);
+}
+
 // Monitor under a mixed burst keeps per-kind accounting straight.
 TEST(MonitorCorners, MixedBurstAccounting)
 {

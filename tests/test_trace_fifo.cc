@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "mem/trace_fifo.hh"
 #include "sim/stats.hh"
 
@@ -170,6 +172,75 @@ TEST(TraceFifo, OccupancyResetWithHistory)
     EXPECT_GT(fifo.occupancyAt(0), 0u);
     fifo.reset();
     EXPECT_EQ(fifo.occupancyAt(0), 0u);
+}
+
+// Regression: the in-flight bookkeeping is a fixed ring sized at
+// construction, so an arbitrarily long storm of pushes retains at
+// most `capacity` service starts — the pre-fix growable container
+// would have accumulated one entry per push when the eviction pair
+// was missed. inFlightDepth() exposes the retained count directly.
+TEST(TraceFifo, LongStormKeepsBookkeepingBounded)
+{
+    stats::StatGroup g("t");
+    TraceFifo fifo(16, g);
+    for (std::uint64_t i = 0; i < 200000; ++i) {
+        fifo.push(i, 3); // consumer falls behind: 3 cycles per push
+        ASSERT_LE(fifo.inFlightDepth(), fifo.capacity());
+    }
+    EXPECT_EQ(fifo.inFlightDepth(), fifo.capacity());
+    // The occupancy answer stays consistent with the retained window.
+    EXPECT_LE(fifo.occupancyAt(0), fifo.capacity());
+    fifo.reset();
+    EXPECT_EQ(fifo.inFlightDepth(), 0u);
+}
+
+// The binary-searched occupancy must agree with a straight linear
+// count over an adversarial push pattern (bursts, gaps, equal
+// starts): the ring is sorted by construction, so the two are
+// interchangeable at every probe tick.
+TEST(TraceFifo, OccupancySearchMatchesLinearScan)
+{
+    stats::StatGroup g("t");
+    TraceFifo fifo(8, g);
+    std::vector<Tick> starts;
+    auto linear = [&](Tick tick) {
+        std::uint32_t c = 0;
+        std::size_t first =
+            starts.size() > 8 ? starts.size() - 8 : 0;
+        for (std::size_t i = first; i < starts.size(); ++i)
+            if (starts[i] > tick)
+                ++c;
+        return c;
+    };
+    Tick t = 0;
+    for (int i = 0; i < 500; ++i) {
+        t += (i % 7 == 0) ? 40 : 1; // bursts with occasional gaps
+        auto r = fifo.push(t, (i % 3) * 5);
+        starts.push_back(r.serviceStartTick);
+        for (Tick probe : {t, t + 1, t + 6, t + 100})
+            ASSERT_EQ(fifo.occupancyAt(probe), linear(probe)) << t;
+    }
+}
+
+// Overflow boundary of the skip arithmetic: a service interval that
+// would pass maxTick pins to maxTick (the "never" sentinel) instead
+// of wrapping to a tick in the past. Pre-fix code computed
+// `start + cost` raw, so a near-maxTick consumer timeline wrapped and
+// the FIFO reported instant drain — and negative occupancy behavior —
+// for everything after it.
+TEST(TraceFifo, ServiceEndSaturatesAtMaxTick)
+{
+    stats::StatGroup g("t");
+    TraceFifo fifo(4, g);
+    auto r = fifo.push(maxTick - 10, 100);
+    EXPECT_EQ(r.serviceStartTick, maxTick - 10);
+    EXPECT_EQ(r.serviceEndTick, maxTick);
+    EXPECT_EQ(fifo.drainTick(), maxTick);
+    // The pinned timeline stays monotone: a later push still serializes
+    // after the saturated end instead of time-travelling.
+    auto r2 = fifo.push(maxTick - 5, 7);
+    EXPECT_EQ(r2.serviceStartTick, maxTick);
+    EXPECT_EQ(r2.serviceEndTick, maxTick);
 }
 
 TEST(TraceFifo, ProducerCatchesUpAfterStall)
