@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Adaptive-adversary survivability matrix: sweep attacker strategy x
+ * proactive rejuvenation policy and measure what the closed loop
+ * costs the defense — and what proactive restores buy back.
+ *
+ * The attacker axis starts with the classic precomputed storm
+ * timeline ("static") and then the four closed-loop strategies, each
+ * granted the SAME total request budget the static storm actually
+ * delivered, so every comparison is at equal attack volume. The
+ * defense axis runs the reactive recovery ladder alone ("none") and
+ * then each proactive rejuvenation trigger.
+ *
+ * Every cell is a pure function of (config, StormPlan): adversary
+ * decisions derive from a per-strategy PCG32 stream plus signals of a
+ * deterministic run, so the table is bit-identical for any --jobs.
+ *
+ * Reported per cell:
+ *   goodput   served legitimate requests per Mcycle
+ *   raw_tput  executed requests (attacks included) per Mcycle
+ *   shed_rate sheds / (sheds + executed)
+ *   p99       legit response time p99, cycles
+ *   rec_p99   p99 latency of requests needing any recovery
+ *   moves     adversary moves planned (0 for the static timeline)
+ *   reinf     re-infections (dormant damage replanted after a heal)
+ *   t_reinf   first heal -> first re-infection, cycles (0 = never)
+ *   proact    proactive restores fired ahead of a monitor verdict
+ *
+ * Usage: bench_adaptive_adversary [--jobs N] [--smoke]
+ *                                 [--ablate K=V[,K=V...]]
+ * --ablate applies dotted adversary.* / rejuvenation.* /
+ * resilience.* overrides to every cell (the ablation-matrix flags).
+ * --smoke shrinks the workload and self-checks: equal budgets, at
+ * least one adaptive strategy strictly under the static attacker's
+ * goodput, at least one caught re-infection, and at least one
+ * proactive policy at or above the reactive-only goodput under the
+ * reinfect attacker.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "resilience/ablation.hh"
+#include "resilience/storm.hh"
+
+using namespace indra;
+
+namespace
+{
+
+/** The attacker axis: the static timeline plus every strategy. */
+struct AttackerSpec
+{
+    const char *label;
+    bool adaptive;
+    adversary::AdversaryStrategy strategy;
+};
+
+constexpr AttackerSpec attackers[] = {
+    {"static", false, adversary::AdversaryStrategy::Fixed},
+    {"fixed", true, adversary::AdversaryStrategy::Fixed},
+    {"probe-burst", true, adversary::AdversaryStrategy::ProbeBurst},
+    {"reinfect", true, adversary::AdversaryStrategy::Reinfect},
+    {"latency-tuner", true, adversary::AdversaryStrategy::LatencyTuner},
+};
+constexpr std::size_t nAttackers =
+    sizeof(attackers) / sizeof(attackers[0]);
+
+constexpr resilience::RejuvenationTrigger policies[] = {
+    resilience::RejuvenationTrigger::None,
+    resilience::RejuvenationTrigger::Periodic,
+    resilience::RejuvenationTrigger::Epoch,
+    resilience::RejuvenationTrigger::Suspicion,
+};
+constexpr std::size_t nPolicies = sizeof(policies) / sizeof(policies[0]);
+
+struct Cell
+{
+    std::string label;
+    resilience::StormReport rep;
+};
+
+SystemConfig
+baseConfig()
+{
+    SystemConfig cfg;
+    cfg.physMemBytes = 128ULL * 1024 * 1024;
+    cfg.consecutiveFailureThreshold = 4;
+    // Macro epochs frequent enough for the epoch trigger to count
+    // them, and rejuvenation priced so a proactive restore competes
+    // with the recovery cascades it pre-empts rather than dwarfing
+    // the whole run.
+    cfg.macroCheckpointPeriod = 10;
+    cfg.rejuvenationCycles = 2000000;
+    return cfg;
+}
+
+resilience::ResilienceConfig
+defenseConfig(resilience::RejuvenationTrigger trigger)
+{
+    resilience::ResilienceConfig rc;
+    rc.queueBound = 6;
+    rc.fifoHighWater = 24;
+    rc.degradeViolations = 2;
+    rc.quarantineFailStreak = 2;
+    rc.healServedStreak = 3;
+    rc.rejuvenation.trigger = trigger;
+    // Policies tuned to the storm horizon (tens of Mcycles): a few
+    // restores per run, not one per request.
+    rc.rejuvenation.period = 10000000;
+    rc.rejuvenation.epochLimit = 3;
+    rc.rejuvenation.suspicionThreshold = 12.0;
+    rc.rejuvenation.cooldown = 4000000;
+    return rc;
+}
+
+resilience::StormPlan
+stormPlan(const AttackerSpec &a, std::uint64_t budget,
+          std::uint64_t legit_requests)
+{
+    resilience::StormPlan plan;
+    plan.seed = 1;
+    plan.legitRequests = legit_requests;
+    plan.legitRatePerMCycle = 1.0;
+    plan.deadline = 3000000;
+    plan.probePeriod = 50000;
+    if (!a.adaptive) {
+        plan.attackRatePerMCycle = 8.0;
+        plan.burstLen = 4;
+        plan.attackKind = net::AttackKind::StackSmash;
+    } else {
+        plan.adversary.armed = true;
+        plan.adversary.strategy = a.strategy;
+        plan.adversary.budget = budget;
+        plan.adversary.burstLen = 4;
+        plan.adversary.baseGap = 500000;
+        plan.adversary.payload = net::AttackKind::StackSmash;
+        plan.adversary.reinfectDelay = 100000;
+    }
+    return plan;
+}
+
+Cell
+runCell(const AttackerSpec &a, resilience::RejuvenationTrigger policy,
+        std::uint64_t budget, std::uint64_t legit_requests,
+        const std::vector<std::string> &ablations,
+        benchutil::ObsCollector &collector, std::size_t cell_idx)
+{
+    resilience::ResilienceConfig rc = defenseConfig(policy);
+    resilience::StormPlan plan = stormPlan(a, budget, legit_requests);
+    // Command-line overrides land on top of the matrix cell, so a
+    // single flag sweeps the whole table through a what-if.
+    resilience::applyAblationSettings(plan.adversary, rc, ablations);
+
+    net::DaemonProfile profile = net::daemonByName("httpd");
+    profile.instrPerRequest = 25000;
+
+    core::IndraSystem sys(baseConfig(), faults::FaultPlan(), rc);
+    sys.attachTraceLog(collector.traceFor(cell_idx));
+    sys.boot();
+    std::size_t slot = sys.deployService(profile);
+
+    Cell cell;
+    cell.label = std::string(a.label) + ":" +
+                 resilience::rejuvenationTriggerName(policy);
+    cell.rep = sys.runStorm(slot, plan);
+    collector.snapshot(cell_idx, cell.label, sys.rootStats());
+    return cell;
+}
+
+void
+printCell(const Cell &c)
+{
+    const resilience::StormReport &r = c.rep;
+    double shed_rate =
+        r.shedTotal() + r.executed
+            ? static_cast<double>(r.shedTotal()) /
+                  static_cast<double>(r.shedTotal() + r.executed)
+            : 0.0;
+    std::cout << std::left << std::setw(24) << c.label << std::right
+              << std::setw(9) << std::fixed << std::setprecision(3)
+              << r.goodput()
+              << std::setw(9) << r.rawThroughput()
+              << std::setw(10) << shed_rate
+              << std::setw(11) << r.legitP99
+              << std::setw(11) << r.recoveryP99
+              << std::setw(7) << r.adversaryMoves
+              << std::setw(7) << r.reinfections
+              << std::setw(11) << r.timeToReinfection
+              << std::setw(8) << r.proactiveRestores << "\n";
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogVerbosity(0);
+    benchutil::BenchCli cli(
+        "bench_adaptive_adversary",
+        "Survivability matrix: adaptive attacker strategies vs "
+        "proactive rejuvenation policies, at equal attack budget");
+    bool smoke = false;
+    std::string ablate_spec;
+    cli.flag("--smoke", "CI-sized subset with self-checks", &smoke);
+    cli.option("--ablate", "K=V[,K=V...]",
+               "dotted adversary.*/rejuvenation.*/resilience.* "
+               "overrides applied to every cell",
+               &ablate_spec);
+    auto sweep = cli.parse(argc, argv);
+
+    std::vector<std::string> ablations;
+    {
+        std::stringstream ss(ablate_spec);
+        std::string tok;
+        while (std::getline(ss, tok, ',')) {
+            if (!tok.empty())
+                ablations.push_back(tok);
+        }
+    }
+
+    const std::uint64_t legit_requests = smoke ? 60 : 140;
+
+    // The equal-budget anchor: run the static storm once, up front,
+    // and grant every adaptive attacker exactly the request volume it
+    // delivered. A pure rerun of the same cell appears in the matrix,
+    // so the anchor costs one extra run but keeps the sweep uniform.
+    benchutil::ObsCollector collector("bench_adaptive_adversary",
+                                      cli.obs());
+    const std::size_t n = nAttackers * nPolicies;
+    collector.resize(n);
+    std::uint64_t budget;
+    {
+        resilience::ResilienceConfig rc =
+            defenseConfig(resilience::RejuvenationTrigger::None);
+        resilience::StormPlan plan =
+            stormPlan(attackers[0], 0, legit_requests);
+        net::DaemonProfile profile = net::daemonByName("httpd");
+        profile.instrPerRequest = 25000;
+        core::IndraSystem sys(baseConfig(), faults::FaultPlan(), rc);
+        sys.boot();
+        std::size_t slot = sys.deployService(profile);
+        budget = sys.runStorm(slot, plan).attackArrivals;
+    }
+
+    benchutil::printHeader(
+        "Adaptive adversary: strategy x rejuvenation policy, budget " +
+            std::to_string(budget),
+        baseConfig());
+    if (!ablations.empty())
+        std::cout << "ablations: " << ablate_spec << "\n\n";
+    std::cout << std::left << std::setw(24) << "cell" << std::right
+              << std::setw(9) << "goodput"
+              << std::setw(9) << "raw_tput"
+              << std::setw(10) << "shed_rate"
+              << std::setw(11) << "p99"
+              << std::setw(11) << "rec_p99"
+              << std::setw(7) << "moves"
+              << std::setw(7) << "reinf"
+              << std::setw(11) << "t_reinf"
+              << std::setw(8) << "proact" << "\n";
+
+    auto cells = sweep.run(n, [&](std::size_t i) {
+        const AttackerSpec &a = attackers[i / nPolicies];
+        resilience::RejuvenationTrigger policy = policies[i % nPolicies];
+        return runCell(a, policy, budget, legit_requests, ablations,
+                       collector, i);
+    });
+
+    for (const Cell &c : cells)
+        printCell(c);
+
+    if (!smoke) {
+        collector.write();
+        return 0;
+    }
+
+    // ------------------------------------------------- self checks
+    int failures = 0;
+    auto check = [&failures](bool ok, const std::string &what) {
+        if (!ok) {
+            std::cout << "SMOKE CHECK FAILED: " << what << "\n";
+            ++failures;
+        }
+    };
+    auto cellAt = [&](std::size_t attacker,
+                      std::size_t policy) -> const Cell & {
+        return cells[attacker * nPolicies + policy];
+    };
+
+    // Equal budgets actually held: no adaptive attacker overspent.
+    for (std::size_t a = 1; a < nAttackers; ++a) {
+        for (std::size_t p = 0; p < nPolicies; ++p) {
+            const Cell &c = cellAt(a, p);
+            check(c.rep.adversaryRequests <= budget,
+                  "adversary overspent its budget (" + c.label + ")");
+            check(c.rep.adversaryMoves > 0,
+                  "adaptive attacker never moved (" + c.label + ")");
+        }
+    }
+
+    // (a) Adaptation pays: against the reactive-only defense, some
+    // closed-loop strategy beats the static timeline — strictly less
+    // defense goodput at the same attack volume.
+    double static_good = cellAt(0, 0).rep.goodput();
+    double worst_adaptive = static_good;
+    for (std::size_t a = 1; a < nAttackers; ++a) {
+        double g = cellAt(a, 0).rep.goodput();
+        if (g < worst_adaptive)
+            worst_adaptive = g;
+    }
+    check(worst_adaptive < static_good,
+          "no adaptive strategy beat the static attacker's goodput "
+          "damage at equal budget");
+
+    // The reinfect attacker must actually land a caught re-infection
+    // against the reactive defense.
+    check(cellAt(3, 0).rep.reinfections >= 1,
+          "reinfect attacker never re-infected the reactive defense");
+
+    // (b) Proactive rejuvenation pays: under the reinfect attacker,
+    // at least one proactive policy restores goodput to at least the
+    // reactive-only level.
+    double reactive_good = cellAt(3, 0).rep.goodput();
+    bool proactive_recovers = false;
+    for (std::size_t p = 1; p < nPolicies; ++p) {
+        const Cell &c = cellAt(3, p);
+        // Only a policy that actually fired counts: a trigger that
+        // never crosses its boundary is the reactive run in disguise.
+        if (c.rep.proactiveRestores >= 1 &&
+            c.rep.goodput() >= reactive_good)
+            proactive_recovers = true;
+    }
+    check(proactive_recovers,
+          "no proactive policy that fired recovered the reactive-only "
+          "goodput under the reinfect attacker");
+
+    // Proactive policies must actually fire somewhere.
+    std::uint64_t proact = 0;
+    for (std::size_t a = 0; a < nAttackers; ++a) {
+        for (std::size_t p = 1; p < nPolicies; ++p)
+            proact += cellAt(a, p).rep.proactiveRestores;
+    }
+    check(proact > 0, "no proactive restore fired anywhere");
+
+    if (failures == 0)
+        std::cout << "\nall smoke checks passed\n";
+    collector.write();
+    return failures == 0 ? 0 : 1;
+}

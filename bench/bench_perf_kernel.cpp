@@ -16,6 +16,11 @@
  *   monitor_stream  clean high-rate legitimate load, no attacks, no
  *                   guard: the core engine, trace FIFO, and monitor
  *                   verification paths.
+ *   adaptive_storm  closed-loop arrivals: a probe-burst adversary
+ *                   plans moves into the schedule's dynamic heap from
+ *                   the defense's own feedback while a periodic
+ *                   rejuvenation policy fires proactive restores —
+ *                   the adaptive-arrival and policy paths end to end.
  *
  * Simulation results (executed/served/shed counts, end ticks) go to
  * stdout and are deterministic; wall-clock timing never touches
@@ -37,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "adversary/adversary_config.hh"
 #include "bench_util.hh"
 #include "faults/fault_plan.hh"
 #include "resilience/storm.hh"
@@ -65,6 +71,10 @@ struct WorkloadSpec
     std::uint32_t bound = 0; //!< 0 = guard disarmed
     bool plantDormant = false;
     std::string faultSpec;
+    std::uint64_t adversaryBudget = 0; //!< 0 = static attack timeline
+    adversary::AdversaryStrategy adversaryStrategy =
+        adversary::AdversaryStrategy::Fixed;
+    bool proactiveRestore = false; //!< arm a periodic rejuvenation policy
 };
 
 double
@@ -106,6 +116,11 @@ runWorkload(const WorkloadSpec &spec)
         rc.quarantineFailStreak = 2;
         rc.healServedStreak = 3;
     }
+    if (spec.proactiveRestore) {
+        rc.rejuvenation.trigger = resilience::RejuvenationTrigger::Periodic;
+        rc.rejuvenation.period = 10000000;
+        rc.rejuvenation.cooldown = 4000000;
+    }
 
     faults::FaultPlan fplan;
     if (!spec.faultSpec.empty())
@@ -124,6 +139,14 @@ runWorkload(const WorkloadSpec &spec)
     plan.plantDormant = spec.plantDormant;
     plan.deadline = 3000000;
     plan.probePeriod = 50000;
+    if (spec.adversaryBudget != 0) {
+        plan.adversary.armed = true;
+        plan.adversary.strategy = spec.adversaryStrategy;
+        plan.adversary.budget = spec.adversaryBudget;
+        plan.adversary.burstLen = spec.burst;
+        plan.adversary.baseGap = 500000;
+        plan.adversary.payload = net::AttackKind::StackSmash;
+    }
 
     using clock = std::chrono::steady_clock;
     auto t0 = clock::now();
@@ -241,6 +264,22 @@ main(int argc, char **argv)
         w.legitRequests = smoke ? 40 : 1400;
         w.attackRate = 0.0;
         w.bound = 0;
+        specs.push_back(w);
+    }
+    {
+        // The closed loop: every attack arrival is planned mid-run by
+        // the probe-burst adversary from defense feedback (dynamic-
+        // heap pushes interleaved with the static arena), and the
+        // periodic policy exercises the proactive-restore path.
+        WorkloadSpec w;
+        w.name = "adaptive_storm";
+        w.legitRate = 1.0;
+        w.legitRequests = smoke ? 20 : 700;
+        w.burst = 4;
+        w.bound = 6;
+        w.adversaryBudget = smoke ? 60 : 1200;
+        w.adversaryStrategy = adversary::AdversaryStrategy::ProbeBurst;
+        w.proactiveRestore = true;
         specs.push_back(w);
     }
 

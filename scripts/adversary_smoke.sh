@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Adaptive-adversary smoke: the survivability matrix's --smoke sweep
+# covers one adaptive scenario per strategy (fixed, probe-burst,
+# reinfect, latency-tuner — plus the static anchor) against every
+# rejuvenation policy, with the bench's own self-checks armed
+# (adaptation strictly hurts at equal budget, a proactive policy
+# recovers goodput). On top of those this script asserts:
+#
+#   - the sweep is bit-identical across --jobs 1 and --jobs 8 (the
+#     closed feedback loop must not leak sweep scheduling into the
+#     simulation), and
+#   - at least one re-infection is caught (a reinf column > 0), so
+#     the dormant re-plant path demonstrably executed.
+#
+# Usage: scripts/adversary_smoke.sh <path-to-bench_adaptive_adversary>
+
+set -euo pipefail
+
+bin=${1:?usage: adversary_smoke.sh <bench_adaptive_adversary>}
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+echo "=== [adversary-smoke] matrix sweep, --jobs 1 vs --jobs 8"
+"$bin" --smoke --jobs 1 > "$out/j1.txt"
+"$bin" --smoke --jobs 8 > "$out/j8.txt"
+cmp "$out/j1.txt" "$out/j8.txt"
+
+echo "=== [adversary-smoke] re-infection caught?"
+# Column 8 of the cell rows is reinf; any positive count will do.
+awk '$1 ~ /^reinfect:/ && $8 > 0 { found = 1 }
+     END { exit found ? 0 : 1 }' "$out/j1.txt" || {
+    echo "adversary smoke: no re-infection caught in any reinfect cell" >&2
+    exit 1
+}
+
+echo "adversary smoke passed"

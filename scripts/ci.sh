@@ -8,16 +8,19 @@
 #                  export smoke: --stats-json/--trace validation).
 #   ci-asan-ubsan  address+undefined sanitizers over the labelled
 #                  corruption paths: -L faults, resilience, harness,
-#                  obs, check (the differential-oracle tests run with
-#                  INDRA_CHECK=ON under both sanitizer configs).
+#                  obs, check, adversary (the differential-oracle
+#                  tests run with INDRA_CHECK=ON under both sanitizer
+#                  configs).
 #   ci-tsan        thread sanitizer over the parallel sweep harness,
 #                  the storm cells, and the per-cell trace logs:
-#                  -L harness, resilience, obs, check.
+#                  -L harness, resilience, obs, check, adversary.
 #
-# The ci-release leg additionally runs scripts/perf_gate.sh: the
+# The ci-release leg additionally runs scripts/perf_gate.sh (the
 # canonical bench_perf_kernel sweep, exported as BENCH_perf.json and
-# judged against bench/perf_baseline.json (>15% ops/sec regression on
-# any workload fails the pipeline).
+# judged against bench/perf_baseline.json; >15% ops/sec regression on
+# any workload fails the pipeline) and scripts/adversary_smoke.sh
+# (the survivability matrix: --jobs 1/8 bit-identity of the closed
+# feedback loop plus a caught re-infection).
 #
 # After the presets, scripts/fuzz_smoke.sh runs a fixed-seed slice of
 # the oracle fuzzer plus its planted-bug sensitivity check.
@@ -48,6 +51,9 @@ for preset in "${presets[@]}"; do
         # ops/sec regression against bench/perf_baseline.json.
         echo "=== [$preset] perf gate"
         scripts/perf_gate.sh --build build-ci-release
+        echo "=== [$preset] adversary smoke"
+        scripts/adversary_smoke.sh \
+            build-ci-release/bench/bench_adaptive_adversary
     fi
 done
 

@@ -1,0 +1,197 @@
+#include "adversary/adversary.hh"
+
+#include <cmath>
+
+namespace indra::adversary
+{
+
+namespace
+{
+
+/** Health-state codes mirrored from resilience (kept as raw ints so
+ *  the adversary layer stays below resilience in the link order). */
+constexpr std::uint8_t healthHealthy = 0;
+constexpr std::uint8_t healthRejuvenating = 3;
+
+/** Weight of a fresh latency sample in the running EMA. */
+constexpr double latencyEmaAlpha = 0.3;
+
+} // anonymous namespace
+
+AdaptiveAdversary::AdaptiveAdversary(const AdversaryConfig &cfg,
+                                     std::uint64_t seed)
+    : cfg(cfg),
+      rng(seed, 0x61647600ULL + static_cast<std::uint64_t>(cfg.strategy)),
+      left(cfg.enabled() ? cfg.budget : 0)
+{
+}
+
+Cycles
+AdaptiveAdversary::expGap(Cycles mean)
+{
+    if (mean == 0)
+        return 1;
+    double u = rng.uniformReal();
+    double gap = -std::log(1.0 - u) * static_cast<double>(mean);
+    if (gap < 1.0)
+        return 1;
+    if (gap >= static_cast<double>(maxTick))
+        return maxTick;
+    return static_cast<Cycles>(gap);
+}
+
+void
+AdaptiveAdversary::observeAdmission(Tick now, std::uint32_t fifo_occupancy,
+                                    std::uint32_t fifo_high_water)
+{
+    (void)now;
+    lastOcc = fifo_occupancy;
+    highWater = fifo_high_water;
+}
+
+void
+AdaptiveAdversary::observeShed(Tick now, net::ShedReason reason, bool attack)
+{
+    (void)now;
+    if (attack && reason == net::ShedReason::Quarantined)
+        quarantineShedSeen = true;
+}
+
+void
+AdaptiveAdversary::observeOutcome(Tick now, const net::RequestOutcome &out,
+                                  bool attack)
+{
+    using net::RequestStatus;
+    if (attack && out.endTick >= out.startTick &&
+        (out.status == RequestStatus::DetectedRecovered ||
+         out.status == RequestStatus::CrashedRecovered ||
+         out.status == RequestStatus::MacroRecovered ||
+         out.status == RequestStatus::Rejuvenated)) {
+        double sample = static_cast<double>(out.endTick - out.startTick);
+        latencyEma = haveLatency
+            ? (1.0 - latencyEmaAlpha) * latencyEma + latencyEmaAlpha * sample
+            : sample;
+        haveLatency = true;
+    }
+    // A rejuvenated, macro-recovered, or lost outcome is a heal — the
+    // service's dormant damage is gone and a fresh plant is worth its
+    // budget again. (The Rejuvenating->Healthy health edge, when a
+    // guard emits one, marks the same moment from the other side.)
+    if (out.status == RequestStatus::Rejuvenated ||
+        out.status == RequestStatus::MacroRecovered ||
+        out.status == RequestStatus::Lost) {
+        revivalPending = true;
+        plantLive = false;
+        revivalTick = now;
+    }
+}
+
+void
+AdaptiveAdversary::observeHealth(Tick now, std::uint8_t state)
+{
+    // Leaving Rejuvenating for Healthy marks a completed revival: the
+    // reborn service is clean and admitting again — prime reinfection.
+    if (lastHealth == healthRejuvenating && state == healthHealthy) {
+        revivalPending = true;
+        plantLive = false;
+        revivalTick = now;
+    }
+    lastHealth = state;
+}
+
+std::optional<AdversaryMove>
+AdaptiveAdversary::nextMove(Tick now)
+{
+    if (left == 0)
+        return std::nullopt;
+
+    AdversaryMove move;
+    move.spacing = cfg.burstSpacing;
+    move.payload = cfg.payload;
+    Tick base = now > lastMoveTick ? now : lastMoveTick;
+
+    switch (cfg.strategy) {
+      case AdversaryStrategy::Fixed:
+        move.tick = saturatingAdd(base, expGap(cfg.baseGap));
+        move.count = cfg.burstLen;
+        break;
+
+      case AdversaryStrategy::ProbeBurst: {
+        bool hot = highWater > 0 &&
+            static_cast<double>(lastOcc) >=
+                cfg.occupancyFraction * static_cast<double>(highWater);
+        if (hot) {
+            // The FIFO is loaded: pile on now, then demand a fresh
+            // occupancy reading before bursting again.
+            move.tick = saturatingAdd(base, 1);
+            move.count = cfg.burstLen;
+            lastOcc = 0;
+        } else {
+            // While quarantine is shedding us, probing is wasted
+            // budget — stretch the cadence until readmitted.
+            Cycles gap = expGap(cfg.baseGap);
+            if (quarantineShedSeen) {
+                gap = saturatingAdd(gap, 3 * cfg.baseGap);
+                quarantineShedSeen = false;
+            }
+            move.tick = saturatingAdd(base, gap);
+            move.count = 1;
+        }
+        break;
+      }
+
+      case AdversaryStrategy::Reinfect:
+        if (revivalPending) {
+            // The service just healed: poison the reborn instance.
+            Tick from = revivalTick > base ? revivalTick : base;
+            move.tick = saturatingAdd(from, cfg.reinfectDelay);
+            move.count = 1;
+            move.payload = net::AttackKind::Dormant;
+            revivalPending = false;
+            plantLive = true;
+            ++nReplants;
+        } else if (!plantLive) {
+            // Nothing planted and no heal to wait for: open the
+            // campaign with a plant.
+            move.tick = saturatingAdd(base, expGap(cfg.baseGap));
+            move.count = 1;
+            move.payload = net::AttackKind::Dormant;
+            plantLive = true;
+        } else {
+            // Damage is live: benign-looking triggers trip it over
+            // and over, driving the recovery ladder toward the heal
+            // we intend to poison. (A fresh plant here would only
+            // push the surfacing point forward again.)
+            move.tick = saturatingAdd(base, expGap(cfg.baseGap));
+            move.count = cfg.burstLen;
+            move.payload = net::AttackKind::None;
+        }
+        break;
+
+      case AdversaryStrategy::LatencyTuner: {
+        Cycles mean = cfg.baseGap;
+        if (haveLatency) {
+            double tuned = latencyEma * cfg.gapFactor;
+            mean = tuned >= static_cast<double>(maxTick)
+                ? maxTick : static_cast<Cycles>(tuned);
+            if (mean < cfg.minGap)
+                mean = cfg.minGap;
+        }
+        move.tick = saturatingAdd(base, expGap(mean));
+        move.count = cfg.burstLen;
+        break;
+      }
+    }
+
+    if (move.tick > horizon)
+        return std::nullopt;
+    if (static_cast<std::uint64_t>(move.count) > left)
+        move.count = static_cast<std::uint32_t>(left);
+    left -= move.count;
+    ++nMoves;
+    nRequests += move.count;
+    lastMoveTick = move.tick;
+    return move;
+}
+
+} // namespace indra::adversary

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The adaptive adversary: a deterministic, feedback-driven attacker.
+ *
+ * Where the classic storm replays a precomputed schedule, this
+ * attacker closes the loop: it observes the very signals the defense
+ * exposes — trace-FIFO occupancy sampled at admission, shed
+ * decisions, health-state transitions, and the latency between an
+ * attack landing and its recovery completing — and plans its next
+ * move from them:
+ *
+ *   fixed          feedback-blind bursts on an exponential cadence
+ *                  (the closed-loop control at equal budget)
+ *   probe-burst    lone probes watch the FIFO; when occupancy nears
+ *                  the high-water mark the attacker bursts, trying to
+ *                  tip the monitor into saturation. Quarantine sheds
+ *                  back the probing off.
+ *   reinfect       plant-trigger-replant: open with one dormant
+ *                  plant, then send benign-looking triggers that trip
+ *                  the damage and drive the recovery ladder; the
+ *                  instant a heal is observed (a Rejuvenated,
+ *                  MacroRecovered, or Lost outcome, or the
+ *                  Rejuvenating -> Healthy health edge) a dormant
+ *                  payload is re-planted in the reborn service.
+ *   latency-tuner  an EMA over observed attack->recovery latencies
+ *                  tunes the inter-burst gap, keeping pressure just
+ *                  inside the defense's reaction time.
+ *
+ * Every stochastic choice draws from a per-strategy PCG32 stream
+ * seeded by (storm seed, strategy id), and every observation enters
+ * through the storm driver's sequential event loop, so a fixed-seed
+ * adaptive storm is bit-identical on any sweep --jobs count.
+ */
+
+#ifndef INDRA_ADVERSARY_ADVERSARY_HH
+#define INDRA_ADVERSARY_ADVERSARY_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "adversary/adversary_config.hh"
+#include "net/request.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace indra::adversary
+{
+
+/** One planned attack move: a burst of requests. */
+struct AdversaryMove
+{
+    Tick tick = 0;           //!< first request's arrival
+    std::uint32_t count = 1; //!< requests in the burst
+    Cycles spacing = 0;      //!< gap between burst requests
+    net::AttackKind payload = net::AttackKind::StackSmash;
+};
+
+/** The closed-loop attacker driving one storm. */
+class AdaptiveAdversary
+{
+  public:
+    AdaptiveAdversary(const AdversaryConfig &cfg, std::uint64_t seed);
+
+    /** No move is planned past @p horizon (the offered-load window). */
+    void setHorizon(Tick horizon) { this->horizon = horizon; }
+
+    // -------------------------------------------- feedback channel
+    /** FIFO occupancy sampled when an arrival reached admission. */
+    void observeAdmission(Tick now, std::uint32_t fifo_occupancy,
+                          std::uint32_t fifo_high_water);
+
+    /** An arrival was shed; @p attack marks the adversary's own. */
+    void observeShed(Tick now, net::ShedReason reason, bool attack);
+
+    /** One executed request's outcome. */
+    void observeOutcome(Tick now, const net::RequestOutcome &out,
+                        bool attack);
+
+    /** Health state after an outcome (cast of HealthState). */
+    void observeHealth(Tick now, std::uint8_t state);
+
+    // ------------------------------------------------------ planner
+    /**
+     * Plan the next move at or after @p now, spending budget.
+     * nullopt when the budget is exhausted or the move would land
+     * past the horizon.
+     */
+    std::optional<AdversaryMove> nextMove(Tick now);
+
+    // ------------------------------------------------------- access
+    const AdversaryConfig &config() const { return cfg; }
+    std::uint64_t budgetLeft() const { return left; }
+    std::uint64_t movesIssued() const { return nMoves; }
+    std::uint64_t requestsIssued() const { return nRequests; }
+    std::uint64_t reinfectPlants() const { return nReplants; }
+
+    /** Current detection-latency estimate (0 before any sample). */
+    Cycles
+    latencyEstimate() const
+    {
+        return haveLatency ? static_cast<Cycles>(latencyEma) : 0;
+    }
+
+  private:
+    /** Exponential gap with mean @p mean (>= 1 cycle). */
+    Cycles expGap(Cycles mean);
+
+    AdversaryConfig cfg;
+    Pcg32 rng;
+    Tick horizon = maxTick;
+
+    std::uint64_t left;
+    std::uint64_t nMoves = 0;
+    std::uint64_t nRequests = 0;
+    std::uint64_t nReplants = 0;
+    Tick lastMoveTick = 0;
+
+    // ------------------------------------------- observed signals
+    std::uint32_t lastOcc = 0;
+    std::uint32_t highWater = 0;
+    double latencyEma = 0.0;
+    bool haveLatency = false;
+    std::uint8_t lastHealth = 0; //!< HealthState::Healthy
+    bool revivalPending = false;
+    bool plantLive = false; //!< reinfect: a plant has not healed yet
+    Tick revivalTick = 0;
+    bool quarantineShedSeen = false;
+};
+
+} // namespace indra::adversary
+
+#endif // INDRA_ADVERSARY_ADVERSARY_HH

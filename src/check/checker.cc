@@ -197,6 +197,19 @@ SystemChecker::onRecovered(Tick tick, Pid pid, RestoreLevel level)
     }
 
     if (level == RestoreLevel::Rejuvenation) {
+        // The reborn service must carry no dormant damage: the heal
+        // happens before this hook fires, so damage still present
+        // means a re-infected state survived the rebirth.
+        net::ServiceApplication *app = sys.appOf(pid);
+        if (app && app->hasDormantDamage()) {
+            Violation v;
+            v.id = InvariantId::RejuvenationClearsDormant;
+            v.tick = tick;
+            v.pid = pid;
+            v.epoch = shadow.epoch;
+            v.detail = "dormant damage survived rejuvenation";
+            report(std::move(v));
+        }
         // rejuvenate() ends by taking a fresh macro checkpoint of the
         // reborn service; resync the golden macro image with it.
         capture(shadow.macroImage, pid);

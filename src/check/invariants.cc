@@ -33,6 +33,8 @@ invariantName(InvariantId id)
         return "fifo-model-conforms";
       case InvariantId::UndoLogModelConforms:
         return "undo-log-model-conforms";
+      case InvariantId::RejuvenationClearsDormant:
+        return "rejuvenation-clears-dormant";
     }
     return "??";
 }

@@ -45,10 +45,11 @@ enum class InvariantId : std::uint8_t
     WatchdogGrantsBacked,     //!< granted frames are allocated
     FifoModelConforms,        //!< trace FIFO == reference replay
     UndoLogModelConforms,     //!< update log == sorted-map reference
+    RejuvenationClearsDormant, //!< no dormant damage survives rebirth
 };
 
 /** Number of distinct invariant ids. */
-constexpr std::size_t invariantIdCount = 9;
+constexpr std::size_t invariantIdCount = 10;
 
 /** Printable invariant name ("memory-restore-exact", ...). */
 const char *invariantName(InvariantId id);

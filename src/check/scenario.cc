@@ -73,6 +73,12 @@ Scenario::describe() const
         os << " guard";
     if (stormBurst)
         os << " storm" << stormBurst;
+    if (adversaryBudget)
+        os << " adv=" << adversary::adversaryStrategyName(adversaryStrategy)
+           << "x" << adversaryBudget;
+    if (rejuvenationTrigger != resilience::RejuvenationTrigger::None)
+        os << " rj="
+           << resilience::rejuvenationTriggerName(rejuvenationTrigger);
     if (plantAtEpoch)
         os << " plant@" << plantAtEpoch;
     return os.str();
@@ -93,7 +99,13 @@ Scenario::toJson() const
        << ",\n  \"storm_burst\": " << stormBurst
        << ",\n  \"storm_attack_rate\": " << stormAttackRate
        << ",\n  \"plant_at_epoch\": " << plantAtEpoch
-       << ",\n  \"faults\": [";
+       << ",\n  \"adversary_budget\": " << adversaryBudget
+       << ",\n  \"adversary_strategy\": ";
+    obs::jsonString(os, adversary::adversaryStrategyName(adversaryStrategy));
+    os << ",\n  \"rejuvenation_trigger\": ";
+    obs::jsonString(
+        os, resilience::rejuvenationTriggerName(rejuvenationTrigger));
+    os << ",\n  \"faults\": [";
     for (std::size_t i = 0; i < faults.size(); ++i) {
         os << (i ? ", " : "") << "{\"kind\": ";
         obs::jsonString(os, faults::faultKindName(faults[i].kind));
@@ -132,6 +144,15 @@ Scenario::fromJson(const std::string &text)
     sc.stormAttackRate =
         doc.num("storm_attack_rate", sc.stormAttackRate);
     sc.plantAtEpoch = doc.u64("plant_at_epoch", sc.plantAtEpoch);
+    sc.adversaryBudget =
+        doc.u64("adversary_budget", sc.adversaryBudget);
+    sc.adversaryStrategy = adversary::adversaryStrategyFromName(doc.str(
+        "adversary_strategy",
+        adversary::adversaryStrategyName(sc.adversaryStrategy)));
+    sc.rejuvenationTrigger =
+        resilience::rejuvenationTriggerFromName(doc.str(
+            "rejuvenation_trigger",
+            resilience::rejuvenationTriggerName(sc.rejuvenationTrigger)));
     if (const JsonValue *fs = doc.field("faults")) {
         for (const JsonValue &f : fs->items) {
             FaultSetting setting;
@@ -224,6 +245,30 @@ makeScenario(std::uint64_t seed)
         step.repeat = 1 + rng.nextBounded(4);
         sc.steps.push_back(step);
     }
+
+    // Closed-loop extensions ride on guarded storms only, and their
+    // draws come last: every field drawn above is identical to what
+    // the same seed produced before the adversary existed.
+    if (sc.stormBurst) {
+        if (rng.bernoulli(0.5)) {
+            static constexpr adversary::AdversaryStrategy strategies[] = {
+                adversary::AdversaryStrategy::Fixed,
+                adversary::AdversaryStrategy::ProbeBurst,
+                adversary::AdversaryStrategy::Reinfect,
+                adversary::AdversaryStrategy::LatencyTuner,
+            };
+            sc.adversaryStrategy = strategies[rng.nextBounded(4)];
+            sc.adversaryBudget = 8ull << rng.nextBounded(3);
+        }
+        if (rng.bernoulli(0.4)) {
+            static constexpr resilience::RejuvenationTrigger triggers[] = {
+                resilience::RejuvenationTrigger::Periodic,
+                resilience::RejuvenationTrigger::Epoch,
+                resilience::RejuvenationTrigger::Suspicion,
+            };
+            sc.rejuvenationTrigger = triggers[rng.nextBounded(3)];
+        }
+    }
     return sc;
 }
 
@@ -276,6 +321,15 @@ runScenario(const Scenario &sc)
             net::ClientClass::Bulk)] = 10.0;
         rcfg.fifoHighWater = 24;
     }
+    if (sc.rejuvenationTrigger != resilience::RejuvenationTrigger::None) {
+        rcfg.rejuvenation.trigger = sc.rejuvenationTrigger;
+        // Scaled down so short fuzz runs actually cross the firing
+        // boundary at least once.
+        rcfg.rejuvenation.period = 400000;
+        rcfg.rejuvenation.epochLimit = 4;
+        rcfg.rejuvenation.suspicionThreshold = 4.0;
+        rcfg.rejuvenation.cooldown = 100000;
+    }
 
     core::IndraSystem sys(cfg, plan, rcfg);
     SystemChecker checker(sys);
@@ -309,6 +363,22 @@ runScenario(const Scenario &sc)
         splan.attackRatePerMCycle = sc.stormAttackRate;
         splan.burstLen = sc.stormBurst;
         splan.attackKind = net::AttackKind::DosFlood;
+        if (sc.adversaryBudget) {
+            splan.adversary.armed = true;
+            splan.adversary.strategy = sc.adversaryStrategy;
+            splan.adversary.budget = sc.adversaryBudget;
+            splan.adversary.burstLen = sc.stormBurst;
+            splan.adversary.baseGap = 100000;
+            splan.adversary.reinfectDelay = 2000;
+            // Reinfect plants dormant damage, exercising the
+            // rejuvenation-clears-dormant oracle; the others probe the
+            // admission path.
+            splan.adversary.payload =
+                sc.adversaryStrategy ==
+                        adversary::AdversaryStrategy::Reinfect
+                    ? net::AttackKind::StackSmash
+                    : net::AttackKind::DosFlood;
+        }
         resilience::StormReport report = sys.runStorm(slot, splan);
         verdict.requests += report.executed;
     }
@@ -431,11 +501,36 @@ shrinkScenario(const Scenario &sc, const ScenarioVerdict &original,
                 ++i;
         }
 
+        // Adaptive adversary: disarm, else halve the budget.
+        if (res.scenario.adversaryBudget) {
+            Scenario cand = res.scenario;
+            cand.adversaryBudget = 0;
+            if (attemptAligned(std::move(cand))) {
+                changed = true;
+            } else if (res.scenario.adversaryBudget > 1) {
+                cand = res.scenario;
+                cand.adversaryBudget /= 2;
+                if (attemptAligned(std::move(cand)))
+                    changed = true;
+            }
+        }
+
+        // Proactive rejuvenation: try reverting to reactive-only.
+        if (res.scenario.rejuvenationTrigger !=
+            resilience::RejuvenationTrigger::None) {
+            Scenario cand = res.scenario;
+            cand.rejuvenationTrigger =
+                resilience::RejuvenationTrigger::None;
+            if (attemptAligned(std::move(cand)))
+                changed = true;
+        }
+
         // Storm phase: disarm entirely, else halve the burst.
         if (res.scenario.stormBurst) {
             Scenario cand = res.scenario;
             cand.stormBurst = 0;
             cand.stormAttackRate = 0.0;
+            cand.adversaryBudget = 0;
             if (attemptAligned(std::move(cand))) {
                 changed = true;
             } else if (res.scenario.stormBurst > 1) {
@@ -452,6 +547,7 @@ shrinkScenario(const Scenario &sc, const ScenarioVerdict &original,
             cand.guardArmed = false;
             cand.stormBurst = 0;
             cand.stormAttackRate = 0.0;
+            cand.adversaryBudget = 0;
             if (attemptAligned(std::move(cand)))
                 changed = true;
         }

@@ -24,9 +24,11 @@
 #include <string>
 #include <vector>
 
+#include "adversary/adversary_config.hh"
 #include "check/invariants.hh"
 #include "faults/fault_plan.hh"
 #include "net/request.hh"
+#include "resilience/rejuvenation.hh"
 #include "sim/config.hh"
 #include "sim/types.hh"
 
@@ -69,6 +71,14 @@ struct Scenario
     /** Oracle self-test: corrupt one byte behind the backup engine's
      *  back at the start of this epoch (0 = off). */
     std::uint64_t plantAtEpoch = 0;
+    /** Adaptive adversary driving the storm phase (0 = classic
+     *  precomputed schedule). */
+    std::uint64_t adversaryBudget = 0;
+    adversary::AdversaryStrategy adversaryStrategy =
+        adversary::AdversaryStrategy::Fixed;
+    /** Proactive rejuvenation policy (None = reactive-only ladder). */
+    resilience::RejuvenationTrigger rejuvenationTrigger =
+        resilience::RejuvenationTrigger::None;
     std::vector<FaultSetting> faults;
     std::vector<ScenarioStep> steps;
 

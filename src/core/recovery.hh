@@ -91,6 +91,15 @@ class RecoveryManager
      */
     RecoveryLevel recover(Tick tick);
 
+    /**
+     * Rebuild the service from its load image *without* a failure:
+     * the proactive-rejuvenation path. Same effect as the ladder's
+     * last resort — restore context, resources and memory, discard
+     * all backup state, take a fresh application checkpoint — but
+     * entered on a policy's schedule rather than an escalation.
+     */
+    void proactiveRestore(Tick tick) { rejuvenate(tick); }
+
     /** Take the periodic application checkpoint (Fig. 8). */
     Cycles takeMacroCheckpoint(Tick tick);
 

@@ -21,14 +21,25 @@
  * the minimum of the two sources by (tick, order) yields exactly the
  * sequence a single priority queue over all events would produce,
  * without heap-percolating millions of statically known arrivals.
+ *
+ * With an armed AdversaryConfig the malicious side becomes a closed
+ * loop: the static attack timeline is not generated at all, and an
+ * AdaptiveAdversary — fed the admission-time FIFO occupancy, shed
+ * decisions, request outcomes and health states as the loop observes
+ * them — plans one move at a time into the dynamic heap. The pump
+ * keeps at most one move outstanding, so every plan sees the newest
+ * signals; all of its draws come from a per-strategy PCG32 stream, so
+ * the loop stays bit-identical for any sweep --jobs count.
  */
 
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <optional>
 #include <queue>
 #include <vector>
 
+#include "adversary/adversary.hh"
 #include "core/system.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
@@ -170,8 +181,19 @@ IndraSystem::runStorm(std::size_t slot_idx,
     rep.legitArrivals = plan.legitRequests;
     Tick horizon = t; // the storm rages while legit load is offered
 
+    // The closed-loop attacker replaces the static attack timeline
+    // entirely; disarmed (the default) this is a null pointer and the
+    // classic precomputed schedule below runs untouched.
+    std::optional<adversary::AdaptiveAdversary> adv;
+    if (plan.adversary.enabled()) {
+        adv.emplace(plan.adversary, plan.seed);
+        adv->setHorizon(horizon);
+    }
+
     std::uint32_t burst_len = std::max<std::uint32_t>(1, plan.burstLen);
-    if (plan.attackRatePerMCycle > 0.0) {
+    if (adv) {
+        // all malicious traffic comes from the adversary pump below
+    } else if (plan.attackRatePerMCycle > 0.0) {
         double burst_rate =
             plan.attackRatePerMCycle / static_cast<double>(burst_len);
         Tick bt = 0;
@@ -219,6 +241,41 @@ IndraSystem::runStorm(std::size_t slot_idx,
     bool revived = false;
     std::uint64_t executed_since_depart = 0;
 
+    std::vector<Cycles> recovery_times;
+    bool awaiting_reinfect = false;
+    Tick last_heal = 0;
+
+    // One adversary move may be outstanding at a time; the pump plans
+    // the next only after its last arrival has left the schedule, so
+    // every plan sees the newest defense signals.
+    std::uint64_t adv_outstanding = 0;
+    auto pumpAdversary = [&](Tick now) {
+        if (!adv || adv_outstanding != 0)
+            return;
+        std::optional<adversary::AdversaryMove> mv = adv->nextMove(now);
+        if (!mv)
+            return;
+        ++rep.adversaryMoves;
+        rep.adversaryRequests += mv->count;
+        INDRA_TRACE(traceLogPtr, mv->tick,
+                    obs::EventKind::AdversaryMove,
+                    static_cast<std::uint32_t>(s.coreId),
+                    static_cast<std::uint64_t>(plan.adversary.strategy),
+                    mv->count);
+        Tick at = mv->tick;
+        for (std::uint32_t k = 0; k < mv->count; ++k) {
+            Arrival a;
+            a.tick = at;
+            a.order = order++;
+            a.req.attack = mv->payload;
+            a.req.clientClass = net::ClientClass::Bulk;
+            events.pushDynamic(std::move(a));
+            ++rep.attackArrivals;
+            ++adv_outstanding;
+            at = saturatingAdd(at, mv->spacing);
+        }
+    };
+
     auto scheduleProbe = [&](Tick now) {
         if (!guard || probe_pending || probes_left == 0)
             return;
@@ -239,6 +296,8 @@ IndraSystem::runStorm(std::size_t slot_idx,
     auto recordShed = [&](const Arrival &a, net::ShedReason reason,
                           Tick now) {
         ++rep.sheds[static_cast<std::size_t>(reason)];
+        if (adv)
+            adv->observeShed(now, reason, !a.legit && !a.probe);
         if (a.probe) {
             probe_pending = false;
             scheduleProbe(now);
@@ -258,7 +317,10 @@ IndraSystem::runStorm(std::size_t slot_idx,
         }
     };
 
-    while (!events.empty() || !queue.empty()) {
+    while (true) {
+        pumpAdversary(s.core->curTick());
+        if (events.empty() && queue.empty())
+            break;
         Tick core_free = s.core->curTick();
 
         // Admit every arrival occurring before the next service could
@@ -270,10 +332,16 @@ IndraSystem::runStorm(std::size_t slot_idx,
             if (events.top().tick > next_start)
                 break;
             Arrival a = events.pop();
+            if (adv && !a.legit && !a.probe && adv_outstanding > 0)
+                --adv_outstanding;
             if (guard) {
                 std::uint32_t occ = s.monitor
                     ? s.monitor->fifoOccupancyAt(a.tick)
                     : 0;
+                if (adv) {
+                    adv->observeAdmission(a.tick, occ,
+                                          guard->config().fifoHighWater);
+                }
                 resilience::AdmissionDecision d = guard->tryAdmit(
                     a.tick, a.req.clientClass, queue.size(), occ);
                 if (!d.admitted) {
@@ -284,7 +352,7 @@ IndraSystem::runStorm(std::size_t slot_idx,
             queue.push_back(std::move(a));
         }
         if (queue.empty())
-            break; // events drained entirely into sheds
+            continue; // events drained entirely into sheds
 
         Arrival q = std::move(queue.front());
         queue.pop_front();
@@ -300,6 +368,19 @@ IndraSystem::runStorm(std::size_t slot_idx,
             continue;
         }
 
+        // A proactive policy may owe the service a restore before the
+        // next request runs — rejuvenation from the pristine image,
+        // no failure required.
+        if (guard && guard->proactiveRestoreDue(q.tick)) {
+            proactiveRejuvenate(
+                slot_idx, q.tick,
+                static_cast<std::uint8_t>(
+                    guard->config().rejuvenation.trigger));
+            ++rep.proactiveRestores;
+            awaiting_reinfect = true;
+            last_heal = s.core->curTick();
+        }
+
         s.core->stallUntil(q.tick);
         net::ServiceRequest req = q.req;
         req.seq = next_seq++; // execution order, as the app expects
@@ -309,6 +390,26 @@ IndraSystem::runStorm(std::size_t slot_idx,
         ++rep.executed;
         if (left_healthy && !revived)
             ++executed_since_depart;
+
+        if (out.status != net::RequestStatus::Served &&
+            out.status != net::RequestStatus::Shed)
+            recovery_times.push_back(out.endTick - q.tick);
+
+        // A heal wipes dormant damage; finding it planted again is a
+        // re-infection — the event the revival claim is judged by.
+        if (out.status == net::RequestStatus::Rejuvenated ||
+            out.status == net::RequestStatus::MacroRecovered ||
+            out.status == net::RequestStatus::Lost) {
+            awaiting_reinfect = true;
+            last_heal = out.endTick;
+        } else if (awaiting_reinfect && refs.app->hasDormantDamage()) {
+            ++rep.reinfections;
+            if (rep.timeToReinfection == 0) {
+                rep.timeToReinfection =
+                    out.endTick > last_heal ? out.endTick - last_heal : 1;
+            }
+            awaiting_reinfect = false;
+        }
 
         if (q.probe) {
             probe_pending = false;
@@ -323,6 +424,15 @@ IndraSystem::runStorm(std::size_t slot_idx,
             }
         } else {
             ++rep.attackExecuted;
+        }
+
+        if (adv) {
+            adv->observeOutcome(out.endTick, out, !q.legit && !q.probe);
+            if (guard) {
+                adv->observeHealth(
+                    out.endTick,
+                    static_cast<std::uint8_t>(guard->health().state()));
+            }
         }
 
         if (guard) {
@@ -343,6 +453,7 @@ IndraSystem::runStorm(std::size_t slot_idx,
     rep.endTick = s.core->curTick();
     rep.legitP50 = resilience::percentile(legit_times, 50.0);
     rep.legitP99 = resilience::percentile(legit_times, 99.0);
+    rep.recoveryP99 = resilience::percentile(recovery_times, 99.0);
     if (guard) {
         guard->finalize(rep.endTick);
         for (std::size_t i = 0; i < resilience::healthStateCount; ++i) {

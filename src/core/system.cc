@@ -370,6 +370,8 @@ IndraSystem::runOneRequest(const ServiceRefs &refs,
         if (++*refs.requestsSinceMacro >= cfg.macroCheckpointPeriod) {
             refs.recovery->takeMacroCheckpoint(s.core->curTick());
             *refs.requestsSinceMacro = 0;
+            if (s.guard)
+                s.guard->noteMacroEpoch();
             INDRA_CHECK_HOOK(checkSinkPtr,
                              onMacroCapture(s.core->curTick(), refs.pid));
         }
@@ -413,23 +415,6 @@ IndraSystem::handleFailure(const ServiceRefs &refs,
 
     if (cfg.checkpointScheme != CheckpointScheme::None) {
         RecoveryLevel level = refs.recovery->recover(fail_tick);
-#if INDRA_CHECK_ENABLED
-        if (checkSinkPtr) {
-            // The delta engine restores lazily (rollback-on-demand);
-            // force the remaining pages back so the oracle compares
-            // fully restored memory. The cost is discarded — the
-            // checker must not perturb the timing it audits.
-            if (level == RecoveryLevel::Micro)
-                refs.policy->drainRollback(s.core->curTick());
-            check::RestoreLevel rl =
-                level == RecoveryLevel::Micro
-                    ? check::RestoreLevel::Micro
-                    : level == RecoveryLevel::Macro
-                          ? check::RestoreLevel::Macro
-                          : check::RestoreLevel::Rejuvenation;
-            checkSinkPtr->onRecovered(s.core->curTick(), refs.pid, rl);
-        }
-#endif
         if (level == RecoveryLevel::Rejuvenation) {
             // The reborn service starts from its load image: nothing
             // dormant survives, and a fresh macro checkpoint was
@@ -446,6 +431,26 @@ IndraSystem::handleFailure(const ServiceRefs &refs,
                 ? net::RequestStatus::DetectedRecovered
                 : net::RequestStatus::CrashedRecovered;
         }
+#if INDRA_CHECK_ENABLED
+        // The oracle audits the *post-recovery* state — after the
+        // dormant heal above, so the no-surviving-reinfection
+        // invariant sees what the next request will see.
+        if (checkSinkPtr) {
+            // The delta engine restores lazily (rollback-on-demand);
+            // force the remaining pages back so the oracle compares
+            // fully restored memory. The cost is discarded — the
+            // checker must not perturb the timing it audits.
+            if (level == RecoveryLevel::Micro)
+                refs.policy->drainRollback(s.core->curTick());
+            check::RestoreLevel rl =
+                level == RecoveryLevel::Micro
+                    ? check::RestoreLevel::Micro
+                    : level == RecoveryLevel::Macro
+                          ? check::RestoreLevel::Macro
+                          : check::RestoreLevel::Rejuvenation;
+            checkSinkPtr->onRecovered(s.core->curTick(), refs.pid, rl);
+        }
+#endif
         return;
     }
 
@@ -464,6 +469,43 @@ IndraSystem::handleFailure(const ServiceRefs &refs,
     refs.app->healDormantDamage();
     if (s.monitor)
         s.monitor->onRecovery(refs.pid);
+}
+
+void
+IndraSystem::proactiveRejuvenate(std::size_t slot_idx, Tick now,
+                                 std::uint8_t trigger)
+{
+    ServiceRefs refs = refsForMain(slot_idx);
+    ServiceSlot &s = *refs.slot;
+    s.core->stallUntil(now);
+    Tick t0 = s.core->curTick();
+    refs.recovery->proactiveRestore(t0);
+    refs.app->healDormantDamage();
+    *refs.requestsSinceMacro = 0;
+    INDRA_CHECK_HOOK(checkSinkPtr,
+                     onRecovered(s.core->curTick(), refs.pid,
+                                 check::RestoreLevel::Rejuvenation));
+    if (s.guard)
+        s.guard->noteProactiveRestore(s.core->curTick());
+    INDRA_TRACE(traceLogPtr, s.core->curTick(),
+                obs::EventKind::ProactiveRestore,
+                static_cast<std::uint32_t>(s.coreId),
+                static_cast<std::uint64_t>(trigger),
+                s.core->curTick() - t0);
+}
+
+net::ServiceApplication *
+IndraSystem::appOf(Pid pid)
+{
+    for (auto &s : slots) {
+        if (s->pid == pid)
+            return s->app.get();
+        for (auto &co : s->coServices) {
+            if (co->pid == pid)
+                return co->app.get();
+        }
+    }
+    return nullptr;
 }
 
 std::vector<net::RequestOutcome>

@@ -234,6 +234,23 @@ class IndraSystem : public os::KernelListener
     resilience::StormReport runStorm(std::size_t slot_idx,
                                      const resilience::StormPlan &plan);
 
+    /**
+     * Proactively rejuvenate @p slot_idx's main service at @p now:
+     * rebuild from the pristine load image through the recovery
+     * ladder's rejuvenation path without waiting for a failure. The
+     * guard's health machine enters Rejuvenating and the policy's
+     * trigger state resets; @p trigger tags the trace event with the
+     * firing policy (RejuvenationTrigger value).
+     */
+    void proactiveRejuvenate(std::size_t slot_idx, Tick now,
+                             std::uint8_t trigger);
+
+    /**
+     * The service application owning @p pid (main or co-located), or
+     * nullptr when no such process exists.
+     */
+    net::ServiceApplication *appOf(Pid pid);
+
     // ------------------------------------------------------- access
     const SystemConfig &config() const { return cfg; }
     std::size_t serviceCount() const { return slots.size(); }

@@ -115,22 +115,40 @@ FaultPlan::parse(const std::string &text, std::uint64_t seed)
     while (std::getline(ss, clause, ',')) {
         if (clause.empty())
             continue;
+        // Split the whole clause: a fourth field is an error, not
+        // something to drop silently.
+        std::vector<std::string> fields;
         std::stringstream cs(clause);
-        std::string kind_name, rate_str, mag_str;
-        std::getline(cs, kind_name, ':');
-        std::getline(cs, rate_str, ':');
-        std::getline(cs, mag_str, ':');
-        fatal_if(rate_str.empty(), "fault clause '", clause,
-                 "' needs kind:rate");
-        FaultKind kind = faultKindFromName(kind_name);
+        std::string field;
+        while (std::getline(cs, field, ':'))
+            fields.push_back(field);
+        fatal_if(fields.size() < 2 || fields[1].empty(),
+                 "fault clause '", clause, "' needs kind:rate");
+        fatal_if(fields.size() > 3, "fault clause '", clause,
+                 "' has extra fields (want kind:rate[:magnitude])");
+        FaultKind kind = faultKindFromName(fields[0]);
         double rate = 0.0;
         std::uint64_t magnitude = 0;
+        std::size_t pos = 0;
         try {
-            rate = std::stod(rate_str);
-            if (!mag_str.empty())
-                magnitude = std::stoull(mag_str);
+            rate = std::stod(fields[1], &pos);
         } catch (const std::exception &) {
-            fatal("bad number in fault clause '", clause, "'");
+            fatal("bad rate '", fields[1], "' in fault clause '",
+                  clause, "'");
+        }
+        fatal_if(pos != fields[1].size(), "bad rate '", fields[1],
+                 "' in fault clause '", clause,
+                 "': trailing characters");
+        if (fields.size() == 3 && !fields[2].empty()) {
+            try {
+                magnitude = std::stoull(fields[2], &pos);
+            } catch (const std::exception &) {
+                fatal("bad magnitude '", fields[2],
+                      "' in fault clause '", clause, "'");
+            }
+            fatal_if(pos != fields[2].size(), "bad magnitude '",
+                     fields[2], "' in fault clause '", clause,
+                     "': trailing characters");
         }
         plan.add(kind, rate, magnitude);
     }

@@ -38,10 +38,12 @@ enum class EventKind : std::uint8_t
     FifoHighWater,        //!< FIFO occupancy crossed up (a0 occupancy)
     FifoLowWater,         //!< FIFO drained back down    (a0 occupancy)
     OracleViolation,      //!< differential oracle fired (a0 invariant, a1 epoch)
+    AdversaryMove,        //!< adaptive attack move      (a0 strategy, a1 count)
+    ProactiveRestore,     //!< restore ahead of verdict  (a0 trigger, a1 cycles)
 };
 
 /** Number of distinct event kinds. */
-constexpr std::size_t eventKindCount = 13;
+constexpr std::size_t eventKindCount = 15;
 
 /** Printable kind name ("monitor_violation", ...). */
 const char *eventKindName(EventKind k);

@@ -35,6 +35,10 @@ eventKindName(EventKind k)
         return "fifo_low_water";
       case EventKind::OracleViolation:
         return "oracle_violation";
+      case EventKind::AdversaryMove:
+        return "adversary_move";
+      case EventKind::ProactiveRestore:
+        return "proactive_restore";
     }
     return "??";
 }
@@ -68,6 +72,10 @@ eventArgName(EventKind k, int i)
         return i == 0 ? "occupancy" : nullptr;
       case EventKind::OracleViolation:
         return i == 0 ? "invariant" : "epoch";
+      case EventKind::AdversaryMove:
+        return i == 0 ? "strategy" : "count";
+      case EventKind::ProactiveRestore:
+        return i == 0 ? "trigger" : "cycles";
     }
     return nullptr;
 }

@@ -1,0 +1,38 @@
+#include "resilience/ablation.hh"
+
+#include "sim/logging.hh"
+
+namespace indra::resilience
+{
+
+void
+applyAblationSetting(adversary::AdversaryConfig &adv,
+                     ResilienceConfig &rc, const std::string &key,
+                     const std::string &value)
+{
+    if (key.rfind("adversary.", 0) == 0) {
+        adversary::applyAdversarySetting(adv, key, value);
+    } else if (key.rfind("rejuvenation.", 0) == 0 ||
+               key.rfind("resilience.", 0) == 0) {
+        applyResilienceSetting(rc, key, value);
+    } else {
+        fatal("unknown ablation setting '", key,
+              "' (expect adversary.*, rejuvenation.* or resilience.*)");
+    }
+}
+
+void
+applyAblationSettings(adversary::AdversaryConfig &adv,
+                      ResilienceConfig &rc,
+                      const std::vector<std::string> &settings)
+{
+    for (const std::string &tok : settings) {
+        auto eq = tok.find('=');
+        fatal_if(eq == std::string::npos || eq == 0,
+                 "ablation setting '", tok, "' is not key=value");
+        applyAblationSetting(adv, rc, tok.substr(0, eq),
+                             tok.substr(eq + 1));
+    }
+}
+
+} // namespace indra::resilience

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The survivability ablation matrix: one router for the dotted
+ * `adversary.*` / `rejuvenation.*` / `resilience.*` keys, so a bench
+ * or script can sweep attacker strategies against defense policies
+ * from config alone (`--ablate key=value`, rdma-dm-sim's
+ * `index.ablations.*` idiom). Unknown keys and malformed values are
+ * fatal errors naming the offending key; with no keys applied every
+ * config stays disarmed and runs are bit-identical to a build
+ * without these subsystems.
+ */
+
+#ifndef INDRA_RESILIENCE_ABLATION_HH
+#define INDRA_RESILIENCE_ABLATION_HH
+
+#include <string>
+#include <vector>
+
+#include "adversary/adversary_config.hh"
+#include "resilience/resilience_config.hh"
+
+namespace indra::resilience
+{
+
+/** Apply one dotted ablation key to whichever config owns it. */
+void applyAblationSetting(adversary::AdversaryConfig &adv,
+                          ResilienceConfig &rc, const std::string &key,
+                          const std::string &value);
+
+/**
+ * Apply every "key=value" token in @p settings; tokens without '='
+ * are fatal, as are unknown keys.
+ */
+void applyAblationSettings(adversary::AdversaryConfig &adv,
+                           ResilienceConfig &rc,
+                           const std::vector<std::string> &settings);
+
+} // namespace indra::resilience
+
+#endif // INDRA_RESILIENCE_ABLATION_HH

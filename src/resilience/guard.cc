@@ -7,7 +7,7 @@ namespace indra::resilience
 
 ServiceGuard::ServiceGuard(const ResilienceConfig &config,
                            stats::StatGroup &parent)
-    : cfg(config), adm(cfg), mon(cfg), bp(cfg),
+    : cfg(config), adm(cfg), mon(cfg), bp(cfg), rejuv(cfg.rejuvenation),
       statGroup(parent, "resilience")
 {
     auto formula = [this](const char *name, const char *desc,
@@ -34,6 +34,8 @@ ServiceGuard::ServiceGuard(const ResilienceConfig &config,
             [this] { return double(mon.transitions()); });
     formula("full_cycles", "completed revival cycles",
             [this] { return double(mon.fullCycles()); });
+    formula("proactive_restores", "restores fired ahead of a verdict",
+            [this] { return double(nProactive); });
     static const char *timeStatName[healthStateCount] = {
         "time_healthy", "time_degraded", "time_quarantined",
         "time_rejuvenating",
@@ -72,8 +74,10 @@ ServiceGuard::tryAdmit(Tick now, net::ClientClass cls,
         if (bound != 0 && cfg.degradeQueueFraction > 0.0) {
             auto mark = static_cast<std::size_t>(std::ceil(
                 cfg.degradeQueueFraction * double(bound)));
-            if (queue_depth + 1 >= mark)
+            if (queue_depth + 1 >= mark) {
                 mon.noteQueuePressure(now);
+                rejuv.noteQueuePressure();
+            }
         }
     }
     return d;
@@ -93,8 +97,21 @@ ServiceGuard::observeOutcome(const net::RequestOutcome &out,
                              std::uint64_t corruption_delta, Tick now)
 {
     mon.observeOutcome(out, corruption_delta, now);
+    rejuv.noteOutcome(out, corruption_delta);
+    // The ladder's own rejuvenation is as good as a proactive one:
+    // the service is pristine, so the policy's clock restarts.
+    if (out.status == net::RequestStatus::Rejuvenated)
+        rejuv.noteRestored(now);
     if (out.status == net::RequestStatus::Served)
         bp.noteServed();
+}
+
+void
+ServiceGuard::noteProactiveRestore(Tick now)
+{
+    ++nProactive;
+    rejuv.noteRestored(now);
+    mon.noteProactiveRestore(now);
 }
 
 void

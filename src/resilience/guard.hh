@@ -20,6 +20,7 @@
 #include "resilience/admission.hh"
 #include "resilience/backpressure.hh"
 #include "resilience/health.hh"
+#include "resilience/rejuvenation.hh"
 #include "resilience/resilience_config.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -69,11 +70,29 @@ class ServiceGuard
     /** Account health-state residency up to @p end. */
     void finalize(Tick end);
 
+    // ------------------------------------- proactive rejuvenation
+    /** A macro checkpoint was captured (epoch accounting). */
+    void noteMacroEpoch() { rejuv.noteEpoch(); }
+
+    /** True when the proactive policy wants a restore at @p now. */
+    bool proactiveRestoreDue(Tick now) const { return rejuv.due(now); }
+
+    /**
+     * A proactive restore completed at @p now: the health machine
+     * enters Rejuvenating (preempting whatever state it was in) and
+     * the policy's trigger state resets.
+     */
+    void noteProactiveRestore(Tick now);
+
     // ------------------------------------------------------- access
     const ResilienceConfig &config() const { return cfg; }
     const HealthMonitor &health() const { return mon; }
     const AdmissionController &admission() const { return adm; }
     const BackpressureGovernor &backpressure() const { return bp; }
+    const RejuvenationPolicy &rejuvenation() const { return rejuv; }
+
+    /** Proactive restores performed so far. */
+    std::uint64_t proactiveRestores() const { return nProactive; }
 
     /** Sheds by reason, deadline sheds merged in. */
     std::uint64_t shedBy(net::ShedReason r) const;
@@ -95,6 +114,8 @@ class ServiceGuard
     AdmissionController adm;
     HealthMonitor mon;
     BackpressureGovernor bp;
+    RejuvenationPolicy rejuv;
+    std::uint64_t nProactive = 0;
     obs::TraceLog *traceLog = nullptr;
     std::uint32_t traceSource = 0;
 

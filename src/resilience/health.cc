@@ -134,6 +134,14 @@ HealthMonitor::noteQueuePressure(Tick now)
 }
 
 void
+HealthMonitor::noteProactiveRestore(Tick now)
+{
+    failStreak = 0;
+    servedStreak = 0;
+    transitionTo(HealthState::Rejuvenating, now);
+}
+
+void
 HealthMonitor::noteResourcePressure(Tick now)
 {
     if (cur == HealthState::Healthy)

@@ -97,6 +97,16 @@ class HealthMonitor
     /** Accept-queue occupancy crossed the degrade fraction. */
     void noteQueuePressure(Tick now);
 
+    /**
+     * A proactive rejuvenation restored the service from its load
+     * image ahead of any monitor verdict: enter Rejuvenating from
+     * whatever state the service is in (including preempting a
+     * Quarantined rollback) and await a served request to confirm
+     * the rebirth. Streak counters reset — the reborn service owes
+     * nothing to its predecessor's record.
+     */
+    void noteProactiveRestore(Tick now);
+
     /** Heap growth beyond the configured load-time allowance. */
     void noteResourcePressure(Tick now);
 

@@ -1,0 +1,211 @@
+#include "resilience/rejuvenation.hh"
+
+#include <array>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace indra::resilience
+{
+
+namespace
+{
+
+std::uint64_t
+parseU64(const std::string &key, const std::string &value)
+{
+    std::size_t pos = 0;
+    std::uint64_t v = 0;
+    try {
+        v = std::stoull(value, &pos);
+    } catch (const std::exception &) {
+        fatal("bad value '", value, "' for key '", key,
+              "': not an unsigned integer");
+    }
+    fatal_if(pos != value.size(), "bad value '", value, "' for key '",
+             key, "': trailing characters");
+    return v;
+}
+
+double
+parseF64(const std::string &key, const std::string &value)
+{
+    std::size_t pos = 0;
+    double v = 0;
+    try {
+        v = std::stod(value, &pos);
+    } catch (const std::exception &) {
+        fatal("bad value '", value, "' for key '", key,
+              "': not a number");
+    }
+    fatal_if(pos != value.size(), "bad value '", value, "' for key '",
+             key, "': trailing characters");
+    return v;
+}
+
+// Suspicion weights: corruption beats a verdict beats a mere failure;
+// queue pressure is a weak tell on its own.
+constexpr double scoreViolation = 2.0;
+constexpr double scoreFailure = 1.0;
+constexpr double scoreCorruption = 3.0;
+constexpr double scoreQueuePressure = 0.5;
+
+} // anonymous namespace
+
+const char *
+rejuvenationTriggerName(RejuvenationTrigger t)
+{
+    switch (t) {
+      case RejuvenationTrigger::None:
+        return "none";
+      case RejuvenationTrigger::Periodic:
+        return "periodic";
+      case RejuvenationTrigger::Epoch:
+        return "epoch";
+      case RejuvenationTrigger::Suspicion:
+        return "suspicion";
+    }
+    return "??";
+}
+
+RejuvenationTrigger
+rejuvenationTriggerFromName(const std::string &name)
+{
+    static constexpr std::array<RejuvenationTrigger,
+                                rejuvenationTriggerCount>
+        all = {
+            RejuvenationTrigger::None,
+            RejuvenationTrigger::Periodic,
+            RejuvenationTrigger::Epoch,
+            RejuvenationTrigger::Suspicion,
+        };
+    for (RejuvenationTrigger t : all) {
+        if (name == rejuvenationTriggerName(t))
+            return t;
+    }
+    fatal("unknown rejuvenation trigger '", name, "'");
+}
+
+std::string
+RejuvenationConfig::describe() const
+{
+    if (!enabled())
+        return "off";
+    std::ostringstream os;
+    os << rejuvenationTriggerName(trigger);
+    switch (trigger) {
+      case RejuvenationTrigger::Periodic:
+        os << ",p=" << period;
+        break;
+      case RejuvenationTrigger::Epoch:
+        os << ",e=" << epochLimit;
+        break;
+      case RejuvenationTrigger::Suspicion:
+        os << ",th=" << suspicionThreshold << ",d=" << suspicionDecay;
+        break;
+      case RejuvenationTrigger::None:
+        break;
+    }
+    return os.str();
+}
+
+void
+applyRejuvenationSetting(RejuvenationConfig &cfg, const std::string &key,
+                         const std::string &value)
+{
+    if (key == "rejuvenation.trigger") {
+        cfg.trigger = rejuvenationTriggerFromName(value);
+    } else if (key == "rejuvenation.period") {
+        std::uint64_t v = parseU64(key, value);
+        fatal_if(v == 0, "bad value '", value, "' for key '", key,
+                 "': period must be positive");
+        cfg.period = v;
+    } else if (key == "rejuvenation.epochs") {
+        std::uint64_t v = parseU64(key, value);
+        fatal_if(v == 0, "bad value '", value, "' for key '", key,
+                 "': epoch limit must be positive");
+        cfg.epochLimit = v;
+    } else if (key == "rejuvenation.threshold") {
+        double f = parseF64(key, value);
+        fatal_if(f <= 0.0, "bad value '", value, "' for key '", key,
+                 "': threshold must be positive");
+        cfg.suspicionThreshold = f;
+    } else if (key == "rejuvenation.decay") {
+        double f = parseF64(key, value);
+        fatal_if(f < 0.0, "bad value '", value, "' for key '", key,
+                 "': decay must be non-negative");
+        cfg.suspicionDecay = f;
+    } else if (key == "rejuvenation.cooldown") {
+        cfg.cooldown = parseU64(key, value);
+    } else {
+        fatal("unknown rejuvenation setting '", key, "'");
+    }
+}
+
+RejuvenationPolicy::RejuvenationPolicy(const RejuvenationConfig &cfg)
+    : cfg(cfg)
+{
+}
+
+void
+RejuvenationPolicy::noteEpoch()
+{
+    ++epochs;
+}
+
+void
+RejuvenationPolicy::noteOutcome(const net::RequestOutcome &out,
+                                std::uint64_t corruption_delta)
+{
+    using net::RequestStatus;
+    if (out.status == RequestStatus::Shed)
+        return;
+    if (out.violation != mon::Violation::None)
+        score += scoreViolation;
+    if (corruption_delta > 0)
+        score += scoreCorruption;
+    if (out.status == RequestStatus::Served) {
+        score -= cfg.suspicionDecay;
+        if (score < 0.0)
+            score = 0.0;
+    } else {
+        score += scoreFailure;
+    }
+}
+
+void
+RejuvenationPolicy::noteQueuePressure()
+{
+    score += scoreQueuePressure;
+}
+
+bool
+RejuvenationPolicy::due(Tick now) const
+{
+    if (!cfg.enabled())
+        return false;
+    if (nRestores > 0 && now < saturatingAdd(lastRestore, cfg.cooldown))
+        return false;
+    switch (cfg.trigger) {
+      case RejuvenationTrigger::Periodic:
+        return now >= saturatingAdd(lastRestore, cfg.period);
+      case RejuvenationTrigger::Epoch:
+        return epochs >= cfg.epochLimit;
+      case RejuvenationTrigger::Suspicion:
+        return score >= cfg.suspicionThreshold;
+      case RejuvenationTrigger::None:
+        break;
+    }
+    return false;
+}
+
+void
+RejuvenationPolicy::noteRestored(Tick now)
+{
+    lastRestore = now;
+    epochs = 0;
+    score = 0.0;
+    ++nRestores;
+}
+
+} // namespace indra::resilience

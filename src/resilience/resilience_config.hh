@@ -19,6 +19,7 @@
 #include <string>
 
 #include "net/request.hh"
+#include "resilience/rejuvenation.hh"
 #include "sim/types.hh"
 
 namespace indra::resilience
@@ -74,6 +75,13 @@ struct ResilienceConfig
      */
     std::uint64_t resourcePressurePages = 0;
 
+    // ------------------------------------- proactive rejuvenation
+    /**
+     * Proactive restore policy (`rejuvenation.*` keys). Disarmed by
+     * default; arming it alone is enough to create a guard.
+     */
+    RejuvenationConfig rejuvenation;
+
     /** True when any mechanism is armed (a guard will be created). */
     bool enabled() const;
 
@@ -83,6 +91,27 @@ struct ResilienceConfig
     /** One-line render of the armed knobs (bench cell labels). */
     std::string describe() const;
 };
+
+/**
+ * Apply one `resilience.*` or `rejuvenation.*` setting. Unknown keys
+ * and malformed values are fatal errors naming the offending key —
+ * never silently ignored. Recognized keys:
+ *
+ *   resilience.queue_bound              accept-queue bound (0 = off)
+ *   resilience.fifo_high_water          backpressure engage mark
+ *   resilience.fifo_low_water           drain mark (0 = high/2)
+ *   resilience.degrade_violations       violations -> Degraded
+ *   resilience.quarantine_fail_streak   fail streak -> Quarantined
+ *   resilience.heal_served_streak       serve streak -> Healthy
+ *   resilience.degrade_queue_fraction   pressure fraction [0, 1]
+ *   resilience.resource_pressure_pages  heap-growth allowance
+ *   resilience.tokens.<class>           refill / Mcycle (standard,
+ *                                       bulk, probe)
+ *   resilience.burst.<class>            bucket depth per class
+ *   rejuvenation.*                      see rejuvenation.hh
+ */
+void applyResilienceSetting(ResilienceConfig &cfg, const std::string &key,
+                            const std::string &value);
 
 } // namespace indra::resilience
 

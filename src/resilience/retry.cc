@@ -35,7 +35,9 @@ RetryScheduler::delay(std::uint32_t attempt)
         std::clamp(pol.jitterFraction, 0.0, 1.0));
     Cycles jitter =
         span != 0 ? rng.uniform(0, span - 1) : 0;
-    return backoff + jitter;
+    // A cap near maxTick plus jitter must pin at the "never"
+    // sentinel, not wrap around to a tiny delay.
+    return saturatingAdd(backoff, jitter);
 }
 
 } // namespace indra::resilience

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "adversary/adversary_config.hh"
 #include "net/request.hh"
 #include "resilience/health.hh"
 #include "resilience/retry.hh"
@@ -66,6 +67,17 @@ struct StormPlan
     Cycles probePeriod = 100000;
     /** Probes to give up after (guards un-revivable configs). */
     std::uint64_t probeBudget = 256;
+
+    /**
+     * Closed-loop adaptive attacker. When enabled() it REPLACES the
+     * static attack timeline (attackRatePerMCycle, burstLen,
+     * plantDormant are ignored): malicious arrivals are planned one
+     * move at a time from the defense signals observed mid-run, and
+     * enter the schedule through its dynamic heap. Disarmed (the
+     * default), the storm is bit-identical to the pre-adversary
+     * build.
+     */
+    adversary::AdversaryConfig adversary;
 };
 
 /** Everything a storm cell reports. */
@@ -103,6 +115,22 @@ struct StormReport
      * came back).
      */
     std::uint64_t requestsToRevival = 0;
+
+    // ------------------------------------ adversary & rejuvenation
+    std::uint64_t adversaryMoves = 0;    //!< attack moves planned
+    std::uint64_t adversaryRequests = 0; //!< requests those moves spent
+    /**
+     * Times dormant damage was found planted again after a heal
+     * (rejuvenation, macro restore, or proactive restore) — the
+     * re-infection count the revival claim is judged by.
+     */
+    std::uint64_t reinfections = 0;
+    /** First heal -> first re-infection, cycles (0 = never). */
+    Cycles timeToReinfection = 0;
+    /** Restores fired by the proactive policy ahead of a verdict. */
+    std::uint64_t proactiveRestores = 0;
+    /** p99 latency of requests that needed any recovery (0 = none). */
+    Cycles recoveryP99 = 0;
 
     /** Total sheds across all reasons. */
     std::uint64_t shedTotal() const;

@@ -16,7 +16,11 @@
 #include "check/ref_models.hh"
 #include "check/scenario.hh"
 #include "checkpoint/policy.hh"
+#include "core/system.hh"
+#include "faults/fault_plan.hh"
 #include "harness/parallel_sweep.hh"
+#include "net/daemon_profile.hh"
+#include "net/workload.hh"
 #include "mem/trace_fifo.hh"
 #include "obs/trace_log.hh"
 #include "resilience/admission.hh"
@@ -418,6 +422,34 @@ TEST(Scenario, JsonRoundTripPreservesEveryField)
     EXPECT_EQ(check::Scenario::fromJson(planted.toJson()), planted);
 }
 
+TEST(Scenario, AdversaryFieldsRoundTrip)
+{
+    check::Scenario sc = check::makeScenario(1);
+    sc.stormBurst = 4;
+    sc.adversaryBudget = 32;
+    sc.adversaryStrategy = adversary::AdversaryStrategy::Reinfect;
+    sc.rejuvenationTrigger = resilience::RejuvenationTrigger::Suspicion;
+    EXPECT_EQ(check::Scenario::fromJson(sc.toJson()), sc);
+    EXPECT_NE(sc.describe().find("adv=reinfectx32"), std::string::npos);
+    EXPECT_NE(sc.describe().find("rj=suspicion"), std::string::npos);
+}
+
+TEST(Scenario, PreAdversaryReproducersParseToDefaults)
+{
+    // Reproducer JSON written before the adversary existed carries
+    // none of the new keys; it must parse to the classic precomputed
+    // schedule with rejuvenation disarmed.
+    check::Scenario sc = check::Scenario::fromJson(
+        "{\"seed\": 7, \"daemon\": \"httpd\", \"storm_burst\": 4,"
+        " \"steps\": [{\"attack\": \"benign\", \"repeat\": 3}]}");
+    EXPECT_EQ(sc.seed, 7u);
+    EXPECT_EQ(sc.stormBurst, 4u);
+    EXPECT_EQ(sc.adversaryBudget, 0u);
+    EXPECT_EQ(sc.adversaryStrategy, adversary::AdversaryStrategy::Fixed);
+    EXPECT_EQ(sc.rejuvenationTrigger,
+              resilience::RejuvenationTrigger::None);
+}
+
 TEST(Scenario, DerivationIsAPureFunctionOfTheSeed)
 {
     for (std::uint64_t seed : {1u, 17u, 123u}) {
@@ -537,6 +569,39 @@ TEST(OracleEndToEnd, PlantedRollbackBugIsCaughtAndShrunk)
     EXPECT_LE(res.scenario.requestCount(), 10u)
         << "reproducer did not shrink: "
         << res.scenario.toJson();
+}
+
+/** The re-infection invariant's own sensitivity: dormant damage that
+ * is still planted when a rejuvenation claims to have completed must
+ * be flagged as RejuvenationClearsDormant. */
+TEST(OracleEndToEnd, DormantDamageSurvivingRejuvenationIsFlagged)
+{
+    SystemConfig cfg;
+    cfg.physMemBytes = 64ULL * 1024 * 1024;
+    faults::FaultPlan plan;
+    resilience::ResilienceConfig rcfg;
+    core::IndraSystem sys(cfg, plan, rcfg);
+    check::SystemChecker checker(sys);
+    sys.attachChecker(&checker);
+    sys.boot();
+    std::size_t slot = sys.deployService(net::daemonByName("httpd"));
+    Pid pid = sys.slot(slot).pid;
+
+    net::ServiceRequest req;
+    req.seq = 1;
+    req.attack = net::AttackKind::Dormant;
+    sys.processRequest(slot, req);
+    ASSERT_TRUE(sys.appOf(pid)->hasDormantDamage());
+    ASSERT_TRUE(checker.ok());
+
+    // Drive the recovery hook directly, claiming a rejuvenation
+    // completed while the plant is still live — the heal the real
+    // ladder performs is deliberately skipped here.
+    checker.onRecovered(1000, pid, check::RestoreLevel::Rejuvenation);
+    bool flagged = false;
+    for (const check::Violation &v : checker.violations())
+        flagged |= v.id == check::InvariantId::RejuvenationClearsDormant;
+    EXPECT_TRUE(flagged);
 }
 
 /** The shrunk reproducer JSON re-runs identically — same invariant,

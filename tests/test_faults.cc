@@ -105,7 +105,20 @@ TEST(FaultPlan, ParseRoundTrips)
 
 TEST(FaultPlanDeath, ParseRejectsUnknownKind)
 {
-    EXPECT_DEATH(FaultPlan::parse("cosmic-ray:0.5"), "");
+    EXPECT_DEATH(FaultPlan::parse("cosmic-ray:0.5"), "cosmic-ray");
+}
+
+TEST(FaultPlanDeath, ParseRejectsMalformedClauses)
+{
+    // Every malformed clause dies naming the offending piece —
+    // never silently runs a partial plan.
+    EXPECT_DEATH(FaultPlan::parse("delta-flip"), "");
+    EXPECT_DEATH(FaultPlan::parse("delta-flip:"), "");
+    EXPECT_DEATH(FaultPlan::parse("delta-flip:lots"), "bad rate");
+    EXPECT_DEATH(FaultPlan::parse("delta-flip:0.5x"), "bad rate");
+    EXPECT_DEATH(FaultPlan::parse("monitor-delay:0.5:1e4k"),
+                 "bad magnitude");
+    EXPECT_DEATH(FaultPlan::parse("delta-flip:0.5:1:2"), "");
 }
 
 TEST(FaultPlan, KindNamesRoundTrip)
