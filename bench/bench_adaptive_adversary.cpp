@@ -29,7 +29,8 @@
  * Usage: bench_adaptive_adversary [--jobs N] [--smoke]
  *                                 [--ablate K=V[,K=V...]]
  * --ablate applies dotted adversary.* / rejuvenation.* /
- * resilience.* overrides to every cell (the ablation-matrix flags).
+ * resilience.* / domain.* overrides to every cell (the
+ * ablation-matrix flags).
  * --smoke shrinks the workload and self-checks: equal budgets, at
  * least one adaptive strategy strictly under the static attacker's
  * goodput, at least one caught re-infection, and at least one
@@ -150,14 +151,17 @@ runCell(const AttackerSpec &a, resilience::RejuvenationTrigger policy,
 {
     resilience::ResilienceConfig rc = defenseConfig(policy);
     resilience::StormPlan plan = stormPlan(a, budget, legit_requests);
+    SystemConfig cfg = baseConfig();
     // Command-line overrides land on top of the matrix cell, so a
-    // single flag sweeps the whole table through a what-if.
-    resilience::applyAblationSettings(plan.adversary, rc, ablations);
+    // single flag sweeps the whole table through a what-if (the full
+    // router also accepts domain.* keys).
+    resilience::applyAblationSettings(cfg, plan.adversary, rc,
+                                      ablations);
 
     net::DaemonProfile profile = net::daemonByName("httpd");
     profile.instrPerRequest = 25000;
 
-    core::IndraSystem sys(baseConfig(), faults::FaultPlan(), rc);
+    core::IndraSystem sys(cfg, faults::FaultPlan(), rc);
     sys.attachTraceLog(collector.traceFor(cell_idx));
     sys.boot();
     std::size_t slot = sys.deployService(profile);
@@ -206,8 +210,8 @@ main(int argc, char **argv)
     std::string ablate_spec;
     cli.flag("--smoke", "CI-sized subset with self-checks", &smoke);
     cli.option("--ablate", "K=V[,K=V...]",
-               "dotted adversary.*/rejuvenation.*/resilience.* "
-               "overrides applied to every cell",
+               "dotted adversary.*/rejuvenation.*/resilience.*/"
+               "domain.* overrides applied to every cell",
                &ablate_spec);
     auto sweep = cli.parse(argc, argv);
 

@@ -16,12 +16,16 @@
  * Usage: bench_fuzz_scenarios [--jobs N] [--smoke]
  *                             [--seeds N] [--seed-base N]
  *                             [--replay FILE] [--out FILE]
- *                             [--plant-bug]
+ *                             [--plant-bug] [--plant-domain-bug]
  * --plant-bug is the oracle's own sensitivity test: it corrupts one
  * byte behind the backup engine's back, expects the oracle to catch
  * the inexact rollback, and requires the shrunk reproducer to stay
- * small. Exit status is 0 only when the run met its expectation
- * (fuzz/replay: no violation; --plant-bug: caught and shrunk).
+ * small. --plant-domain-bug runs the same flip under the
+ * domain-rewind scheme and additionally requires the catching
+ * invariant to be domain-rewind-confined — the confined rewind must
+ * neither repair nor excuse a byte outside its compartment. Exit
+ * status is 0 only when the run met its expectation (fuzz/replay: no
+ * violation; plant modes: caught and shrunk).
  *
  * Requires a build configured with -DINDRA_CHECK=ON; with the hooks
  * compiled out the bench says so and exits cleanly.
@@ -89,11 +93,16 @@ main(int argc, char **argv)
         "Deterministic oracle fuzzing with shrinking reproducers");
     bool smoke = false;
     bool plantBug = false;
+    bool plantDomainBug = false;
     std::string seedsOpt, seedBaseOpt, replayPath, outPath;
     cli.flag("--smoke", "CI-sized seed budget", &smoke);
     cli.flag("--plant-bug",
              "oracle sensitivity self-test (plant, catch, shrink)",
              &plantBug);
+    cli.flag("--plant-domain-bug",
+             "confined-rewind sensitivity self-test "
+             "(plant under domain-rewind, catch, shrink)",
+             &plantDomainBug);
     cli.option("--seeds", "N", "number of fuzz seeds (default 200)",
                &seedsOpt);
     cli.option("--seed-base", "N", "first seed (default 1)",
@@ -131,13 +140,22 @@ main(int argc, char **argv)
     }
 
     // ---------------------------------------------------- plant-bug
-    if (plantBug) {
-        Scenario sc = check::makePlantedScenario(seedBase);
+    if (plantBug || plantDomainBug) {
+        Scenario sc = plantDomainBug
+            ? check::makePlantedDomainScenario(seedBase)
+            : check::makePlantedScenario(seedBase);
         ScenarioVerdict v = check::runScenario(sc);
         std::cout << "planted " << verdictLine(sc, v) << "\n";
         if (!v.violated) {
             std::cout << "FAIL: the oracle missed the planted "
                          "rollback bug\n";
+            return 1;
+        }
+        if (plantDomainBug &&
+            v.invariant != check::InvariantId::DomainRewindConfined) {
+            std::cout << "FAIL: expected domain-rewind-confined to "
+                         "catch the plant, got "
+                      << check::invariantName(v.invariant) << "\n";
             return 1;
         }
         ShrinkResult shrunk = check::shrinkScenario(

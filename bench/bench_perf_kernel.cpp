@@ -75,6 +75,8 @@ struct WorkloadSpec
     adversary::AdversaryStrategy adversaryStrategy =
         adversary::AdversaryStrategy::Fixed;
     bool proactiveRestore = false; //!< arm a periodic rejuvenation policy
+    CheckpointScheme scheme = CheckpointScheme::DeltaBackup;
+    std::uint32_t domains = 0; //!< 0 = config default
 };
 
 double
@@ -107,6 +109,9 @@ runWorkload(const WorkloadSpec &spec)
     SystemConfig cfg;
     cfg.physMemBytes = 128ULL * 1024 * 1024;
     cfg.consecutiveFailureThreshold = 4;
+    cfg.checkpointScheme = spec.scheme;
+    if (spec.domains)
+        cfg.domainCount = spec.domains;
 
     resilience::ResilienceConfig rc;
     if (spec.bound != 0) {
@@ -280,6 +285,23 @@ main(int argc, char **argv)
         w.adversaryBudget = smoke ? 60 : 1200;
         w.adversaryStrategy = adversary::AdversaryStrategy::ProbeBurst;
         w.proactiveRestore = true;
+        specs.push_back(w);
+    }
+    {
+        // The fourth scheme's hot path: a reinfect adversary keeps
+        // the confined rewind on the clock — per-store anchor capture
+        // plus the memcpy-bound page-copy restore — with legitimate
+        // traffic round-robined over 8 compartments.
+        WorkloadSpec w;
+        w.name = "domain_rewind";
+        w.scheme = CheckpointScheme::DomainRewind;
+        w.domains = 8;
+        w.legitRate = 1.0;
+        w.legitRequests = smoke ? 20 : 700;
+        w.burst = 4;
+        w.bound = 6;
+        w.adversaryBudget = smoke ? 60 : 1200;
+        w.adversaryStrategy = adversary::AdversaryStrategy::Reinfect;
         specs.push_back(w);
     }
 

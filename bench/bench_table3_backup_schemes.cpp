@@ -30,6 +30,7 @@ main(int argc, char **argv)
         CheckpointScheme::MemoryUpdateLog,
         CheckpointScheme::VirtualCheckpoint,
         CheckpointScheme::SoftwareCheckpoint,
+        CheckpointScheme::DomainRewind,
     };
 
     benchutil::printHeader(

@@ -18,9 +18,12 @@
 # The ci-release leg additionally runs scripts/perf_gate.sh (the
 # canonical bench_perf_kernel sweep, exported as BENCH_perf.json and
 # judged against bench/perf_baseline.json; >15% ops/sec regression on
-# any workload fails the pipeline) and scripts/adversary_smoke.sh
+# any workload fails the pipeline), scripts/adversary_smoke.sh
 # (the survivability matrix: --jobs 1/8 bit-identity of the closed
-# feedback loop plus a caught re-infection).
+# feedback loop plus a caught re-infection), and
+# scripts/domain_smoke.sh (confined rewind vs full rejuvenation with
+# the bench self-checks armed, plus the fuzzer's planted
+# confined-rewind bug caught by domain-rewind-confined and shrunk).
 #
 # After the presets, scripts/fuzz_smoke.sh runs a fixed-seed slice of
 # the oracle fuzzer plus its planted-bug sensitivity check.
@@ -54,6 +57,9 @@ for preset in "${presets[@]}"; do
         echo "=== [$preset] adversary smoke"
         scripts/adversary_smoke.sh \
             build-ci-release/bench/bench_adaptive_adversary
+        echo "=== [$preset] domain smoke"
+        scripts/domain_smoke.sh \
+            build-ci-release/bench/bench_domain_rewind
     fi
 done
 

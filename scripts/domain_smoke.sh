@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Domain-rewind smoke: the confined fourth recovery scheme end to end.
+#
+#   1. reinfect-vs-rewind self-check: bench_domain_rewind --smoke pits
+#      the confined rewind (2/4/8 compartments) against full
+#      rejuvenation under the reinfect adversary at equal attack
+#      budget, with the bench's own assertions armed — goodput
+#      strictly improves in every domain cell, at least one confined
+#      rewind actually ran, and no dormant damage survives a rewind.
+#      The sweep must also be bit-identical across --jobs 1 and
+#      --jobs 8 (domain attribution must not leak sweep scheduling
+#      into the simulation).
+#
+#   2. confined-rewind sensitivity: the oracle fuzzer's
+#      --plant-domain-bug flips one byte behind the backup engine's
+#      back under the domain-rewind scheme; the run must be caught by
+#      the domain-rewind-confined invariant specifically and shrunk
+#      to a small reproducer. Needs an -DINDRA_CHECK=ON build; the
+#      script configures one if the given dir has none (same dir
+#      scripts/fuzz_smoke.sh uses, so CI pays for it once).
+#
+# Usage: scripts/domain_smoke.sh <bench_domain_rewind> [check-build-dir]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin=${1:?usage: domain_smoke.sh <bench_domain_rewind> [check-build-dir]}
+check_build=${2:-build-fuzz-smoke}
+jobs=$(nproc 2>/dev/null || echo 4)
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+echo "=== [domain-smoke] reinfect-vs-rewind, --jobs 1 vs --jobs 8"
+"$bin" --smoke --jobs 1 > "$out/j1.txt"
+"$bin" --smoke --jobs 8 > "$out/j8.txt"
+cmp "$out/j1.txt" "$out/j8.txt"
+grep -q "all smoke checks passed" "$out/j1.txt" || {
+    echo "domain smoke: bench self-checks did not report success" >&2
+    exit 1
+}
+
+if [ ! -f "$check_build/CMakeCache.txt" ]; then
+    echo "=== [domain-smoke] configure $check_build (Release, INDRA_CHECK=ON)"
+    cmake -S . -B "$check_build" -DCMAKE_BUILD_TYPE=Release -DINDRA_CHECK=ON
+fi
+echo "=== [domain-smoke] build bench_fuzz_scenarios"
+cmake --build "$check_build" --target bench_fuzz_scenarios -j "$jobs"
+
+echo "=== [domain-smoke] planted confined-rewind bug self-check"
+"$check_build/bench/bench_fuzz_scenarios" --plant-domain-bug \
+    --out "$out/domain_repro.json"
+
+echo "domain smoke passed"

@@ -65,6 +65,7 @@ AdaptiveAdversary::observeOutcome(Tick now, const net::RequestOutcome &out,
     if (attack && out.endTick >= out.startTick &&
         (out.status == RequestStatus::DetectedRecovered ||
          out.status == RequestStatus::CrashedRecovered ||
+         out.status == RequestStatus::DomainRewound ||
          out.status == RequestStatus::MacroRecovered ||
          out.status == RequestStatus::Rejuvenated)) {
         double sample = static_cast<double>(out.endTick - out.startTick);
@@ -73,12 +74,15 @@ AdaptiveAdversary::observeOutcome(Tick now, const net::RequestOutcome &out,
             : sample;
         haveLatency = true;
     }
-    // A rejuvenated, macro-recovered, or lost outcome is a heal — the
-    // service's dormant damage is gone and a fresh plant is worth its
-    // budget again. (The Rejuvenating->Healthy health edge, when a
-    // guard emits one, marks the same moment from the other side.)
+    // A rejuvenated, macro-recovered, domain-rewound, or lost outcome
+    // is a heal — the service's dormant damage is gone and a fresh
+    // plant is worth its budget again. (The Rejuvenating->Healthy
+    // health edge, when a guard emits one, marks the same moment from
+    // the other side.) A confined rewind heals too: attribution pins
+    // the rewind to the planted domain, so the plant never survives.
     if (out.status == RequestStatus::Rejuvenated ||
         out.status == RequestStatus::MacroRecovered ||
+        out.status == RequestStatus::DomainRewound ||
         out.status == RequestStatus::Lost) {
         revivalPending = true;
         plantLive = false;

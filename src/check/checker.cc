@@ -1,8 +1,10 @@
 #include "check/checker.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "checkpoint/delta_backup.hh"
+#include "checkpoint/domain_ckpt.hh"
 #include "core/system.hh"
 #include "os/address_space.hh"
 #include "os/kernel.hh"
@@ -122,6 +124,9 @@ SystemChecker::onDeploy(Pid pid)
     // the first macro image.
     capture(shadow.deployImage, pid);
     capture(shadow.macroImage, pid);
+    // The domain engine starts with no anchors; its first anchor per
+    // page will capture the page as it stands right now.
+    capture(shadow.domainAnchorImage, pid);
 }
 
 void
@@ -173,6 +178,50 @@ SystemChecker::compareMemory(const RefMemory &golden, Tick tick,
 }
 
 void
+SystemChecker::compareDomainRewind(ServiceShadow &shadow, Tick tick,
+                                   Pid pid)
+{
+    ++nCompares;
+    PidRefs refs = resolve(sys, pid);
+    const auto *engine =
+        dynamic_cast<const ckpt::DomainRewindEngine *>(refs.policy);
+    if (!engine)
+        return;
+    const os::Process &proc = sys.kernel().process(pid);
+    // Sorted: the engine rewinds anchors in map order.
+    const std::vector<Vpn> &rewound = engine->lastRewoundPages();
+    // The Domain rung drains the delta rollback before rewinding, so
+    // every epoch-captured page is accounted for: rewound pages must
+    // match the anchor-reset image, everything else must sit exactly
+    // where the epoch began.
+    for (const auto &[vpn, golden] : shadow.epochImage.pages()) {
+        (void)golden;
+        if (!proc.space->isMapped(vpn))
+            continue;
+        bool was_rewound =
+            std::binary_search(rewound.begin(), rewound.end(), vpn);
+        const RefMemory &image =
+            was_rewound ? shadow.domainAnchorImage : shadow.epochImage;
+        auto mismatch = image.comparePage(
+            vpn,
+            sys.physMem().snapshotFrame(proc.space->pageInfo(vpn).pfn));
+        if (mismatch) {
+            Violation v;
+            v.id = InvariantId::DomainRewindConfined;
+            v.tick = tick;
+            v.pid = pid;
+            v.epoch = shadow.epoch;
+            v.detail = std::string(was_rewound
+                ? "rewound page differs from its anchor image: "
+                : "page outside the rewind moved from the epoch image: ")
+                + mismatch->describe();
+            report(std::move(v));
+            return;
+        }
+    }
+}
+
+void
 SystemChecker::onRecovered(Tick tick, Pid pid, RestoreLevel level)
 {
     ServiceShadow &shadow = shadowFor(pid);
@@ -187,12 +236,43 @@ SystemChecker::onRecovered(Tick tick, Pid pid, RestoreLevel level)
           case RestoreLevel::Micro:
             compareMemory(shadow.epochImage, tick, pid, level);
             break;
+          case RestoreLevel::Domain:
+            compareDomainRewind(shadow, tick, pid);
+            break;
           case RestoreLevel::Macro:
             compareMemory(shadow.macroImage, tick, pid, level);
             break;
           case RestoreLevel::Rejuvenation:
             compareMemory(shadow.deployImage, tick, pid, level);
             break;
+        }
+    }
+
+    if (level == RestoreLevel::Macro ||
+        level == RestoreLevel::Rejuvenation) {
+        // Both paths invalidate the checkpoint policy, which drops the
+        // domain engine's page anchors: the next anchor per page will
+        // capture memory as it stands after this restore, so the
+        // rewind target image must move with it. Captured outside the
+        // clean gate — even a restore from corrupted backup resets the
+        // anchors to whatever memory now holds.
+        capture(shadow.domainAnchorImage, pid);
+    }
+
+    if (level == RestoreLevel::Domain) {
+        // A rewind attributed to the dormant-damaged domain restores
+        // the plant's page from its pre-plant anchor, and the system
+        // heals the damage before this hook fires — damage still
+        // present means an infected page survived its own rewind.
+        net::ServiceApplication *app = sys.appOf(pid);
+        if (app && app->hasDormantDamage()) {
+            Violation v;
+            v.id = InvariantId::DomainRewindClearsDormant;
+            v.tick = tick;
+            v.pid = pid;
+            v.epoch = shadow.epoch;
+            v.detail = "dormant damage survived its domain's rewind";
+            report(std::move(v));
         }
     }
 

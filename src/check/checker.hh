@@ -35,6 +35,12 @@ struct ServiceShadow
     RefMemory deployImage;  //!< rejuvenation must reproduce this
     RefMemory macroImage;   //!< macro restore must reproduce this
     RefMemory epochImage;   //!< micro rollback must reproduce this
+    /**
+     * Memory at the domain engine's last anchor reset (deploy, macro
+     * restore, or rejuvenation — the points where the engine drops
+     * its anchors): what a rewound page must be restored to.
+     */
+    RefMemory domainAnchorImage;
     std::uint64_t epoch = 0;
     /** corruptionDetected() baseline at epoch begin, so a recovery
      *  whose backup state was (detectably) corrupted this epoch is
@@ -89,6 +95,14 @@ class SystemChecker : public CheckSink
     /** Compare phys against @p golden; report on divergence. */
     void compareMemory(const RefMemory &golden, Tick tick, Pid pid,
                        RestoreLevel level);
+
+    /**
+     * Audit a confined domain rewind: every page the engine rewound
+     * must match the anchor image, every other epoch-captured page
+     * must still match the epoch image (the rewind's blast radius is
+     * exactly the attributed domain's non-shared pages).
+     */
+    void compareDomainRewind(ServiceShadow &shadow, Tick tick, Pid pid);
 
     ServiceShadow &shadowFor(Pid pid);
 

@@ -36,6 +36,8 @@ enum class RestoreLevel : std::uint8_t
 {
     Micro = 0,     //!< per-request rollback: memory must match the
                    //!< epoch-begin image
+    Domain,        //!< confined domain rewind: rewound pages must
+                   //!< match their anchors, all others the epoch image
     Macro,         //!< application checkpoint restore: memory must
                    //!< match the last macro capture
     Rejuvenation,  //!< full rebirth: memory must match the load image
@@ -48,6 +50,8 @@ restoreLevelName(RestoreLevel l)
     switch (l) {
       case RestoreLevel::Micro:
         return "micro";
+      case RestoreLevel::Domain:
+        return "domain";
       case RestoreLevel::Macro:
         return "macro";
       case RestoreLevel::Rejuvenation:

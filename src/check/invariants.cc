@@ -35,6 +35,10 @@ invariantName(InvariantId id)
         return "undo-log-model-conforms";
       case InvariantId::RejuvenationClearsDormant:
         return "rejuvenation-clears-dormant";
+      case InvariantId::DomainRewindConfined:
+        return "domain-rewind-confined";
+      case InvariantId::DomainRewindClearsDormant:
+        return "domain-rewind-clears-dormant";
     }
     return "??";
 }

@@ -46,10 +46,14 @@ enum class InvariantId : std::uint8_t
     FifoModelConforms,        //!< trace FIFO == reference replay
     UndoLogModelConforms,     //!< update log == sorted-map reference
     RejuvenationClearsDormant, //!< no dormant damage survives rebirth
+    DomainRewindConfined,     //!< rewind touched only the attributed
+                              //!< domain: rewound pages == anchors,
+                              //!< every other page == epoch image
+    DomainRewindClearsDormant, //!< no dormant damage survives a rewind
 };
 
 /** Number of distinct invariant ids. */
-constexpr std::size_t invariantIdCount = 10;
+constexpr std::size_t invariantIdCount = 12;
 
 /** Printable invariant name ("memory-restore-exact", ...). */
 const char *invariantName(InvariantId id);

@@ -216,4 +216,46 @@ RefUndoLog::find(Addr vaddr) const
     return it == oldest.end() ? nullptr : &it->second;
 }
 
+// ------------------------------------------------------------ RefDomain
+
+void
+RefDomain::noteWrite(Vpn vpn, std::uint32_t domain)
+{
+    auto [it, fresh] = writes.try_emplace(vpn);
+    if (fresh)
+        it->second.first = domain;
+    it->second.domains.insert(domain);
+}
+
+bool
+RefDomain::claimed(Vpn vpn) const
+{
+    return writes.find(vpn) != writes.end();
+}
+
+std::uint32_t
+RefDomain::ownerOf(Vpn vpn) const
+{
+    auto it = writes.find(vpn);
+    return it == writes.end() ? 0 : it->second.first;
+}
+
+bool
+RefDomain::shared(Vpn vpn) const
+{
+    auto it = writes.find(vpn);
+    return it != writes.end() && it->second.domains.size() > 1;
+}
+
+std::vector<Vpn>
+RefDomain::rewindSet(std::uint32_t domain) const
+{
+    std::vector<Vpn> set;
+    for (const auto &[vpn, w] : writes) {
+        if (w.first == domain && w.domains.size() == 1)
+            set.push_back(vpn);
+    }
+    return set;
+}
+
 } // namespace indra::check

@@ -14,6 +14,10 @@
  *  - RefUndoLog: the MemoryUpdateLog's restore contract as a sorted
  *    map keeping only the *oldest* pre-store value per address — the
  *    value a correct undo replay must leave behind.
+ *  - RefDomain: the os::DomainMap ownership contract restated with
+ *    the full writer *set* per page — first writer owns, any second
+ *    writer makes the page shared, and the set of pages a confined
+ *    rewind may restore falls out by definition.
  */
 
 #ifndef INDRA_CHECK_REF_MODELS_HH
@@ -22,6 +26,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -200,6 +205,49 @@ class RefUndoLog
 
   private:
     std::map<Addr, OldValue> oldest;
+};
+
+/**
+ * Reference model of the isolated-domain ownership contract
+ * (os/domain_map.hh): instead of an (owner, shared-bit) pair it keeps
+ * the complete set of domains that ever wrote each page, so ownership
+ * ("the minimum-insertion-order writer" = first writer), sharing
+ * ("more than one writer") and the confined rewind set all fall out
+ * by definition rather than by bookkeeping.
+ */
+class RefDomain
+{
+  public:
+    /** Record a write to @p vpn by @p domain. */
+    void noteWrite(Vpn vpn, std::uint32_t domain);
+
+    /** True when some domain has written @p vpn. */
+    bool claimed(Vpn vpn) const;
+
+    /** First writer of @p vpn; 0 when never written. */
+    std::uint32_t ownerOf(Vpn vpn) const;
+
+    /** True when two or more distinct domains wrote @p vpn. */
+    bool shared(Vpn vpn) const;
+
+    /**
+     * The pages a confined rewind of @p domain may restore: every
+     * page it owns that no other domain ever wrote, sorted by vpn.
+     */
+    std::vector<Vpn> rewindSet(std::uint32_t domain) const;
+
+    /** Forget every write (invalidate / rejuvenation). */
+    void clear() { writes.clear(); }
+
+    std::size_t pageCount() const { return writes.size(); }
+
+  private:
+    struct PageWriters
+    {
+        std::uint32_t first = 0;          //!< first writer (owner)
+        std::set<std::uint32_t> domains;  //!< every writer ever
+    };
+    std::map<Vpn, PageWriters> writes;
 };
 
 } // namespace indra::check

@@ -20,12 +20,13 @@ namespace
 CheckpointScheme
 schemeFromName(const std::string &name)
 {
-    static constexpr std::array<CheckpointScheme, 5> all = {
+    static constexpr std::array<CheckpointScheme, 6> all = {
         CheckpointScheme::None,
         CheckpointScheme::DeltaBackup,
         CheckpointScheme::VirtualCheckpoint,
         CheckpointScheme::MemoryUpdateLog,
         CheckpointScheme::SoftwareCheckpoint,
+        CheckpointScheme::DomainRewind,
     };
     for (CheckpointScheme s : all) {
         if (name == checkpointSchemeName(s))
@@ -79,6 +80,8 @@ Scenario::describe() const
     if (rejuvenationTrigger != resilience::RejuvenationTrigger::None)
         os << " rj="
            << resilience::rejuvenationTriggerName(rejuvenationTrigger);
+    if (domainCount)
+        os << " dom=" << domainCount;
     if (plantAtEpoch)
         os << " plant@" << plantAtEpoch;
     return os.str();
@@ -105,7 +108,8 @@ Scenario::toJson() const
     os << ",\n  \"rejuvenation_trigger\": ";
     obs::jsonString(
         os, resilience::rejuvenationTriggerName(rejuvenationTrigger));
-    os << ",\n  \"faults\": [";
+    os << ",\n  \"domain_count\": " << domainCount
+       << ",\n  \"faults\": [";
     for (std::size_t i = 0; i < faults.size(); ++i) {
         os << (i ? ", " : "") << "{\"kind\": ";
         obs::jsonString(os, faults::faultKindName(faults[i].kind));
@@ -153,6 +157,10 @@ Scenario::fromJson(const std::string &text)
         resilience::rejuvenationTriggerFromName(doc.str(
             "rejuvenation_trigger",
             resilience::rejuvenationTriggerName(sc.rejuvenationTrigger)));
+    // Absent in reproducer files written before the domain-rewind
+    // scheme existed; those replay with the config default.
+    sc.domainCount = static_cast<std::uint32_t>(
+        doc.u64("domain_count", sc.domainCount));
     if (const JsonValue *fs = doc.field("faults")) {
         for (const JsonValue &f : fs->items) {
             FaultSetting setting;
@@ -269,6 +277,19 @@ makeScenario(std::uint64_t seed)
             sc.rejuvenationTrigger = triggers[rng.nextBounded(3)];
         }
     }
+
+    // Domain-rewind draws come last of all: every field drawn above is
+    // identical to what the same seed produced before this scheme
+    // existed, so old reproducers keep meaning the same thing.
+    if (rng.bernoulli(0.25)) {
+        sc.scheme = CheckpointScheme::DomainRewind;
+        sc.domainCount = 2 + rng.nextBounded(3);
+        if (rng.bernoulli(0.5)) {
+            // A cross-domain-tainting attack exercises the escalation
+            // boundary past the confined rewind.
+            sc.steps.push_back({net::AttackKind::CodeInjection, 1});
+        }
+    }
     return sc;
 }
 
@@ -293,6 +314,31 @@ makePlantedScenario(std::uint64_t seed)
     // Plant at the first attack's epoch: the detection-triggered
     // micro rollback cannot repair a byte the backup engine never
     // saw change.
+    sc.plantAtEpoch = sc.firstAttackEpoch();
+    return sc;
+}
+
+Scenario
+makePlantedDomainScenario(std::uint64_t seed)
+{
+    Scenario sc;
+    sc.seed = seed;
+    sc.daemon = "httpd";
+    sc.scheme = CheckpointScheme::DomainRewind;
+    // Two domains and a benign warm-up: the seq round-robin walks
+    // both compartments over the data pages before the attack, so the
+    // planted page is shared (or foreign-owned) by the time the
+    // confined rewind runs — a rewind is not allowed to repair it,
+    // and the post-recovery compare must flag the unexplained flip.
+    sc.domainCount = 2;
+    sc.failThreshold = 4;
+    sc.macroPeriod = 50;
+    sc.steps = {
+        {net::AttackKind::None, 4},
+        {net::AttackKind::StackSmash, 1},
+        {net::AttackKind::None, 1},
+        {net::AttackKind::StackSmash, 1},
+    };
     sc.plantAtEpoch = sc.firstAttackEpoch();
     return sc;
 }
@@ -330,6 +376,9 @@ runScenario(const Scenario &sc)
         rcfg.rejuvenation.suspicionThreshold = 4.0;
         rcfg.rejuvenation.cooldown = 100000;
     }
+
+    if (sc.domainCount)
+        cfg.domainCount = sc.domainCount;
 
     core::IndraSystem sys(cfg, plan, rcfg);
     SystemChecker checker(sys);
@@ -548,6 +597,23 @@ shrinkScenario(const Scenario &sc, const ScenarioVerdict &original,
             cand.stormBurst = 0;
             cand.stormAttackRate = 0.0;
             cand.adversaryBudget = 0;
+            if (attemptAligned(std::move(cand)))
+                changed = true;
+        }
+
+        // Domain rewind: fewer domains, then fall back to the paper's
+        // base engine (a failure that survives on plain delta-backup
+        // was never about the domain machinery).
+        if (res.scenario.scheme == CheckpointScheme::DomainRewind) {
+            if (res.scenario.domainCount > 2) {
+                Scenario cand = res.scenario;
+                cand.domainCount = 2;
+                if (attemptAligned(std::move(cand)))
+                    changed = true;
+            }
+            Scenario cand = res.scenario;
+            cand.scheme = CheckpointScheme::DeltaBackup;
+            cand.domainCount = 0;
             if (attemptAligned(std::move(cand)))
                 changed = true;
         }

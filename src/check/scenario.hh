@@ -79,6 +79,9 @@ struct Scenario
     /** Proactive rejuvenation policy (None = reactive-only ladder). */
     resilience::RejuvenationTrigger rejuvenationTrigger =
         resilience::RejuvenationTrigger::None;
+    /** Isolated domains for the domain-rewind scheme (0 = leave the
+     *  system config's default alone). */
+    std::uint32_t domainCount = 0;
     std::vector<FaultSetting> faults;
     std::vector<ScenarioStep> steps;
 
@@ -103,6 +106,11 @@ Scenario makeScenario(std::uint64_t seed);
 /** The oracle-sensitivity scenario: a planted rollback bug that a
  *  correct oracle must catch at a micro recovery. */
 Scenario makePlantedScenario(std::uint64_t seed);
+
+/** The domain-rewind sensitivity scenario: the same planted flip
+ *  under CheckpointScheme::DomainRewind, caught by the
+ *  DomainRewindConfined compare at a confined rewind. */
+Scenario makePlantedDomainScenario(std::uint64_t seed);
 
 /** What one scenario run concluded. */
 struct ScenarioVerdict

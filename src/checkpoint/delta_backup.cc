@@ -13,8 +13,19 @@ DeltaBackup::DeltaBackup(const SystemConfig &cfg,
                          mem::PhysicalMemory &phys,
                          mem::MemHierarchy &mem,
                          stats::StatGroup &parent)
+    : DeltaBackup(cfg, context, space, phys, mem, parent, "ckpt_delta")
+{
+}
+
+DeltaBackup::DeltaBackup(const SystemConfig &cfg,
+                         os::ProcessContext &context,
+                         os::AddressSpace &space,
+                         mem::PhysicalMemory &phys,
+                         mem::MemHierarchy &mem,
+                         stats::StatGroup &parent,
+                         const char *group_name)
     : CheckpointPolicy(cfg, context, space, phys, mem, parent,
-                       "ckpt_delta"),
+                       group_name),
       statRecordsAllocated(statGroup, "records_allocated",
                            "backup page records created"),
       statLazyLineRecoveries(statGroup, "lazy_line_recoveries",

@@ -130,6 +130,13 @@ class DeltaBackup : public CheckpointPolicy
         return statPagesPerRequest;
     }
 
+  protected:
+    /** Subclass constructor: same engine, its own stat subtree. */
+    DeltaBackup(const SystemConfig &cfg, os::ProcessContext &context,
+                os::AddressSpace &space, mem::PhysicalMemory &phys,
+                mem::MemHierarchy &mem, stats::StatGroup &parent,
+                const char *group_name);
+
   private:
     /**
      * records.find with a one-entry memo: stores and loads cluster on

@@ -1,6 +1,7 @@
 #include "checkpoint/policy.hh"
 
 #include "checkpoint/delta_backup.hh"
+#include "checkpoint/domain_ckpt.hh"
 #include "checkpoint/software_ckpt.hh"
 #include "checkpoint/update_log.hh"
 #include "checkpoint/virtual_ckpt.hh"
@@ -105,6 +106,9 @@ makePolicy(const SystemConfig &cfg, os::ProcessContext &context,
                                                  phys, mem, parent);
       case CheckpointScheme::SoftwareCheckpoint:
         return std::make_unique<SoftwareCheckpoint>(cfg, context, space,
+                                                    phys, mem, parent);
+      case CheckpointScheme::DomainRewind:
+        return std::make_unique<DomainRewindEngine>(cfg, context, space,
                                                     phys, mem, parent);
     }
     panic("unknown checkpoint scheme");

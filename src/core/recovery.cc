@@ -1,5 +1,6 @@
 #include "core/recovery.hh"
 
+#include "checkpoint/domain_ckpt.hh"
 #include "sim/logging.hh"
 
 namespace indra::core
@@ -18,6 +19,10 @@ RecoveryManager::RecoveryManager(const SystemConfig &cfg,
       monitor(monitor_ptr),
       statGroup(parent, "recovery"),
       statMicroRecoveries(statGroup, "micro", "micro recoveries"),
+      statDomainRewinds(statGroup, "domain_rewinds",
+                        "confined domain rewinds"),
+      statCrossEscalations(statGroup, "cross_escalations",
+                           "rewinds refused for cross-domain taint"),
       statMacroRecoveries(statGroup, "macro", "macro recoveries"),
       statRejuvenations(statGroup, "rejuvenations",
                         "full service rejuvenations"),
@@ -112,6 +117,16 @@ RecoveryManager::recover(Tick tick)
         want_macro = true;
     }
 
+    if (domainEngine && domainEngine->attributionPending() &&
+        domainEngine->attributedCross()) {
+        // Cross-domain taint: the exploit class can reach past the
+        // compartment boundary, so a confined rewind cannot bound the
+        // blast radius. Drop the attribution and escalate.
+        ++statCrossEscalations;
+        domainEngine->clearAttribution();
+        want_macro = true;
+    }
+
     // Whenever micro recovery is still a possible outcome, its backup
     // state must checksum-verify; corrupt backups escalate instead of
     // silently restoring wrong bytes.
@@ -157,6 +172,24 @@ RecoveryManager::recover(Tick tick)
         }
         // Threshold exceeded but no application checkpoint was ever
         // taken: keep doing micro recovery (the pre-hybrid behavior).
+    }
+
+    if (domainEngine && domainEngine->attributionPending()) {
+        // --- confined domain rewind ---
+        // Same per-request exactness as the micro rung, then the
+        // attributed compartment is discarded back to its anchors.
+        // The rollback is drained *eagerly* first: a lazily pending
+        // line applied after the rewind would clobber anchor content.
+        ++statDomainRewinds;
+        core.stall(policy.onFailure(core.curTick()));
+        core.stall(policy.drainRollback(core.curTick()));
+        core.stall(domainEngine->rewindAttributed(core.curTick()));
+        proc.context->restore(contextSnap);
+        accountRestore(
+            proc.resources->restoreTo(resourceSnap, *proc.space));
+        if (monitor)
+            monitor->onRecovery(pid);
+        return RecoveryLevel::Domain;
     }
 
     // --- micro recovery (Figure 6, failure path) ---
@@ -242,6 +275,18 @@ std::uint64_t
 RecoveryManager::rejuvenations() const
 {
     return static_cast<std::uint64_t>(statRejuvenations.value());
+}
+
+std::uint64_t
+RecoveryManager::domainRewinds() const
+{
+    return static_cast<std::uint64_t>(statDomainRewinds.value());
+}
+
+std::uint64_t
+RecoveryManager::crossEscalations() const
+{
+    return static_cast<std::uint64_t>(statCrossEscalations.value());
 }
 
 std::uint64_t

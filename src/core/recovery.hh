@@ -44,6 +44,8 @@
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
+namespace indra::ckpt { class DomainRewindEngine; }
+
 namespace indra::core
 {
 
@@ -51,6 +53,7 @@ namespace indra::core
 enum class RecoveryLevel : std::uint8_t
 {
     Micro,         //!< per-request delta rollback (swift)
+    Domain,        //!< confined rewind of one isolated domain
     Macro,         //!< application checkpoint rollback (slow, rare)
     Rejuvenation,  //!< full service re-initialization (last resort)
 };
@@ -88,8 +91,35 @@ class RecoveryManager
      * threshold; macro rollback when micro is exhausted or its backup
      * state is corrupt; full rejuvenation when the macro level is
      * itself corrupt, missing, or exhausted.
+     *
+     * With a domain engine attached (CheckpointScheme::DomainRewind)
+     * and a pending failure attribution, the swift rung becomes a
+     * *confined* one: the per-request rollback is drained and only
+     * the attributed domain's pages are rewound to their anchors
+     * (RecoveryLevel::Domain). Attribution flagged as cross-domain
+     * taint escalates to macro instead — a compartment rewind cannot
+     * bound that blast radius. The consecutive-failure streak is NOT
+     * reset by a domain rewind, so a domain that keeps failing still
+     * climbs the ladder.
      */
     RecoveryLevel recover(Tick tick);
+
+    /**
+     * Attach the domain-rewind engine (nullable; only under
+     * CheckpointScheme::DomainRewind). The engine is the same object
+     * as the checkpoint policy — this just gives the ladder its
+     * domain-typed view.
+     */
+    void setDomainEngine(ckpt::DomainRewindEngine *e)
+    {
+        domainEngine = e;
+    }
+
+    /** Confined domain rewinds performed by the ladder. */
+    std::uint64_t domainRewinds() const;
+
+    /** Rewinds refused for cross-domain taint (escalated to macro). */
+    std::uint64_t crossEscalations() const;
 
     /**
      * Rebuild the service from its load image *without* a failure:
@@ -146,6 +176,7 @@ class RecoveryManager
     Pid pid;
     cpu::Core &core;
     mon::Monitor *monitor;
+    ckpt::DomainRewindEngine *domainEngine = nullptr;
     obs::TraceLog *traceLog = nullptr;
     std::uint32_t traceSource = 0;
 
@@ -168,6 +199,8 @@ class RecoveryManager
 
     stats::StatGroup statGroup;
     stats::Scalar statMicroRecoveries;
+    stats::Scalar statDomainRewinds;
+    stats::Scalar statCrossEscalations;
     stats::Scalar statMacroRecoveries;
     stats::Scalar statRejuvenations;
     stats::Scalar statIntegrityEscalations;

@@ -166,6 +166,16 @@ IndraSystem::runStorm(std::size_t slot_idx,
     Pcg32 attackRng(plan.seed, 0x6174746bULL);   // "attk"
     resilience::RetryScheduler retry(plan.backoff, plan.seed);
 
+    // Every non-probe arrival is bound to an isolated domain up front
+    // (round-robin over the configured count); retries keep their
+    // original domain, probes stay unassigned. The stamp is inert
+    // under every scheme except DomainRewind.
+    std::uint64_t next_domain = 0;
+    auto stampDomain = [&](Arrival &a) {
+        a.req.domain =
+            static_cast<std::uint32_t>(next_domain++ % cfg.domainCount);
+    };
+
     Tick t = 0;
     for (std::uint64_t i = 0; i < plan.legitRequests; ++i) {
         t = saturatingAdd(t, expGap(legitRng, plan.legitRatePerMCycle));
@@ -176,6 +186,7 @@ IndraSystem::runStorm(std::size_t slot_idx,
         a.req.clientClass = net::ClientClass::Standard;
         a.req.admissionDeadline = plan.deadline;
         a.legit = true;
+        stampDomain(a);
         events.pushStatic(std::move(a));
     }
     rep.legitArrivals = plan.legitRequests;
@@ -211,6 +222,7 @@ IndraSystem::runStorm(std::size_t slot_idx,
                         ? net::AttackKind::Dormant
                         : plan.attackKind;
                 a.req.clientClass = net::ClientClass::Bulk;
+                stampDomain(a);
                 events.pushStatic(std::move(a));
                 ++rep.attackArrivals;
             }
@@ -222,6 +234,7 @@ IndraSystem::runStorm(std::size_t slot_idx,
         a.order = order++;
         a.req.attack = net::AttackKind::Dormant;
         a.req.clientClass = net::ClientClass::Bulk;
+        stampDomain(a);
         events.pushStatic(std::move(a));
         ++rep.attackArrivals;
     }
@@ -269,6 +282,7 @@ IndraSystem::runStorm(std::size_t slot_idx,
             a.order = order++;
             a.req.attack = mv->payload;
             a.req.clientClass = net::ClientClass::Bulk;
+            stampDomain(a);
             events.pushDynamic(std::move(a));
             ++rep.attackArrivals;
             ++adv_outstanding;
@@ -343,7 +357,8 @@ IndraSystem::runStorm(std::size_t slot_idx,
                                           guard->config().fifoHighWater);
                 }
                 resilience::AdmissionDecision d = guard->tryAdmit(
-                    a.tick, a.req.clientClass, queue.size(), occ);
+                    a.tick, a.req.clientClass, queue.size(), occ,
+                    a.req.domain);
                 if (!d.admitted) {
                     recordShed(a, d.reason, a.tick);
                     continue;
@@ -384,6 +399,7 @@ IndraSystem::runStorm(std::size_t slot_idx,
         s.core->stallUntil(q.tick);
         net::ServiceRequest req = q.req;
         req.seq = next_seq++; // execution order, as the app expects
+        bool had_dormant = refs.app->hasDormantDamage();
         net::RequestOutcome out = runOneRequest(refs, req);
         out.startTick = q.tick; // response measured from arrival
 
@@ -402,6 +418,18 @@ IndraSystem::runStorm(std::size_t slot_idx,
             out.status == net::RequestStatus::Lost) {
             awaiting_reinfect = true;
             last_heal = out.endTick;
+        } else if (out.status == net::RequestStatus::DomainRewound) {
+            ++rep.domainRewinds;
+            if (refs.app->hasDormantDamage()) {
+                // A confined rewind must target the planted domain or
+                // escalate; damage surviving one is a defect.
+                ++rep.dormantAfterRewind;
+            } else if (had_dormant) {
+                // The rewind healed the plant: it counts as a heal for
+                // the re-infection clock, same as the macro levels.
+                awaiting_reinfect = true;
+                last_heal = out.endTick;
+            }
         } else if (awaiting_reinfect && refs.app->hasDormantDamage()) {
             ++rep.reinfections;
             if (rep.timeToReinfection == 0) {

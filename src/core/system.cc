@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "checkpoint/domain_ckpt.hh"
 #include "sim/logging.hh"
 
 namespace indra::core
@@ -130,6 +131,14 @@ IndraSystem::deployService(const net::DaemonProfile &profile)
         cfg, *s->policy, *s->macro, *kernelPtr, *phys, s->pid, *s->core,
         s->monitor.get(), *s->statGroup);
 
+    // Under DomainRewind the policy *is* the domain engine; give the
+    // recovery ladder its domain-typed view so it can offer the
+    // confined rung.
+    if (cfg.checkpointScheme == CheckpointScheme::DomainRewind) {
+        s->recovery->setDomainEngine(
+            static_cast<ckpt::DomainRewindEngine *>(s->policy.get()));
+    }
+
     // Take the initial application checkpoint (the last-resort
     // restore image), then zero the service's clock so measurements
     // start clean.
@@ -143,6 +152,11 @@ IndraSystem::deployService(const net::DaemonProfile &profile)
         s->guard = std::make_unique<resilience::ServiceGuard>(
             resCfg, *s->statGroup);
         s->guard->noteHeapPages(proc.resources->heapPages(), 0);
+        // Per-domain health only makes sense when requests carry a
+        // domain; with any other scheme the guard tracks node health
+        // exactly as before.
+        if (cfg.checkpointScheme == CheckpointScheme::DomainRewind)
+            s->guard->enableDomains(cfg.domainCount);
     }
 
     if (traceLogPtr)
@@ -272,6 +286,10 @@ IndraSystem::deployCoService(std::size_t host_slot,
     co->recovery = std::make_unique<RecoveryManager>(
         cfg, *co->policy, *co->macro, *kernelPtr, *phys, co->pid,
         *s.core, s.monitor.get(), *s.statGroup);
+    if (cfg.checkpointScheme == CheckpointScheme::DomainRewind) {
+        co->recovery->setDomainEngine(
+            static_cast<ckpt::DomainRewindEngine *>(co->policy.get()));
+    }
 
     // Install (or extend) the CR3-routed hook mux on the shared core.
     if (!s.hookMux) {
@@ -314,6 +332,23 @@ IndraSystem::runOneRequest(const ServiceRefs &refs,
     out.startTick = s.core->curTick();
     std::uint64_t instr0 = s.core->instructions();
 
+    // Under DomainRewind every request executes inside one isolated
+    // domain: the one stamped on the request, or a deterministic
+    // round-robin fallback for callers that never assign domains.
+    const net::ServiceRequest *reqp = &req;
+    net::ServiceRequest domain_req;
+    if (cfg.checkpointScheme == CheckpointScheme::DomainRewind) {
+        std::uint32_t dom = req.domain != net::domainUnassigned
+            ? req.domain
+            : static_cast<std::uint32_t>(req.seq % cfg.domainCount);
+        domain_req = req;
+        domain_req.domain = dom;
+        reqp = &domain_req;
+        out.domain = dom;
+        static_cast<ckpt::DomainRewindEngine *>(refs.policy)
+            ->setActiveDomain(dom);
+    }
+
 #if INDRA_OBS_TRACING_ENABLED
     // Clockless emitters (the fault injector) stamp their events with
     // the log's now(); keep it on the serving core's clock.
@@ -330,7 +365,7 @@ IndraSystem::runOneRequest(const ServiceRefs &refs,
                    refs.macro->corruptionDetected();
     }
 
-    net::RequestExecution gen = refs.app->beginRequest(req);
+    net::RequestExecution gen = refs.app->beginRequest(*reqp);
     cpu::Instruction inst;
     bool failed = false;
     bool detected = false;
@@ -414,6 +449,27 @@ IndraSystem::handleFailure(const ServiceRefs &refs,
     out.violation = violation;
 
     if (cfg.checkpointScheme != CheckpointScheme::None) {
+        ckpt::DomainRewindEngine *dom_engine = nullptr;
+        if (cfg.checkpointScheme == CheckpointScheme::DomainRewind) {
+            // Attribute the failure before the ladder runs: dormant
+            // damage is pinned to the domain it was planted in, an
+            // acute failure to the domain serving this request. An
+            // exploit class with an arbitrary-write primitive can
+            // reach past the compartment boundary, so flag it as
+            // cross-domain taint (the ladder escalates instead).
+            dom_engine =
+                static_cast<ckpt::DomainRewindEngine *>(refs.policy);
+            std::uint32_t dom =
+                refs.app->hasDormantDamage() &&
+                        refs.app->dormantDomain() != net::domainUnassigned
+                    ? refs.app->dormantDomain()
+                    : dom_engine->activeDomain();
+            bool cross =
+                out.attack == net::AttackKind::CodeInjection ||
+                out.attack == net::AttackKind::FormatString;
+            dom_engine->attributeFailure(dom, cross);
+        }
+
         RecoveryLevel level = refs.recovery->recover(fail_tick);
         if (level == RecoveryLevel::Rejuvenation) {
             // The reborn service starts from its load image: nothing
@@ -426,11 +482,26 @@ IndraSystem::handleFailure(const ServiceRefs &refs,
             out.status = net::RequestStatus::MacroRecovered;
             refs.app->healDormantDamage();
             *refs.requestsSinceMacro = 0;
+        } else if (level == RecoveryLevel::Domain) {
+            out.status = net::RequestStatus::DomainRewound;
+            // Rewinding the compartment the damage was planted in
+            // restores its pre-plant anchors: the plant is gone.
+            if (refs.app->hasDormantDamage() &&
+                dom_engine->lastRewoundDomain() ==
+                    refs.app->dormantDomain()) {
+                refs.app->healDormantDamage();
+            }
         } else {
             out.status = detected
                 ? net::RequestStatus::DetectedRecovered
                 : net::RequestStatus::CrashedRecovered;
         }
+
+        // The ladder may have bypassed the domain rung entirely (e.g.
+        // integrity escalation straight to macro): never let a stale
+        // attribution leak into the next failure.
+        if (dom_engine && dom_engine->attributionPending())
+            dom_engine->clearAttribution();
 #if INDRA_CHECK_ENABLED
         // The oracle audits the *post-recovery* state — after the
         // dormant heal above, so the no-surviving-reinfection
@@ -445,9 +516,11 @@ IndraSystem::handleFailure(const ServiceRefs &refs,
             check::RestoreLevel rl =
                 level == RecoveryLevel::Micro
                     ? check::RestoreLevel::Micro
-                    : level == RecoveryLevel::Macro
-                          ? check::RestoreLevel::Macro
-                          : check::RestoreLevel::Rejuvenation;
+                    : level == RecoveryLevel::Domain
+                          ? check::RestoreLevel::Domain
+                          : level == RecoveryLevel::Macro
+                                ? check::RestoreLevel::Macro
+                                : check::RestoreLevel::Rejuvenation;
             checkSinkPtr->onRecovered(s.core->curTick(), refs.pid, rl);
         }
 #endif

@@ -74,6 +74,8 @@ requestStatusName(RequestStatus s)
         return "lost";
       case RequestStatus::Shed:
         return "shed";
+      case RequestStatus::DomainRewound:
+        return "domain-rewound";
     }
     return "??";
 }
@@ -108,6 +110,8 @@ shedReasonName(ShedReason r)
         return "quarantined";
       case ShedReason::Backpressure:
         return "backpressure";
+      case ShedReason::DomainDegraded:
+        return "domain-degraded";
     }
     return "??";
 }

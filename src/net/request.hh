@@ -71,13 +71,21 @@ enum class ShedReason : std::uint8_t
     RateLimited,  //!< client class exhausted its token bucket
     Quarantined,  //!< non-probe traffic refused while quarantined
     Backpressure, //!< trace-FIFO saturation collapsed the window
+    DomainDegraded, //!< bulk traffic refused for one degraded domain
 };
 
 /** Number of distinct shed reasons (None included). */
-constexpr std::size_t shedReasonCount = 6;
+constexpr std::size_t shedReasonCount = 7;
 
 /** Printable shed-reason name. */
 const char *shedReasonName(ShedReason r);
+
+/**
+ * "No domain": requests carry this under every scheme except
+ * DomainRewind, whose dispatcher assigns each request to one of the
+ * service's isolated domains at arrival.
+ */
+constexpr std::uint32_t domainUnassigned = ~0u;
 
 /** One inbound request. */
 struct ServiceRequest
@@ -93,6 +101,8 @@ struct ServiceRequest
      * request is shed instead of queuing forever. 0 = no deadline.
      */
     Cycles admissionDeadline = 0;
+    /** Isolated domain handling this request (DomainRewind only). */
+    std::uint32_t domain = domainUnassigned;
 };
 
 /** How a request was disposed of. */
@@ -105,6 +115,8 @@ enum class RequestStatus : std::uint8_t
     Rejuvenated,       //!< needed a full service rejuvenation
     Lost,              //!< no recovery mechanism; service went down
     Shed,              //!< refused by admission control (never executed)
+    DomainRewound,     //!< discarded by a confined domain rewind;
+                       //!< other domains kept serving
 };
 
 /** Printable status name. */
@@ -121,6 +133,8 @@ struct RequestOutcome
     ShedReason shedReason = ShedReason::None;
     /** Admission bucket the request arrived under. */
     ClientClass clientClass = ClientClass::Standard;
+    /** Isolated domain that served the request (DomainRewind only). */
+    std::uint32_t domain = domainUnassigned;
     Tick startTick = 0;
     Tick endTick = 0;
     std::uint64_t instructions = 0;

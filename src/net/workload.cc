@@ -638,6 +638,7 @@ ServiceApplication::beginRequest(const ServiceRequest &req)
     bool surface = false;
     if (req.attack == AttackKind::Dormant) {
         dormantSurfaceAt = req.seq + dormantDelay;
+        _dormantDomain = req.domain;
     } else if (req.attack == AttackKind::None && dormantSurfaceAt &&
                req.seq >= *dormantSurfaceAt) {
         surface = true;

@@ -172,7 +172,20 @@ class ServiceApplication
     bool hasDormantDamage() const { return dormantSurfaceAt.has_value(); }
 
     /** Macro recovery restored a pre-plant image. */
-    void healDormantDamage() { dormantSurfaceAt.reset(); }
+    void
+    healDormantDamage()
+    {
+        dormantSurfaceAt.reset();
+        _dormantDomain = domainUnassigned;
+    }
+
+    /**
+     * Isolated domain the live dormant damage was planted in
+     * (DomainRewind only; domainUnassigned otherwise). A confined
+     * rewind of exactly this domain restores the pre-plant anchors
+     * and heals the damage.
+     */
+    std::uint32_t dormantDomain() const { return _dormantDomain; }
 
   private:
     DaemonProfile _profile;
@@ -180,6 +193,7 @@ class ServiceApplication
     Pcg32 rng;
     std::uint32_t pageBytes;
     std::optional<std::uint64_t> dormantSurfaceAt;
+    std::uint32_t _dormantDomain = domainUnassigned;
 };
 
 } // namespace indra::net

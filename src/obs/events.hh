@@ -40,10 +40,11 @@ enum class EventKind : std::uint8_t
     OracleViolation,      //!< differential oracle fired (a0 invariant, a1 epoch)
     AdversaryMove,        //!< adaptive attack move      (a0 strategy, a1 count)
     ProactiveRestore,     //!< restore ahead of verdict  (a0 trigger, a1 cycles)
+    DomainRewind,         //!< confined domain rewind    (a0 domain, a1 pages)
 };
 
 /** Number of distinct event kinds. */
-constexpr std::size_t eventKindCount = 15;
+constexpr std::size_t eventKindCount = 16;
 
 /** Printable kind name ("monitor_violation", ...). */
 const char *eventKindName(EventKind k);

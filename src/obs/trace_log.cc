@@ -39,6 +39,8 @@ eventKindName(EventKind k)
         return "adversary_move";
       case EventKind::ProactiveRestore:
         return "proactive_restore";
+      case EventKind::DomainRewind:
+        return "domain_rewind";
     }
     return "??";
 }
@@ -76,6 +78,8 @@ eventArgName(EventKind k, int i)
         return i == 0 ? "strategy" : "count";
       case EventKind::ProactiveRestore:
         return i == 0 ? "trigger" : "cycles";
+      case EventKind::DomainRewind:
+        return i == 0 ? "domain" : "pages";
     }
     return nullptr;
 }

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Page -> isolated-domain ownership map.
+ *
+ * Under CheckpointScheme::DomainRewind the resurrectee's address
+ * space is partitioned into a small number of isolated domains
+ * ("Unlimited Lives"-style in-process compartments). Ownership is
+ * claimed dynamically: the first domain that writes a page owns it;
+ * a later write by any *other* domain marks the page shared. Shared
+ * pages sit on the compartment boundary — a confined rewind must not
+ * restore them behind the other domains' backs, so the rewind engine
+ * skips them and relies on the ordinary per-request rollback (which
+ * is exact for the failing request regardless of ownership).
+ *
+ * The map is deliberately dependency-free (sim/types.hh only): the
+ * checkpoint engine drives it, and the check layer's RefDomain golden
+ * model mirrors this contract independently.
+ */
+
+#ifndef INDRA_OS_DOMAIN_MAP_HH
+#define INDRA_OS_DOMAIN_MAP_HH
+
+#include <cstdint>
+#include <map>
+
+#include "sim/types.hh"
+
+namespace indra::os
+{
+
+/** Ownership record of one page. */
+struct DomainClaim
+{
+    std::uint32_t owner = 0;  //!< first domain that wrote the page
+    bool shared = false;      //!< a second domain wrote it too
+};
+
+/** First-writer page ownership with cross-domain sharing detection. */
+class DomainMap
+{
+  public:
+    /** Partition into @p count domains, forgetting all claims. */
+    void
+    configure(std::uint32_t count)
+    {
+        nDomains = count;
+        claims.clear();
+    }
+
+    /** Number of configured domains. */
+    std::uint32_t domainCount() const { return nDomains; }
+
+    /**
+     * Record a write to @p vpn by @p domain.
+     * @return true when this claim newly marked the page shared
+     * (i.e. it crossed a compartment boundary).
+     */
+    bool
+    claim(Vpn vpn, std::uint32_t domain)
+    {
+        auto [it, fresh] = claims.try_emplace(vpn,
+                                              DomainClaim{domain, false});
+        if (fresh || it->second.shared || it->second.owner == domain)
+            return false;
+        it->second.shared = true;
+        return true;
+    }
+
+    /** True when some domain has written @p vpn. */
+    bool
+    isClaimed(Vpn vpn) const
+    {
+        return claims.find(vpn) != claims.end();
+    }
+
+    /** Owning domain of @p vpn (first writer); 0 if unclaimed. */
+    std::uint32_t
+    ownerOf(Vpn vpn) const
+    {
+        auto it = claims.find(vpn);
+        return it == claims.end() ? 0 : it->second.owner;
+    }
+
+    /** True when more than one domain has written @p vpn. */
+    bool
+    isShared(Vpn vpn) const
+    {
+        auto it = claims.find(vpn);
+        return it != claims.end() && it->second.shared;
+    }
+
+    /** Forget every claim (rejuvenation / invalidate). */
+    void clear() { claims.clear(); }
+
+    /** All claims, sorted by vpn (deterministic iteration). */
+    const std::map<Vpn, DomainClaim> &claimMap() const { return claims; }
+
+  private:
+    std::uint32_t nDomains = 0;
+    std::map<Vpn, DomainClaim> claims;
+};
+
+} // namespace indra::os
+
+#endif // INDRA_OS_DOMAIN_MAP_HH

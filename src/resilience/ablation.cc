@@ -5,6 +5,36 @@
 namespace indra::resilience
 {
 
+namespace
+{
+
+std::uint64_t
+parseAblationU64(const std::string &key, const std::string &value)
+{
+    std::size_t pos = 0;
+    std::uint64_t v = 0;
+    try {
+        v = std::stoull(value, &pos);
+    } catch (const std::exception &) {
+        fatal("bad value '", value, "' for key '", key,
+              "': not an unsigned integer");
+    }
+    fatal_if(pos != value.size(), "bad value '", value, "' for key '",
+             key, "': trailing characters");
+    return v;
+}
+
+std::uint32_t
+parseAblationU32(const std::string &key, const std::string &value)
+{
+    std::uint64_t v = parseAblationU64(key, value);
+    fatal_if(v > 0xffffffffULL, "bad value '", value, "' for key '",
+             key, "': exceeds 32 bits");
+    return static_cast<std::uint32_t>(v);
+}
+
+} // anonymous namespace
+
 void
 applyAblationSetting(adversary::AdversaryConfig &adv,
                      ResilienceConfig &rc, const std::string &key,
@@ -15,9 +45,36 @@ applyAblationSetting(adversary::AdversaryConfig &adv,
     } else if (key.rfind("rejuvenation.", 0) == 0 ||
                key.rfind("resilience.", 0) == 0) {
         applyResilienceSetting(rc, key, value);
+    } else if (key.rfind("domain.", 0) == 0) {
+        fatal("ablation setting '", key, "' needs a SystemConfig: this "
+              "call site routes only adversary.*, rejuvenation.* and "
+              "resilience.* keys");
     } else {
         fatal("unknown ablation setting '", key,
-              "' (expect adversary.*, rejuvenation.* or resilience.*)");
+              "' (expect adversary.*, rejuvenation.*, resilience.* or "
+              "domain.*)");
+    }
+}
+
+void
+applyAblationSetting(SystemConfig &sys, adversary::AdversaryConfig &adv,
+                     ResilienceConfig &rc, const std::string &key,
+                     const std::string &value)
+{
+    if (key == "domain.count") {
+        sys.domainCount = parseAblationU32(key, value);
+    } else if (key == "domain.rewind_setup_cycles") {
+        sys.domainRewindSetupCycles = parseAblationU64(key, value);
+    } else if (key == "domain.heal_streak") {
+        rc.domainHealStreak = parseAblationU32(key, value);
+        fatal_if(rc.domainHealStreak == 0, "bad value '", value,
+                 "' for key '", key, "': streak must be positive");
+    } else if (key.rfind("domain.", 0) == 0) {
+        fatal("unknown ablation setting '", key,
+              "' (domain.* keys: count, rewind_setup_cycles, "
+              "heal_streak)");
+    } else {
+        applyAblationSetting(adv, rc, key, value);
     }
 }
 
@@ -31,6 +88,20 @@ applyAblationSettings(adversary::AdversaryConfig &adv,
         fatal_if(eq == std::string::npos || eq == 0,
                  "ablation setting '", tok, "' is not key=value");
         applyAblationSetting(adv, rc, tok.substr(0, eq),
+                             tok.substr(eq + 1));
+    }
+}
+
+void
+applyAblationSettings(SystemConfig &sys, adversary::AdversaryConfig &adv,
+                      ResilienceConfig &rc,
+                      const std::vector<std::string> &settings)
+{
+    for (const std::string &tok : settings) {
+        auto eq = tok.find('=');
+        fatal_if(eq == std::string::npos || eq == 0,
+                 "ablation setting '", tok, "' is not key=value");
+        applyAblationSetting(sys, adv, rc, tok.substr(0, eq),
                              tok.substr(eq + 1));
     }
 }

@@ -1,13 +1,13 @@
 /**
  * @file
  * The survivability ablation matrix: one router for the dotted
- * `adversary.*` / `rejuvenation.*` / `resilience.*` keys, so a bench
- * or script can sweep attacker strategies against defense policies
- * from config alone (`--ablate key=value`, rdma-dm-sim's
- * `index.ablations.*` idiom). Unknown keys and malformed values are
- * fatal errors naming the offending key; with no keys applied every
- * config stays disarmed and runs are bit-identical to a build
- * without these subsystems.
+ * `adversary.*` / `rejuvenation.*` / `resilience.*` / `domain.*`
+ * keys, so a bench or script can sweep attacker strategies against
+ * defense policies from config alone (`--ablate key=value`,
+ * rdma-dm-sim's `index.ablations.*` idiom). Unknown keys and
+ * malformed values are fatal errors naming the offending key; with no
+ * keys applied every config stays disarmed and runs are bit-identical
+ * to a build without these subsystems.
  */
 
 #ifndef INDRA_RESILIENCE_ABLATION_HH
@@ -18,12 +18,27 @@
 
 #include "adversary/adversary_config.hh"
 #include "resilience/resilience_config.hh"
+#include "sim/config.hh"
 
 namespace indra::resilience
 {
 
-/** Apply one dotted ablation key to whichever config owns it. */
+/**
+ * Apply one dotted ablation key to whichever config owns it. The
+ * `domain.*` keys need a SystemConfig and are fatal through this
+ * overload:
+ *
+ *   domain.count                isolated domains per service
+ *   domain.rewind_setup_cycles  fixed cost of a confined rewind
+ *   domain.heal_streak          serves healing a degraded domain
+ */
 void applyAblationSetting(adversary::AdversaryConfig &adv,
+                          ResilienceConfig &rc, const std::string &key,
+                          const std::string &value);
+
+/** Full router: also accepts the `domain.*` keys. */
+void applyAblationSetting(SystemConfig &sys,
+                          adversary::AdversaryConfig &adv,
                           ResilienceConfig &rc, const std::string &key,
                           const std::string &value);
 
@@ -32,6 +47,12 @@ void applyAblationSetting(adversary::AdversaryConfig &adv,
  * are fatal, as are unknown keys.
  */
 void applyAblationSettings(adversary::AdversaryConfig &adv,
+                           ResilienceConfig &rc,
+                           const std::vector<std::string> &settings);
+
+/** Full router over a token list (accepts `domain.*`). */
+void applyAblationSettings(SystemConfig &sys,
+                           adversary::AdversaryConfig &adv,
                            ResilienceConfig &rc,
                            const std::vector<std::string> &settings);
 

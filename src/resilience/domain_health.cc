@@ -1,0 +1,52 @@
+#include "resilience/domain_health.hh"
+
+namespace indra::resilience
+{
+
+DomainHealthBoard::DomainHealthBoard(std::uint32_t count,
+                                     std::uint32_t heal_streak)
+    : entries(count), healStreak(heal_streak == 0 ? 1 : heal_streak)
+{
+}
+
+void
+DomainHealthBoard::noteRewind(std::uint32_t domain)
+{
+    if (domain >= entries.size())
+        return;
+    entries[domain].isDegraded = true;
+    entries[domain].servedStreak = 0;
+    ++nRewinds;
+}
+
+void
+DomainHealthBoard::noteServed(std::uint32_t domain)
+{
+    if (domain >= entries.size())
+        return;
+    Entry &e = entries[domain];
+    if (!e.isDegraded)
+        return;
+    if (++e.servedStreak >= healStreak) {
+        e.isDegraded = false;
+        e.servedStreak = 0;
+        ++nHeals;
+    }
+}
+
+bool
+DomainHealthBoard::degraded(std::uint32_t domain) const
+{
+    return domain < entries.size() && entries[domain].isDegraded;
+}
+
+std::uint32_t
+DomainHealthBoard::degradedCount() const
+{
+    std::uint32_t n = 0;
+    for (const Entry &e : entries)
+        n += e.isDegraded ? 1 : 0;
+    return n;
+}
+
+} // namespace indra::resilience

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Per-domain health board (CheckpointScheme::DomainRewind only).
+ *
+ * Node-level health (HealthMonitor) quarantines the whole service;
+ * under the domain-rewind scheme that defeats the point of a confined
+ * rollback — one compartment's trouble would still take the node's
+ * admission down. The board tracks a degraded bit per isolated domain
+ * instead: a confined rewind degrades exactly the rewound domain, a
+ * streak of served requests in that domain heals it, and the guard
+ * sheds only best-effort (Bulk) traffic bound for a degraded domain
+ * while everything else — including all other domains — keeps flowing.
+ */
+
+#ifndef INDRA_RESILIENCE_DOMAIN_HEALTH_HH
+#define INDRA_RESILIENCE_DOMAIN_HEALTH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace indra::resilience
+{
+
+/** Degraded/healthy bit per isolated domain, with heal streaks. */
+class DomainHealthBoard
+{
+  public:
+    /**
+     * @param count       configured domain count
+     * @param heal_streak consecutive served requests in a degraded
+     *                    domain that heal it
+     */
+    DomainHealthBoard(std::uint32_t count, std::uint32_t heal_streak);
+
+    /** A confined rewind restored @p domain: mark it degraded. */
+    void noteRewind(std::uint32_t domain);
+
+    /** A request served inside @p domain completed cleanly. */
+    void noteServed(std::uint32_t domain);
+
+    /** True when @p domain is currently degraded. */
+    bool degraded(std::uint32_t domain) const;
+
+    std::uint32_t domainCount() const
+    {
+        return static_cast<std::uint32_t>(entries.size());
+    }
+
+    /** Domains currently degraded. */
+    std::uint32_t degradedCount() const;
+
+    /** Rewinds recorded across all domains. */
+    std::uint64_t rewinds() const { return nRewinds; }
+
+    /** Degraded -> healthy transitions earned by serve streaks. */
+    std::uint64_t heals() const { return nHeals; }
+
+  private:
+    struct Entry
+    {
+        bool isDegraded = false;
+        std::uint32_t servedStreak = 0;
+    };
+
+    std::vector<Entry> entries;
+    std::uint32_t healStreak;
+    std::uint64_t nRewinds = 0;
+    std::uint64_t nHeals = 0;
+};
+
+} // namespace indra::resilience
+
+#endif // INDRA_RESILIENCE_DOMAIN_HEALTH_HH

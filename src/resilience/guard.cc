@@ -22,6 +22,7 @@ ServiceGuard::ServiceGuard(const ResilienceConfig &config,
     static const char *shedStatName[net::shedReasonCount] = {
         nullptr, "shed_queue_full", "shed_deadline",
         "shed_rate_limited", "shed_quarantined", "shed_backpressure",
+        "shed_domain_degraded",
     };
     for (std::size_t r = 1; r < net::shedReasonCount; ++r) {
         auto reason = static_cast<net::ShedReason>(r);
@@ -55,11 +56,32 @@ ServiceGuard::setTraceLog(obs::TraceLog *log, std::uint32_t source)
     mon.setTraceLog(log, source);
 }
 
+void
+ServiceGuard::enableDomains(std::uint32_t count)
+{
+    board = std::make_unique<DomainHealthBoard>(count,
+                                                cfg.domainHealStreak);
+}
+
 AdmissionDecision
 ServiceGuard::tryAdmit(Tick now, net::ClientClass cls,
                        std::size_t queue_depth,
-                       std::uint32_t fifo_occupancy)
+                       std::uint32_t fifo_occupancy,
+                       std::uint32_t domain)
 {
+    // A degraded compartment sheds only its own best-effort traffic —
+    // before any token is spent, and without touching node health.
+    if (board && cls == net::ClientClass::Bulk &&
+        domain != net::domainUnassigned && board->degraded(domain)) {
+        ++nDomainShed;
+        INDRA_TRACE(traceLog, now, obs::EventKind::Shed, traceSource,
+                    static_cast<std::uint64_t>(
+                        net::ShedReason::DomainDegraded),
+                    static_cast<std::uint64_t>(cls));
+        return AdmissionDecision{false,
+                                 net::ShedReason::DomainDegraded};
+    }
+
     bp.sample(fifo_occupancy);
     double scale = mon.admissionScale();
     AdmissionDecision d = adm.decide(now, cls, queue_depth, scale,
@@ -96,6 +118,18 @@ void
 ServiceGuard::observeOutcome(const net::RequestOutcome &out,
                              std::uint64_t corruption_delta, Tick now)
 {
+    if (board && out.status == net::RequestStatus::DomainRewound) {
+        // Confined rollback: degrade exactly the rewound compartment
+        // and keep the node-level health machine out of it — that is
+        // the whole point of the scheme.
+        if (out.domain != net::domainUnassigned)
+            board->noteRewind(out.domain);
+        rejuv.noteOutcome(out, corruption_delta);
+        return;
+    }
+    if (board && out.status == net::RequestStatus::Served &&
+        out.domain != net::domainUnassigned)
+        board->noteServed(out.domain);
     mon.observeOutcome(out, corruption_delta, now);
     rejuv.noteOutcome(out, corruption_delta);
     // The ladder's own rejuvenation is as good as a proactive one:
@@ -141,13 +175,15 @@ ServiceGuard::shedBy(net::ShedReason r) const
     std::uint64_t n = adm.shedBy(r);
     if (r == net::ShedReason::Deadline)
         n += nDeadline;
+    if (r == net::ShedReason::DomainDegraded)
+        n += nDomainShed;
     return n;
 }
 
 std::uint64_t
 ServiceGuard::shedTotal() const
 {
-    return adm.shedTotal() + nDeadline;
+    return adm.shedTotal() + nDeadline + nDomainShed;
 }
 
 } // namespace indra::resilience

@@ -19,6 +19,7 @@
 #include "obs/trace_log.hh"
 #include "resilience/admission.hh"
 #include "resilience/backpressure.hh"
+#include "resilience/domain_health.hh"
 #include "resilience/health.hh"
 #include "resilience/rejuvenation.hh"
 #include "resilience/resilience_config.hh"
@@ -41,10 +42,18 @@ class ServiceGuard
      * scale and quarantine filter, and runs admission control.
      * Also raises queue pressure on the health machine when the
      * post-admission occupancy crosses the degrade fraction.
+     *
+     * @p domain is the isolated domain the arrival is bound for
+     * (domainUnassigned except under CheckpointScheme::DomainRewind):
+     * Bulk traffic for a degraded domain is shed with
+     * ShedReason::DomainDegraded before any token is spent, while all
+     * other classes and domains pass through untouched.
      */
     AdmissionDecision tryAdmit(Tick now, net::ClientClass cls,
                                std::size_t queue_depth,
-                               std::uint32_t fifo_occupancy);
+                               std::uint32_t fifo_occupancy,
+                               std::uint32_t domain =
+                                   net::domainUnassigned);
 
     /**
      * An admitted request's deadline expired at @p now before service
@@ -84,6 +93,18 @@ class ServiceGuard
      */
     void noteProactiveRestore(Tick now);
 
+    // --------------------------------------------- per-domain health
+    /**
+     * Arm the per-domain health board (DomainRewind scheme only).
+     * Confined rewinds then degrade one compartment instead of the
+     * node: DomainRewound outcomes are routed to the board and kept
+     * away from the node-level HealthMonitor.
+     */
+    void enableDomains(std::uint32_t count);
+
+    /** The per-domain board, or nullptr when never enabled. */
+    const DomainHealthBoard *domains() const { return board.get(); }
+
     // ------------------------------------------------------- access
     const ResilienceConfig &config() const { return cfg; }
     const HealthMonitor &health() const { return mon; }
@@ -115,7 +136,9 @@ class ServiceGuard
     HealthMonitor mon;
     BackpressureGovernor bp;
     RejuvenationPolicy rejuv;
+    std::unique_ptr<DomainHealthBoard> board;
     std::uint64_t nProactive = 0;
+    std::uint64_t nDomainShed = 0;
     obs::TraceLog *traceLog = nullptr;
     std::uint32_t traceSource = 0;
 

@@ -148,6 +148,10 @@ applyResilienceSetting(ResilienceConfig &cfg, const std::string &key,
         cfg.degradeQueueFraction = f;
     } else if (key == "resilience.resource_pressure_pages") {
         cfg.resourcePressurePages = parseU64(key, value);
+    } else if (key == "resilience.domain_heal_streak") {
+        cfg.domainHealStreak = parseU32(key, value);
+        fatal_if(cfg.domainHealStreak == 0, "bad value '", value,
+                 "' for key '", key, "': streak must be positive");
     } else {
         fatal("unknown resilience setting '", key, "'");
     }

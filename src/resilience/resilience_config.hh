@@ -75,6 +75,15 @@ struct ResilienceConfig
      */
     std::uint64_t resourcePressurePages = 0;
 
+    // --------------------------------------- per-domain health
+    /**
+     * Consecutive served requests inside a degraded isolated domain
+     * that heal it (CheckpointScheme::DomainRewind only; the board is
+     * created by the system, not by this config, so the knob does not
+     * arm the guard by itself).
+     */
+    std::uint32_t domainHealStreak = 4;
+
     // ------------------------------------- proactive rejuvenation
     /**
      * Proactive restore policy (`rejuvenation.*` keys). Disarmed by
@@ -105,6 +114,7 @@ struct ResilienceConfig
  *   resilience.heal_served_streak       serve streak -> Healthy
  *   resilience.degrade_queue_fraction   pressure fraction [0, 1]
  *   resilience.resource_pressure_pages  heap-growth allowance
+ *   resilience.domain_heal_streak       serves healing a domain
  *   resilience.tokens.<class>           refill / Mcycle (standard,
  *                                       bulk, probe)
  *   resilience.burst.<class>            bucket depth per class

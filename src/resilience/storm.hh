@@ -132,6 +132,16 @@ struct StormReport
     /** p99 latency of requests that needed any recovery (0 = none). */
     Cycles recoveryP99 = 0;
 
+    // ------------------------------------------------ domain rewind
+    /** Requests revived by a confined domain rewind. */
+    std::uint64_t domainRewinds = 0;
+    /**
+     * Confined rewinds that left dormant damage alive — the
+     * DomainRewindClearsDormant violation count (must stay 0: a
+     * rewind always targets the planted domain, or escalates).
+     */
+    std::uint64_t dormantAfterRewind = 0;
+
     /** Total sheds across all reasons. */
     std::uint64_t shedTotal() const;
 

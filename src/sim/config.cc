@@ -19,6 +19,8 @@ checkpointSchemeName(CheckpointScheme s)
         return "memory-update-log";
       case CheckpointScheme::SoftwareCheckpoint:
         return "software-checkpoint";
+      case CheckpointScheme::DomainRewind:
+        return "domain-rewind";
     }
     return "unknown";
 }
@@ -64,6 +66,8 @@ SystemConfig::validate() const
              "DRAM bank count must be a nonzero power of 2");
     fatal_if(physMemBytes < 16ULL * 1024 * 1024,
              "physical memory too small to host a service");
+    fatal_if(domainCount == 0 || domainCount > 64,
+             "domain count must be in [1, 64]");
 }
 
 void

@@ -62,6 +62,7 @@ enum class CheckpointScheme : std::uint8_t
     VirtualCheckpoint,   //!< hardware virtual ckpt: copy page on demand
     MemoryUpdateLog,     //!< DIRA-style per-write undo log
     SoftwareCheckpoint,  //!< libckpt-style full dirty-page copy
+    DomainRewind,        //!< isolated-domain rewind: confined rollback
 };
 
 /** Printable name of a checkpoint scheme. */
@@ -154,6 +155,21 @@ struct SystemConfig
     Cycles writeProtectFaultCycles = 1200;
     /** Per-page setup cost of a whole-page checkpoint copy. */
     Cycles pageCopySetupCycles = 8000;
+
+    // -------------------------------------------------- domain rewind
+    /**
+     * Number of isolated domains the resurrectee's address space is
+     * partitioned into under CheckpointScheme::DomainRewind. Pages
+     * are claimed by the first domain that writes them; a rewind
+     * restores only the attributed domain's pages.
+     */
+    std::uint32_t domainCount = 4;
+    /**
+     * Fixed cost of initiating a confined domain rewind (monitor
+     * attribution walk + domain descriptor programming), on top of
+     * the per-page copy charges.
+     */
+    Cycles domainRewindSetupCycles = 2000;
 
     // -------------------------------------------------- hybrid recovery
     /** Macro application checkpoint period, in requests (Fig. 8). */

@@ -11,19 +11,21 @@ namespace indra
 {
 
 CheckpointScheme
-checkpointSchemeFromName(const std::string &name)
+checkpointSchemeFromName(const std::string &name, const std::string &key)
 {
     for (CheckpointScheme s :
          {CheckpointScheme::None, CheckpointScheme::DeltaBackup,
           CheckpointScheme::VirtualCheckpoint,
           CheckpointScheme::MemoryUpdateLog,
-          CheckpointScheme::SoftwareCheckpoint}) {
+          CheckpointScheme::SoftwareCheckpoint,
+          CheckpointScheme::DomainRewind}) {
         if (name == checkpointSchemeName(s))
             return s;
     }
-    fatal("unknown checkpoint scheme '", name,
+    fatal("setting '", key, "': unknown checkpoint scheme '", name,
           "' (try delta-backup, virtual-checkpoint, "
-          "memory-update-log, software-checkpoint, none)");
+          "memory-update-log, software-checkpoint, domain-rewind, "
+          "none)");
 }
 
 namespace
@@ -104,6 +106,9 @@ setters()
          u64(&SystemConfig::macroCheckpointPeriod)},
         {"consecutiveFailureThreshold",
          u64(&SystemConfig::consecutiveFailureThreshold)},
+        {"domainCount", u64(&SystemConfig::domainCount)},
+        {"domainRewindSetupCycles",
+         u64(&SystemConfig::domainRewindSetupCycles)},
         {"recoveryInterruptCycles",
          u64(&SystemConfig::recoveryInterruptCycles)},
         {"serviceRestartCycles",
@@ -115,9 +120,9 @@ setters()
          boolean(&SystemConfig::sharedResurrector)},
         {"eagerRollback", boolean(&SystemConfig::eagerRollback)},
         {"checkpointScheme",
-         [](SystemConfig &c, const std::string &,
+         [](SystemConfig &c, const std::string &k,
             const std::string &v) {
-             c.checkpointScheme = checkpointSchemeFromName(v);
+             c.checkpointScheme = checkpointSchemeFromName(v, k);
          }},
     };
     return table;

@@ -16,8 +16,15 @@
 namespace indra
 {
 
-/** Parse a scheme name ("delta-backup", "none", ...); fatal if bad. */
-CheckpointScheme checkpointSchemeFromName(const std::string &name);
+/**
+ * Parse a scheme name ("delta-backup", "domain-rewind", "none", ...).
+ * Unknown names are fatal; the error names the originating setting
+ * key (@p key, default "checkpointScheme") so a typo in a dotted
+ * ablation file or a scenario JSON points back at its source.
+ */
+CheckpointScheme
+checkpointSchemeFromName(const std::string &name,
+                         const std::string &key = "checkpointScheme");
 
 /**
  * Apply one "key=value" setting.

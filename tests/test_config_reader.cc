@@ -50,14 +50,43 @@ TEST(ConfigReader, SchemeNamesRoundTrip)
          {CheckpointScheme::None, CheckpointScheme::DeltaBackup,
           CheckpointScheme::VirtualCheckpoint,
           CheckpointScheme::MemoryUpdateLog,
-          CheckpointScheme::SoftwareCheckpoint}) {
+          CheckpointScheme::SoftwareCheckpoint,
+          CheckpointScheme::DomainRewind}) {
         EXPECT_EQ(checkpointSchemeFromName(checkpointSchemeName(s)), s);
     }
 }
 
+TEST(ConfigReader, DomainSettings)
+{
+    SystemConfig cfg;
+    EXPECT_TRUE(applySetting(cfg, "checkpointScheme", "domain-rewind"));
+    EXPECT_TRUE(applySetting(cfg, "domainCount", "8"));
+    EXPECT_TRUE(applySetting(cfg, "domainRewindSetupCycles", "5000"));
+    EXPECT_EQ(cfg.checkpointScheme, CheckpointScheme::DomainRewind);
+    EXPECT_EQ(cfg.domainCount, 8u);
+    EXPECT_EQ(cfg.domainRewindSetupCycles, 5000u);
+}
+
 TEST(ConfigReaderDeath, BadSchemeIsFatal)
 {
-    EXPECT_DEATH(checkpointSchemeFromName("gzip"), "unknown");
+    // The error must name both the offending value and the setting
+    // key it arrived through.
+    EXPECT_DEATH(checkpointSchemeFromName("gzip"),
+                 "setting 'checkpointScheme'.*unknown checkpoint "
+                 "scheme 'gzip'");
+}
+
+TEST(ConfigReaderDeath, BadSchemeNamesTheOriginatingKey)
+{
+    EXPECT_DEATH(checkpointSchemeFromName("gzip", "scheme"),
+                 "setting 'scheme'");
+}
+
+TEST(ConfigReaderDeath, BadSchemeViaSettingIsFatal)
+{
+    SystemConfig cfg;
+    EXPECT_DEATH(applySetting(cfg, "checkpointScheme", "delta-bakcup"),
+                 "unknown checkpoint scheme");
 }
 
 TEST(ConfigReaderDeath, BadNumberIsFatal)
