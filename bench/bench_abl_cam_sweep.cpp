@@ -33,7 +33,7 @@ main(int argc, char **argv)
     auto rows = sweep.run(sizes.size(), [&](std::size_t i) {
         SystemConfig cfg = base;
         cfg.filterCamEntries = sizes[i];
-        auto run = benchutil::runBenign(cfg, profile, 2, 6,
+        auto run = benchutil::runBenign(core::NodeConfig{cfg}, profile, 2, 6,
                                         collector.traceFor(i));
         auto &cam = run.serviceSlot().core->filterCam();
         collector.snapshot(i, "cam_" + std::to_string(sizes[i]),

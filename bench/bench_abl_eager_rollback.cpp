@@ -24,7 +24,7 @@ recoveryToNextResponse(const SystemConfig &cfg,
                        benchutil::ObsCollector &collector,
                        std::size_t cell, const std::string &label)
 {
-    core::IndraSystem sys(cfg);
+    core::IndraSystem sys(core::NodeConfig{cfg});
     sys.attachTraceLog(collector.traceFor(cell));
     sys.boot();
     std::size_t slot = sys.deployService(profile);

@@ -44,7 +44,7 @@ main(int argc, char **argv)
                 net::daemonByName(names[i / lineSizes.size()]);
             SystemConfig cfg = base;
             cfg.backupLineBytes = lineSizes[i % lineSizes.size()];
-            auto run = benchutil::runBenign(cfg, profile, 2, 6,
+            auto run = benchutil::runBenign(core::NodeConfig{cfg}, profile, 2, 6,
                                             collector.traceFor(i));
             collector.snapshot(
                 i,

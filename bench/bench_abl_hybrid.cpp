@@ -45,7 +45,7 @@ main(int argc, char **argv)
     auto rows = sweep.run(periods.size(), [&](std::size_t i) {
         SystemConfig cfg = base;
         cfg.macroCheckpointPeriod = periods[i];
-        core::IndraSystem sys(cfg);
+        core::IndraSystem sys(core::NodeConfig{cfg});
         sys.attachTraceLog(collector.traceFor(i));
         sys.boot();
         std::size_t slot = sys.deployService(profile);

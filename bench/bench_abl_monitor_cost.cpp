@@ -50,8 +50,8 @@ main(int argc, char **argv)
                 cfg.callReturnCheckCycles = 1;
 
             const auto &profile = daemons[i % daemons.size()];
-            auto off = benchutil::runBenign(base, profile, 2, 4);
-            auto on = benchutil::runBenign(cfg, profile, 2, 4,
+            auto off = benchutil::runBenign(core::NodeConfig{base}, profile, 2, 4);
+            auto on = benchutil::runBenign(core::NodeConfig{cfg}, profile, 2, 4,
                                            collector.traceFor(i));
             std::ostringstream label;
             label << profile.name << ".x" << scale;

@@ -30,7 +30,7 @@ main(int argc, char **argv)
               << std::setw(18) << "overhead_%_dedic" << "\n";
 
     net::DaemonProfile profile = net::daemonByName("ftpd");
-    auto off = benchutil::runBenign(base, profile, 2, 5);
+    auto off = benchutil::runBenign(core::NodeConfig{base}, profile, 2, 5);
 
     const std::vector<std::uint32_t> counts = {1, 2, 4};
     benchutil::ObsCollector collector("bench_abl_shared_resurrector",
@@ -42,7 +42,7 @@ main(int argc, char **argv)
         shared.monitorEnabled = true;
         shared.numResurrectees = counts[i];
         shared.sharedResurrector = true;
-        auto s = benchutil::runBenign(shared, profile, 2, 5,
+        auto s = benchutil::runBenign(core::NodeConfig{shared}, profile, 2, 5,
                                       collector.traceFor(i));
         collector.snapshot(i,
                            "shared_" + std::to_string(counts[i]),
@@ -50,7 +50,7 @@ main(int argc, char **argv)
 
         SystemConfig dedicated = shared;
         dedicated.sharedResurrector = false;
-        auto d = benchutil::runBenign(dedicated, profile, 2, 5);
+        auto d = benchutil::runBenign(core::NodeConfig{dedicated}, profile, 2, 5);
         collector.snapshot(i,
                            "dedicated_" + std::to_string(counts[i]),
                            d.system->rootStats());

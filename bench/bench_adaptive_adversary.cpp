@@ -161,7 +161,7 @@ runCell(const AttackerSpec &a, resilience::RejuvenationTrigger policy,
     net::DaemonProfile profile = net::daemonByName("httpd");
     profile.instrPerRequest = 25000;
 
-    core::IndraSystem sys(cfg, faults::FaultPlan(), rc);
+    core::IndraSystem sys(core::NodeConfig{cfg, faults::FaultPlan(), rc});
     sys.attachTraceLog(collector.traceFor(cell_idx));
     sys.boot();
     std::size_t slot = sys.deployService(profile);
@@ -243,7 +243,7 @@ main(int argc, char **argv)
             stormPlan(attackers[0], 0, legit_requests);
         net::DaemonProfile profile = net::daemonByName("httpd");
         profile.instrPerRequest = 25000;
-        core::IndraSystem sys(baseConfig(), faults::FaultPlan(), rc);
+        core::IndraSystem sys(core::NodeConfig{baseConfig(), faults::FaultPlan(), rc});
         sys.boot();
         std::size_t slot = sys.deployService(profile);
         budget = sys.runStorm(slot, plan).attackArrivals;

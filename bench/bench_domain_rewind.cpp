@@ -142,7 +142,7 @@ runCell(const DefenseSpec &d, std::uint64_t budget,
     net::DaemonProfile profile = net::daemonByName("httpd");
     profile.instrPerRequest = 25000;
 
-    core::IndraSystem sys(cfg, faults::FaultPlan(), defenseConfig());
+    core::IndraSystem sys(core::NodeConfig{cfg, faults::FaultPlan(), defenseConfig()});
     sys.attachTraceLog(collector.traceFor(cell_idx));
     sys.boot();
     std::size_t slot = sys.deployService(profile);
@@ -203,8 +203,8 @@ main(int argc, char **argv)
     {
         net::DaemonProfile profile = net::daemonByName("httpd");
         profile.instrPerRequest = 25000;
-        core::IndraSystem sys(baseConfig(), faults::FaultPlan(),
-                              defenseConfig());
+        core::IndraSystem sys(core::NodeConfig{baseConfig(), faults::FaultPlan(),
+                              defenseConfig()});
         sys.boot();
         std::size_t slot = sys.deployService(profile);
         budget =

@@ -146,7 +146,7 @@ main(int argc, char **argv)
         net::DaemonProfile profile = net::daemonByName(daemons[di]);
         profile.instrPerRequest = 25000;
 
-        core::IndraSystem sys(cfg, plan);
+        core::IndraSystem sys(core::NodeConfig{cfg, plan});
         sys.attachTraceLog(collector.traceFor(i));
         sys.boot();
         std::size_t slot = sys.deployService(profile);

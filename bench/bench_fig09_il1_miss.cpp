@@ -27,7 +27,7 @@ main(int argc, char **argv)
                                       cli.obs());
     collector.resize(daemons.size());
     auto rates = sweep.run(daemons.size(), [&](std::size_t i) {
-        auto run = benchutil::runBenign(cfg, daemons[i], 3, 10,
+        auto run = benchutil::runBenign(core::NodeConfig{cfg}, daemons[i], 3, 10,
                                         collector.traceFor(i));
         collector.snapshot(i, daemons[i].name,
                            run.system->rootStats());

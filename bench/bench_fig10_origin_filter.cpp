@@ -20,7 +20,7 @@ residualChecks(const net::DaemonProfile &profile, std::uint32_t cam,
 {
     SystemConfig cfg;
     cfg.filterCamEntries = cam;
-    auto run = benchutil::runBenign(cfg, profile, 3, 8,
+    auto run = benchutil::runBenign(core::NodeConfig{cfg}, profile, 3, 8,
                                     collector.traceFor(cell));
     collector.snapshot(cell,
                        profile.name + ".cam" + std::to_string(cam),

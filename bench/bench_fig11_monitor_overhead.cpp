@@ -33,8 +33,8 @@ main(int argc, char **argv)
                                       cli.obs());
     collector.resize(daemons.size());
     auto overheads = sweep.run(daemons.size(), [&](std::size_t i) {
-        auto off = benchutil::runBenign(base, daemons[i], 3, 8);
-        auto on = benchutil::runBenign(monitored, daemons[i], 3, 8,
+        auto off = benchutil::runBenign(core::NodeConfig{base}, daemons[i], 3, 8);
+        auto on = benchutil::runBenign(core::NodeConfig{monitored}, daemons[i], 3, 8,
                                        collector.traceFor(i));
         collector.snapshot(i, daemons[i].name,
                            on.system->rootStats());

@@ -36,7 +36,7 @@ main(int argc, char **argv)
             SystemConfig c = cfg;
             c.traceFifoEntries = sizes[i / daemons.size()];
             auto run = benchutil::runBenign(
-                c, daemons[i % daemons.size()], 2, 5,
+                core::NodeConfig{c}, daemons[i % daemons.size()], 2, 5,
                 collector.traceFor(i));
             collector.snapshot(
                 i,

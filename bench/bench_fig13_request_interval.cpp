@@ -29,7 +29,7 @@ main(int argc, char **argv)
     collector.resize(daemons.size());
     struct Row { double avg, cpi; };
     auto rows = sweep.run(daemons.size(), [&](std::size_t i) {
-        auto run = benchutil::runBenign(cfg, daemons[i], 2, 8,
+        auto run = benchutil::runBenign(core::NodeConfig{cfg}, daemons[i], 2, 8,
                                         collector.traceFor(i));
         collector.snapshot(i, daemons[i].name,
                            run.system->rootStats());

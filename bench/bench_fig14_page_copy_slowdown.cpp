@@ -35,8 +35,8 @@ main(int argc, char **argv)
                                       cli.obs());
     collector.resize(daemons.size());
     auto slowdowns = sweep.run(daemons.size(), [&](std::size_t i) {
-        auto off = benchutil::runBenign(base, daemons[i], 2, 6);
-        auto on = benchutil::runBenign(paged, daemons[i], 2, 6,
+        auto off = benchutil::runBenign(core::NodeConfig{base}, daemons[i], 2, 6);
+        auto on = benchutil::runBenign(core::NodeConfig{paged}, daemons[i], 2, 6,
                                        collector.traceFor(i));
         collector.snapshot(i, daemons[i].name,
                            on.system->rootStats());

@@ -38,9 +38,9 @@ main(int argc, char **argv)
     struct Row { double backup, rollback; };
     auto rows = sweep.run(daemons.size(), [&](std::size_t i) {
         const auto &profile = daemons[i];
-        auto off = benchutil::runBenign(base, profile, 2, 8);
+        auto off = benchutil::runBenign(core::NodeConfig{base}, profile, 2, 8);
 
-        auto on = benchutil::runBenign(indra_cfg, profile, 2, 8);
+        auto on = benchutil::runBenign(core::NodeConfig{indra_cfg}, profile, 2, 8);
         double backup = on.totalResponse() / off.totalResponse();
 
         // Every other request is a DoS-style malicious request whose
@@ -52,7 +52,7 @@ main(int argc, char **argv)
             16, net::AttackKind::DosFlood, 2);
         for (auto &r : attack_script)
             r.seq += 2;
-        auto rb = benchutil::runScript(indra_cfg, profile, 2,
+        auto rb = benchutil::runScript(core::NodeConfig{indra_cfg}, profile, 2,
                                        attack_script,
                                        collector.traceFor(i));
         collector.snapshot(i, profile.name,

@@ -110,7 +110,7 @@ runCell(const CellParams &p, std::uint64_t legit_requests,
     net::DaemonProfile profile = net::daemonByName(p.daemon);
     profile.instrPerRequest = 25000;
 
-    core::IndraSystem sys(cfg, fplan, rc);
+    core::IndraSystem sys(core::NodeConfig{cfg, fplan, rc});
     sys.attachTraceLog(collector.traceFor(cell_idx));
     sys.boot();
     std::size_t slot = sys.deployService(profile);

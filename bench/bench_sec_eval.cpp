@@ -45,7 +45,7 @@ main(int argc, char **argv)
         profile.instrPerRequest =
             std::min<std::uint64_t>(profile.instrPerRequest, 120000);
 
-        core::IndraSystem sys(cfg);
+        core::IndraSystem sys(core::NodeConfig{cfg});
         sys.attachTraceLog(collector.traceFor(i));
         sys.boot();
         std::size_t slot = sys.deployService(profile);

@@ -38,7 +38,7 @@ main(int argc, char **argv)
                                       cli.obs());
     collector.resize(kinds.size());
     auto outs = sweep.run(kinds.size(), [&](std::size_t i) {
-        core::IndraSystem sys(cfg);
+        core::IndraSystem sys(core::NodeConfig{cfg});
         sys.attachTraceLog(collector.traceFor(i));
         sys.boot();
         std::size_t slot = sys.deployService(profile);

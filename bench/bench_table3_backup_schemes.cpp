@@ -60,7 +60,7 @@ main(int argc, char **argv)
                 net::daemonByName(daemons[i % daemons.size()]);
             Cell cell;
 
-            auto off = benchutil::runBenign(base, profile, 2, 6);
+            auto off = benchutil::runBenign(core::NodeConfig{base}, profile, 2, 6);
             SystemConfig cfg = base;
             cfg.checkpointScheme = scheme;
 
@@ -73,7 +73,7 @@ main(int argc, char **argv)
                 for (auto &r : script)
                     r.seq += 2;
                 auto run = benchutil::runScript(
-                    cfg, profile, 2, script, collector.traceFor(i));
+                    core::NodeConfig{cfg}, profile, 2, script, collector.traceFor(i));
                 collector.snapshot(
                     i,
                     std::string(checkpointSchemeName(scheme)) + "." +

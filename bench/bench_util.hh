@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/node_config.hh"
 #include "core/system.hh"
 #include "harness/parallel_sweep.hh"
 #include "net/client.hh"
@@ -65,6 +66,117 @@ sweepFromCli(int argc, char **argv)
 }
 
 /**
+ * The cluster slice of a bench command line: fleet shape and user
+ * skew for the cluster-scale sweeps. Registered as a BenchCli preset
+ * (clusterPreset()) so every cluster bench spells the flags the same
+ * way; the raw strings are parsed lazily with fatal() on a typo.
+ */
+struct ClusterOptions
+{
+    std::string nodesSpec; //!< --nodes N[,N...] ("" = bench default)
+    std::string ratioSpec; //!< --ratio R[,R...] resurrector:resurrectee
+    std::string zipfSpec;  //!< --zipf THETA user popularity skew
+    std::string usersSpec; //!< --users N synthetic user population
+
+    /** Parse "--nodes 1,2,4"; @p defaults when the flag was absent. */
+    std::vector<std::uint32_t>
+    nodeCounts(std::vector<std::uint32_t> defaults) const
+    {
+        if (nodesSpec.empty())
+            return defaults;
+        std::vector<std::uint32_t> out;
+        for (const std::string &tok : splitList(nodesSpec, "--nodes")) {
+            unsigned long v = 0;
+            std::size_t used = 0;
+            try {
+                v = std::stoul(tok, &used);
+            } catch (const std::exception &) {
+                used = 0;
+            }
+            fatal_if(used != tok.size() || v == 0,
+                     "--nodes wants positive integers, got '", tok, "'");
+            out.push_back(static_cast<std::uint32_t>(v));
+        }
+        return out;
+    }
+
+    /** Parse "--ratio 0.25,0.5,1"; @p defaults when absent. */
+    std::vector<double>
+    ratios(std::vector<double> defaults) const
+    {
+        if (ratioSpec.empty())
+            return defaults;
+        std::vector<double> out;
+        for (const std::string &tok : splitList(ratioSpec, "--ratio")) {
+            double v = parseDouble(tok, "--ratio");
+            fatal_if(v <= 0.0, "--ratio wants positive ratios, got '",
+                     tok, "'");
+            out.push_back(v);
+        }
+        return out;
+    }
+
+    /** Parse "--zipf 0.99"; @p fallback when absent. */
+    double
+    zipfTheta(double fallback) const
+    {
+        if (zipfSpec.empty())
+            return fallback;
+        double v = parseDouble(zipfSpec, "--zipf");
+        fatal_if(v < 0.0, "--zipf wants a skew >= 0, got '", zipfSpec,
+                 "'");
+        return v;
+    }
+
+    /** Parse "--users 1000000"; @p fallback when absent. */
+    std::uint64_t
+    users(std::uint64_t fallback) const
+    {
+        if (usersSpec.empty())
+            return fallback;
+        unsigned long long v = 0;
+        std::size_t used = 0;
+        try {
+            v = std::stoull(usersSpec, &used);
+        } catch (const std::exception &) {
+            used = 0;
+        }
+        fatal_if(used != usersSpec.size() || v == 0,
+                 "--users wants a positive integer, got '", usersSpec,
+                 "'");
+        return v;
+    }
+
+  private:
+    static std::vector<std::string>
+    splitList(const std::string &spec, const char *flag)
+    {
+        std::vector<std::string> out;
+        std::string tok;
+        std::istringstream is(spec);
+        while (std::getline(is, tok, ','))
+            out.push_back(tok);
+        fatal_if(out.empty(), flag, " wants a comma-separated list");
+        return out;
+    }
+
+    static double
+    parseDouble(const std::string &tok, const char *flag)
+    {
+        double v = 0.0;
+        std::size_t used = 0;
+        try {
+            v = std::stod(tok, &used);
+        } catch (const std::exception &) {
+            used = 0;
+        }
+        fatal_if(used != tok.size(), flag, " wants numbers, got '", tok,
+                 "'");
+        return v;
+    }
+};
+
+/**
  * The shared bench command line: every sweep bench registers its
  * flags/options here, gets --help and --jobs for free, and rejects
  * anything unrecognized instead of silently ignoring a typo
@@ -93,6 +205,26 @@ class BenchCli
 
     /** The parsed observability options (valid after parse()). */
     const ObsOptions &obs() const { return obsOpts; }
+
+    /**
+     * Register the cluster sweep preset: --nodes/--ratio/--zipf/
+     * --users land in @p out (which must outlive parse()).
+     */
+    void
+    clusterPreset(ClusterOptions *out)
+    {
+        option("--nodes", "N[,N...]",
+               "fleet sizes to sweep (resurrectee nodes)",
+               &out->nodesSpec);
+        option("--ratio", "R[,R...]",
+               "resurrector:resurrectee pool ratios to sweep",
+               &out->ratioSpec);
+        option("--zipf", "THETA",
+               "Zipf skew of synthetic user popularity",
+               &out->zipfSpec);
+        option("--users", "N", "synthetic user population",
+               &out->usersSpec);
+    }
 
     /** Register a boolean flag (present -> *out = true). */
     void
@@ -354,13 +486,13 @@ struct Run
  * the trace covers exactly the measured window.
  */
 inline Run
-runScript(const SystemConfig &cfg, const net::DaemonProfile &profile,
+runScript(const core::NodeConfig &node, const net::DaemonProfile &profile,
           std::uint64_t warmup,
           const std::vector<net::ServiceRequest> &script,
           obs::TraceLog *trace = nullptr)
 {
     Run run;
-    run.system = std::make_unique<core::IndraSystem>(cfg);
+    run.system = std::make_unique<core::IndraSystem>(node);
     if (trace)
         run.system->attachTraceLog(trace);
     run.system->boot();
@@ -376,14 +508,14 @@ runScript(const SystemConfig &cfg, const net::DaemonProfile &profile,
 
 /** Benign-only convenience wrapper. */
 inline Run
-runBenign(const SystemConfig &cfg, const net::DaemonProfile &profile,
+runBenign(const core::NodeConfig &node, const net::DaemonProfile &profile,
           std::uint64_t warmup, std::uint64_t measured,
           obs::TraceLog *trace = nullptr)
 {
     auto script = net::ClientScript::benign(measured);
     for (auto &r : script)
         r.seq += warmup;
-    return runScript(cfg, profile, warmup, script, trace);
+    return runScript(node, profile, warmup, script, trace);
 }
 
 /** Print the standard bench header with the Table 4 parameters. */

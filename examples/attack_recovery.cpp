@@ -65,7 +65,7 @@ main()
             net::daemonByName(scenario.daemon);
         profile.instrPerRequest = 60000;
 
-        core::IndraSystem sys(cfg);
+        core::IndraSystem sys(core::NodeConfig{cfg});
         sys.boot();
         std::size_t slot = sys.deployService(profile);
 

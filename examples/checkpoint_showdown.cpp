@@ -33,7 +33,7 @@ main()
     base.checkpointScheme = CheckpointScheme::None;
     double base_mean;
     {
-        core::IndraSystem sys(base);
+        core::IndraSystem sys(core::NodeConfig{base});
         sys.boot();
         std::size_t slot = sys.deployService(profile);
         auto outcomes =
@@ -58,7 +58,7 @@ main()
           CheckpointScheme::None}) {
         SystemConfig cfg = base;
         cfg.checkpointScheme = scheme;
-        core::IndraSystem sys(cfg);
+        core::IndraSystem sys(core::NodeConfig{cfg});
         sys.boot();
         std::size_t slot = sys.deployService(profile);
         auto outcomes = sys.runScript(script, slot);

@@ -30,7 +30,7 @@ serveUnderAttack(const SystemConfig &cfg,
                  const net::DaemonProfile &profile,
                  const std::vector<net::ServiceRequest> &script)
 {
-    core::IndraSystem sys(cfg);
+    core::IndraSystem sys(core::NodeConfig{cfg});
     sys.boot();
     std::size_t slot = sys.deployService(profile);
     auto outcomes = sys.runScript(script, slot);
@@ -104,7 +104,7 @@ main()
                  "queueing):\n";
     for (bool protected_run : {false, true}) {
         SystemConfig cfg = protected_run ? indra_cfg : conventional;
-        core::IndraSystem sys(cfg);
+        core::IndraSystem sys(core::NodeConfig{cfg});
         sys.boot();
         std::size_t slot = sys.deployService(profile);
         auto warm = sys.runScript(net::ClientScript::benign(2), slot);

@@ -20,9 +20,12 @@
  *                         INDRA_JOBS; default hardware_concurrency,
  *                         1 = serial). Output is identical for any N.
  *
- * Everything else is a SystemConfig field, e.g.:
+ * Everything else is a NodeConfig setting routed by dotted key
+ * (core/node_config.hh): a SystemConfig field, faults.plan, or a
+ * dotted adversary./rejuvenation./resilience./domain. ablation key,
+ * e.g.:
  *   checkpointScheme=virtual-checkpoint traceFifoEntries=16
- *   monitorEnabled=false filterCamEntries=64 rngSeed=7
+ *   faults.plan=macro-corrupt:0.1 resilience.admission=0.75
  */
 
 #include <iomanip>
@@ -31,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "core/node_config.hh"
 #include "core/system.hh"
 #include "harness/parallel_sweep.hh"
 #include "net/daemon_profile.hh"
@@ -65,7 +69,9 @@ printHelp()
         "(parallel sweep)\n"
         "attacks: benign stack-smash code-injection func-ptr-hijack "
         "format-string dos-flood dormant\n\n"
-        "config keys:\n";
+        "node keys are routed by dotted prefix: faults.plan=SPEC and\n"
+        "adversary./rejuvenation./resilience./domain. ablation keys\n"
+        "(see resilience/ablation.hh), plus the config keys:\n";
     for (const auto &k : knownSettingKeys())
         std::cout << "  " << k << "\n";
 }
@@ -98,7 +104,7 @@ struct DaemonResult
 };
 
 DaemonResult
-runOneDaemon(const SystemConfig &cfg, net::DaemonProfile profile,
+runOneDaemon(const core::NodeConfig &node, net::DaemonProfile profile,
              std::uint64_t instr, std::uint64_t requests,
              std::uint64_t warmup, const std::string &attack_name,
              std::uint64_t period, bool dump_stats)
@@ -106,7 +112,7 @@ runOneDaemon(const SystemConfig &cfg, net::DaemonProfile profile,
     if (instr)
         profile.instrPerRequest = instr;
 
-    core::IndraSystem system(cfg);
+    core::IndraSystem system(node);
     system.boot();
     std::size_t slot = system.deployService(profile);
 
@@ -163,8 +169,25 @@ main(int argc, char **argv)
     setLogVerbosity(1);
 
     unsigned jobs = parseJobs(args);
-    SystemConfig cfg;
-    applySettings(cfg, args);
+    // One NodeConfig built from the command line: every key=value
+    // that is not a driver key goes through the dotted-key router,
+    // which fatals on typos instead of guessing.
+    static const char *driverKeys[] = {"daemon", "requests", "warmup",
+                                       "attack", "attack_period",
+                                       "instr", "stats", "jobs"};
+    core::NodeConfig node;
+    for (const std::string &arg : args) {
+        auto eq = arg.find('=');
+        if (eq == std::string::npos)
+            continue;
+        std::string key = arg.substr(0, eq);
+        bool driver = false;
+        for (const char *d : driverKeys)
+            driver = driver || key == d;
+        if (driver)
+            continue;
+        core::applyNodeSetting(node, key, arg.substr(eq + 1));
+    }
 
     auto daemons = splitDaemons(driverArg(args, "daemon", "httpd"));
     std::uint64_t instr =
@@ -177,7 +200,7 @@ main(int argc, char **argv)
         std::stoull(driverArg(args, "attack_period", "0"));
     bool dump_stats = driverArg(args, "stats", "0") == "1";
 
-    cfg.print(std::cout);
+    node.system.print(std::cout);
 
     if (daemons.size() == 1) {
         // Single service: full per-request trace, as always.
@@ -186,7 +209,7 @@ main(int argc, char **argv)
                   << (instr ? instr : profile.instrPerRequest)
                   << " instr/request)\n\n";
         auto result =
-            runOneDaemon(cfg, profile, instr, requests, warmup,
+            runOneDaemon(node, profile, instr, requests, warmup,
                          attack_name, period, dump_stats);
         printOutcomeTable(result.outcomes);
 
@@ -212,7 +235,7 @@ main(int argc, char **argv)
     harness::ParallelSweep sweep(jobs);
     std::cout << "\nsweeping " << daemons.size() << " daemons\n\n";
     auto results = sweep.run(daemons.size(), [&](std::size_t i) {
-        return runOneDaemon(cfg, net::daemonByName(daemons[i]), instr,
+        return runOneDaemon(node, net::daemonByName(daemons[i]), instr,
                             requests, warmup, attack_name, period,
                             dump_stats);
     });

@@ -32,7 +32,7 @@ main()
 
     // 2. Boot asymmetric: the resurrector carves out its private
     //    memory and releases the resurrectee.
-    core::IndraSystem system(cfg);
+    core::IndraSystem system(core::NodeConfig{cfg});
     system.boot();
     std::cout << "booted asymmetric INDRA machine: "
               << system.resurrectorFrames()

@@ -20,10 +20,12 @@
 # judged against bench/perf_baseline.json; >15% ops/sec regression on
 # any workload fails the pipeline), scripts/adversary_smoke.sh
 # (the survivability matrix: --jobs 1/8 bit-identity of the closed
-# feedback loop plus a caught re-infection), and
-# scripts/domain_smoke.sh (confined rewind vs full rejuvenation with
-# the bench self-checks armed, plus the fuzzer's planted
-# confined-rewind bug caught by domain-rewind-confined and shrunk).
+# feedback loop plus a caught re-infection), scripts/domain_smoke.sh
+# (confined rewind vs full rejuvenation with the bench self-checks
+# armed, plus the fuzzer's planted confined-rewind bug caught by
+# domain-rewind-confined and shrunk), and scripts/cluster_smoke.sh
+# (the fleet sweep with its graceful-degradation and monotone
+# recovery-tail self-checks, bit-identical across --jobs 1/8).
 #
 # After the presets, scripts/fuzz_smoke.sh runs a fixed-seed slice of
 # the oracle fuzzer plus its planted-bug sensitivity check.
@@ -60,6 +62,9 @@ for preset in "${presets[@]}"; do
         echo "=== [$preset] domain smoke"
         scripts/domain_smoke.sh \
             build-ci-release/bench/bench_domain_rewind
+        echo "=== [$preset] cluster smoke"
+        scripts/cluster_smoke.sh \
+            build-ci-release/bench/bench_cluster_scale
     fi
 done
 

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Cluster-scale smoke: the fleet scheduler end to end.
+#
+# bench_cluster_scale --smoke sweeps one fleet size against a
+# shrinking resurrector:resurrectee pool ratio under the correlated
+# reinfect storm, with the bench's own assertions armed — attacks
+# reach every cell, the starved pool actually queues restores,
+# goodput degrades gracefully (never a cliff) as the ratio shrinks,
+# recovery p99 and pool wait p99 grow monotonically with contention,
+# and the Zipf sharder produces visible imbalance.
+#
+# The sweep must also be bit-identical across --jobs 1 and --jobs 8:
+# the cluster scheduler interleaves its nodes on the ParallelSweep,
+# and nothing about injection windows, pool grant order, or link
+# arithmetic may leak worker scheduling into the simulation.
+#
+# Usage: scripts/cluster_smoke.sh <bench_cluster_scale>
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin=${1:?usage: cluster_smoke.sh <bench_cluster_scale>}
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+echo "=== [cluster-smoke] fleet sweep, --jobs 1 vs --jobs 8"
+"$bin" --smoke --jobs 1 > "$out/j1.txt"
+"$bin" --smoke --jobs 8 > "$out/j8.txt"
+cmp "$out/j1.txt" "$out/j8.txt"
+grep -q "all smoke checks passed" "$out/j1.txt" || {
+    echo "cluster smoke: bench self-checks did not report success" >&2
+    exit 1
+}
+
+echo "cluster smoke passed"

@@ -33,7 +33,7 @@ assert isinstance(benches, list) and benches, "no benches"
 names = [b["name"] for b in benches]
 assert names == ["recovery_storm", "overload_storm",
                  "monitor_stream", "adaptive_storm",
-                 "domain_rewind"], names
+                 "domain_rewind", "cluster_storm"], names
 total = 0.0
 for b in benches:
     assert isinstance(b["ops"], int) and b["ops"] > 0, b

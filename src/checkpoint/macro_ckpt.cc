@@ -31,14 +31,17 @@ MacroCheckpoint::capture(Tick tick, os::ProcessContext &ctx,
                          os::AddressSpace &space,
                          os::SystemResources &res)
 {
-    image.clear();
+    // Keep the previous image's page buffers: the same working set is
+    // recaptured every interval, so reusing each page's vector avoids
+    // a page-sized allocation + copy per page per capture on the
+    // memcpy-bound backup path.
     imageSums.clear();
     imageLiveSums.clear();
     Cycles cost = 0;
     for (Vpn vpn : space.mappedPages()) {
         const os::PageInfo &info = space.pageInfo(vpn);
         auto &bytes = image[vpn];
-        bytes = phys.snapshotFrame(info.pfn);
+        phys.snapshotFrameInto(info.pfn, bytes);
         std::uint64_t ver = phys.frameVersion(info.pfn);
         PageSeal &seal = sealCache[vpn];
         if (seal.pfn != info.pfn || seal.version != ver) {
@@ -53,6 +56,16 @@ MacroCheckpoint::capture(Tick tick, os::ProcessContext &ctx,
              off += config.backupLineBytes) {
             cost += memsys.lineTransfer(
                 tick + cost, memsys.backupAddr(info.pfn, off), false);
+        }
+    }
+    // Pages unmapped since the previous capture are no longer in the
+    // working set: drop their retained buffers.
+    if (image.size() != imageSums.size()) {
+        for (auto it = image.begin(); it != image.end();) {
+            if (imageSums.find(it->first) == imageSums.end())
+                it = image.erase(it);
+            else
+                ++it;
         }
     }
     // The page count is sealed before any injected damage, so a

@@ -1,0 +1,60 @@
+#include "cluster/interconnect.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace indra::cluster
+{
+
+NodeLink::NodeLink(const LinkConfig &link_cfg)
+    : cfg(link_cfg), tokens(link_cfg.burst)
+{
+    fatal_if(cfg.ratePerMCycle < 0.0, "link rate must be >= 0");
+    fatal_if(cfg.ratePerMCycle > 0.0 && cfg.burst < 1.0,
+             "a capped link needs burst >= 1 token");
+    fatal_if(cfg.doorbellBatch == 0, "doorbell batch must be >= 1");
+}
+
+Tick
+NodeLink::deliver(Tick ready)
+{
+    // Posting is serialized per link: this request cannot depart
+    // before the one before it finished posting.
+    Tick depart = std::max(ready, lastDepart);
+
+    if (cfg.ratePerMCycle > 0.0) {
+        tokens = std::min(
+            cfg.burst,
+            tokens + static_cast<double>(depart - lastRefill) *
+                         cfg.ratePerMCycle / 1e6);
+        lastRefill = depart;
+        if (tokens < 1.0) {
+            Cycles wait = static_cast<Cycles>(
+                std::ceil((1.0 - tokens) * 1e6 / cfg.ratePerMCycle));
+            depart = saturatingAdd(depart, wait);
+            throttled = saturatingAdd(throttled, wait);
+            tokens = 1.0;
+            lastRefill = depart;
+        }
+        tokens -= 1.0;
+    }
+
+    // First request of a batch rings the doorbell; the rest ride it.
+    Cycles post = cfg.descCycles;
+    if (batchFill == 0) {
+        post += cfg.doorbellCycles;
+        ++nDoorbells;
+    }
+    batchFill = (batchFill + 1) % cfg.doorbellBatch;
+    depart = saturatingAdd(depart, post);
+
+    lastDepart = depart;
+    ++nPosted;
+    Tick delivery = saturatingAdd(depart, cfg.wireCycles);
+    delaySum = saturatingAdd(delaySum, delivery - ready);
+    return delivery;
+}
+
+} // namespace indra::cluster

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The load balancer's interconnect: per-node links with token-bucket
+ * rate caps and doorbell-batched posting.
+ *
+ * Requests leave the balancer for a node over that node's link. Two
+ * effects are modelled, both deterministic arithmetic on ticks:
+ *
+ *   - A token bucket caps the link's sustained request rate
+ *     (ratePerMCycle) with a configurable burst allowance; a request
+ *     finding the bucket empty departs when the next token refills.
+ *   - Posting is doorbell-batched, NIC-style: every request pays a
+ *     small descriptor-write cost, and the first request of each
+ *     batch additionally rings the doorbell. Larger batches amortize
+ *     the doorbell over more requests at the cost of no latency
+ *     model refinement — this is a serving-path cost cap, not a PCIe
+ *     simulator.
+ *
+ * Departures per link are non-decreasing, so a node's delivery
+ * stream is sorted by construction and can be injected into its
+ * NodeHandle in order.
+ */
+
+#ifndef INDRA_CLUSTER_INTERCONNECT_HH
+#define INDRA_CLUSTER_INTERCONNECT_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace indra::cluster
+{
+
+/** One node link's caps and posting costs. */
+struct LinkConfig
+{
+    /** Sustained request cap per million cycles; 0 = uncapped. */
+    double ratePerMCycle = 0.0;
+    /** Token-bucket depth: requests a quiet link may burst. */
+    double burst = 32.0;
+    /** Requests per doorbell ring (>= 1). */
+    std::uint32_t doorbellBatch = 8;
+    /** Cycles to ring the doorbell (paid by each batch's first). */
+    Cycles doorbellCycles = 400;
+    /** Cycles to post one descriptor (paid by every request). */
+    Cycles descCycles = 40;
+    /** Propagation to the node, cycles. */
+    Cycles wireCycles = 500;
+};
+
+/** One balancer-to-node link (token bucket + doorbell batcher). */
+class NodeLink
+{
+  public:
+    explicit NodeLink(const LinkConfig &cfg);
+
+    /**
+     * Pass one request that is ready to post at @p ready through the
+     * link.
+     * @return its delivery tick at the node (non-decreasing across
+     *         calls with non-decreasing @p ready)
+     */
+    Tick deliver(Tick ready);
+
+    std::uint64_t posted() const { return nPosted; }
+    std::uint64_t doorbells() const { return nDoorbells; }
+    /** Cycles requests spent waiting for tokens (cap pressure). */
+    Cycles throttleDelay() const { return throttled; }
+    /** Total delivery - ready latency accumulated. */
+    Cycles totalDelay() const { return delaySum; }
+
+  private:
+    LinkConfig cfg;
+    double tokens;
+    Tick lastRefill = 0;
+    Tick lastDepart = 0;
+    std::uint32_t batchFill = 0;
+    std::uint64_t nPosted = 0;
+    std::uint64_t nDoorbells = 0;
+    Cycles throttled = 0;
+    Cycles delaySum = 0;
+};
+
+} // namespace indra::cluster
+
+#endif // INDRA_CLUSTER_INTERCONNECT_HH

@@ -1,0 +1,34 @@
+#include "cluster/pool.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace indra::cluster
+{
+
+ResurrectorPool::ResurrectorPool(std::uint32_t slot_count)
+{
+    fatal_if(slot_count == 0, "resurrector pool needs at least 1 slot");
+    freeAt.assign(slot_count, 0);
+}
+
+ResurrectorPool::Grant
+ResurrectorPool::acquire(Tick ready, Cycles busy)
+{
+    auto it = std::min_element(freeAt.begin(), freeAt.end());
+    Grant g;
+    g.start = std::max(ready, *it);
+    g.queueDelay = g.start - ready;
+    *it = saturatingAdd(g.start, busy);
+    ++nGrants;
+    if (g.queueDelay > 0) {
+        ++nQueued;
+        totalDelay = saturatingAdd(totalDelay, g.queueDelay);
+        maxDelay = std::max(maxDelay, g.queueDelay);
+    }
+    delays.push_back(g.queueDelay);
+    return g;
+}
+
+} // namespace indra::cluster

@@ -1,0 +1,55 @@
+#include "cluster/zipf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace indra::cluster
+{
+
+ZipfSampler::ZipfSampler(std::uint64_t population, double theta)
+{
+    fatal_if(population == 0, "Zipf sampler needs a population");
+    fatal_if(theta < 0.0, "Zipf theta must be non-negative");
+    cdf.resize(population);
+    double sum = 0.0;
+    for (std::uint64_t i = 0; i < population; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+        cdf[i] = sum;
+    }
+    for (double &c : cdf)
+        c /= sum;
+    cdf.back() = 1.0; // pin against rounding so sample(u<1) never falls off
+}
+
+std::uint64_t
+ZipfSampler::sample(double u) const
+{
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    if (it == cdf.end())
+        --it;
+    return static_cast<std::uint64_t>(it - cdf.begin());
+}
+
+double
+ZipfSampler::probability(std::uint64_t rank) const
+{
+    if (rank >= cdf.size())
+        return 0.0;
+    return rank == 0 ? cdf[0] : cdf[rank] - cdf[rank - 1];
+}
+
+std::uint32_t
+shardOf(std::uint64_t user, std::uint32_t nodes)
+{
+    // splitmix64 finalizer: full-avalanche, so user i and i+1 shard
+    // independently.
+    std::uint64_t x = user + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::uint32_t>(x % nodes);
+}
+
+} // namespace indra::cluster

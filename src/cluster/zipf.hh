@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Zipf-skewed synthetic users and their node sharding.
+ *
+ * A production fleet's load is never uniform: a few hot users (or
+ * keys) dominate. The cluster layer draws users from a Zipf(theta)
+ * popularity distribution over a fixed population and routes each
+ * user to a node by a multiplicative hash, so the per-node load
+ * imbalance the load balancer must live with is reproduced
+ * deterministically from the seed alone.
+ *
+ * The sampler precomputes the population's CDF once (one double per
+ * user) and answers each draw with a binary search, so sampling is
+ * O(log n) with no rejection loop — exactly reproducible for any
+ * caller-supplied uniform variate.
+ */
+
+#ifndef INDRA_CLUSTER_ZIPF_HH
+#define INDRA_CLUSTER_ZIPF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace indra::cluster
+{
+
+/** Zipf(theta) sampler over users 0..population-1 (rank == user). */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param population users to draw from (must be nonzero)
+     * @param theta      skew; 0 = uniform, ~0.99 = classic web skew
+     */
+    ZipfSampler(std::uint64_t population, double theta);
+
+    /** The user for uniform variate @p u in [0, 1). */
+    std::uint64_t sample(double u) const;
+
+    std::uint64_t population() const { return cdf.size(); }
+
+    /** P(user == @p rank), for tests and imbalance estimates. */
+    double probability(std::uint64_t rank) const;
+
+  private:
+    std::vector<double> cdf; //!< inclusive prefix sums, last == 1.0
+};
+
+/**
+ * The node shard owning @p user among @p nodes, by splitmix64 hash:
+ * adjacent user ids land on unrelated nodes, so shard balance does
+ * not depend on the popularity ranking.
+ */
+std::uint32_t shardOf(std::uint64_t user, std::uint32_t nodes);
+
+} // namespace indra::cluster
+
+#endif // INDRA_CLUSTER_ZIPF_HH

@@ -1,0 +1,56 @@
+#include "core/node_config.hh"
+
+#include "resilience/ablation.hh"
+#include "sim/config_reader.hh"
+#include "sim/logging.hh"
+
+namespace indra::core
+{
+
+namespace
+{
+
+bool
+hasPrefix(const std::string &key, const char *prefix)
+{
+    return key.rfind(prefix, 0) == 0;
+}
+
+} // anonymous namespace
+
+void
+applyNodeSetting(NodeConfig &node, const std::string &key,
+                 const std::string &value)
+{
+    if (hasPrefix(key, "adversary.") ||
+        hasPrefix(key, "rejuvenation.") ||
+        hasPrefix(key, "resilience.") || hasPrefix(key, "domain.")) {
+        resilience::applyAblationSetting(node.system, node.adversary,
+                                         node.resilience, key, value);
+        return;
+    }
+    if (key == "faults.plan") {
+        node.faults =
+            faults::FaultPlan::parse(value, node.faults.seed());
+        return;
+    }
+    if (applySetting(node.system, key, value))
+        return;
+    fatal("unknown node setting '", key,
+          "' (expected a SystemConfig field, faults.plan, or a dotted "
+          "adversary./rejuvenation./resilience./domain. key)");
+}
+
+void
+applyNodeSettings(NodeConfig &node,
+                  const std::vector<std::string> &settings)
+{
+    for (const std::string &tok : settings) {
+        std::size_t eq = tok.find('=');
+        fatal_if(eq == std::string::npos,
+                 "node setting '", tok, "' is not key=value");
+        applyNodeSetting(node, tok.substr(0, eq), tok.substr(eq + 1));
+    }
+}
+
+} // namespace indra::core

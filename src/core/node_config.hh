@@ -1,0 +1,93 @@
+/**
+ * @file
+ * NodeConfig: everything one revivable node is built from, in one
+ * aggregate.
+ *
+ * Historically a node was assembled from three positional configs —
+ * IndraSystem(SystemConfig, FaultPlan, ResilienceConfig) — with the
+ * adversary knobs riding separately on the StormPlan. A cluster of
+ * nodes wants to stamp out many identical nodes from one value and
+ * tweak any knob from config alone, so this aggregate folds all four
+ * together and routes every setting through one dotted-key entry
+ * point:
+ *
+ *   adversary.* / rejuvenation.* / resilience.* / domain.*
+ *       the survivability ablation router (resilience/ablation.hh)
+ *   faults.plan
+ *       a FaultPlan::parse() spec ("kind:rate[:magnitude],...")
+ *   everything else
+ *       a SystemConfig field name (sim/config_reader.hh), e.g.
+ *       "checkpointScheme=domain-rewind" or "traceFifoEntries=64"
+ *
+ * Unknown keys and malformed values are fatal errors naming the
+ * offending key. A default NodeConfig builds exactly the node the
+ * default three-argument constructor built: empty fault plan,
+ * disarmed resilience, disarmed adversary — the zero-cost-when-off
+ * contract is unchanged.
+ */
+
+#ifndef INDRA_CORE_NODE_CONFIG_HH
+#define INDRA_CORE_NODE_CONFIG_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adversary/adversary_config.hh"
+#include "faults/fault_plan.hh"
+#include "resilience/resilience_config.hh"
+#include "sim/config.hh"
+
+namespace indra::core
+{
+
+/** One revivable node's complete build recipe. */
+struct NodeConfig
+{
+    NodeConfig() = default;
+    /**
+     * Wrap the historical positional triple, so call sites migrating
+     * from IndraSystem(cfg, plan, rcfg) spell NodeConfig{cfg, plan,
+     * rcfg} (or any prefix of it) without partial-aggregate warnings.
+     */
+    explicit NodeConfig(SystemConfig system_cfg,
+                        faults::FaultPlan fault_plan = {},
+                        resilience::ResilienceConfig resilience_cfg = {})
+        : system(std::move(system_cfg)), faults(std::move(fault_plan)),
+          resilience(std::move(resilience_cfg))
+    {
+    }
+
+    /** Hardware + checkpoint-scheme configuration (Table 4 knobs). */
+    SystemConfig system;
+    /** Fault-injection plan; empty (the default) creates no injector. */
+    faults::FaultPlan faults;
+    /** Overload-resilience knobs; disarmed by default. */
+    resilience::ResilienceConfig resilience;
+    /**
+     * Default adaptive-attacker knobs for storms against this node.
+     * IndraSystem itself never reads these; storm drivers seed
+     * StormPlan.adversary from them so a fleet can arm its attackers
+     * from the same dotted keys as everything else.
+     */
+    adversary::AdversaryConfig adversary;
+};
+
+/**
+ * Apply one dotted "key=value" setting to whichever member owns it
+ * (see the file comment for the routing table). Unknown keys and
+ * malformed values are fatal, naming @p key.
+ */
+void applyNodeSetting(NodeConfig &node, const std::string &key,
+                      const std::string &value);
+
+/**
+ * Apply every "key=value" token in @p settings; tokens without '='
+ * are fatal, as are unknown keys.
+ */
+void applyNodeSettings(NodeConfig &node,
+                       const std::vector<std::string> &settings);
+
+} // namespace indra::core
+
+#endif // INDRA_CORE_NODE_CONFIG_HH

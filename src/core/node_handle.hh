@@ -1,0 +1,150 @@
+/**
+ * @file
+ * NodeHandle: the steppable facade over one node's attack storm.
+ *
+ * The classic IndraSystem::runStorm drives a storm to completion in
+ * one call. A cluster scheduler needs finer control: it interleaves
+ * many nodes on a ParallelSweep, feeding each node load-balanced
+ * arrivals and collecting its completed work round by round. This
+ * facade splits the storm loop into exactly those pieces:
+ *
+ *   advanceTo(bound)   process every scheduled event up to @p bound
+ *   inject(...)        push one externally routed arrival into the
+ *                      schedule's dynamic heap (a load balancer's
+ *                      delivery)
+ *   drainEvents()      take the completed-work records accumulated
+ *                      since the last drain (recovery durations feed
+ *                      the cluster's shared resurrector pool)
+ *   stall(delay)       charge an external delay (e.g. waiting for a
+ *                      pool slot) to the node's core clock
+ *   finish()           finalize percentiles/health and return the
+ *                      StormReport
+ *
+ * runStorm is now a thin wrapper — construct, advanceTo(maxTick),
+ * finish() — and is bit-identical to the monolithic loop it replaced:
+ * the event sequence is derived from the plan seed and the schedule
+ * alone, never from where the advanceTo windows fall.
+ *
+ * A NodeHandle owns no system state; it borrows the IndraSystem and
+ * slot it drives, which must outlive it. One handle per slot at a
+ * time.
+ */
+
+#ifndef INDRA_CORE_NODE_HANDLE_HH
+#define INDRA_CORE_NODE_HANDLE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/request.hh"
+#include "resilience/storm.hh"
+#include "sim/types.hh"
+
+namespace indra::core
+{
+
+class IndraSystem;
+
+/** One completed piece of node work, drained by a cluster scheduler. */
+struct NodeEvent
+{
+    Tick tick = 0; //!< completion tick
+    net::RequestStatus status = net::RequestStatus::Served;
+    bool legit = false;
+    bool probe = false;
+    /** A proactive policy fired a restore before this request ran. */
+    bool proactiveRestore = false;
+    Cycles responseCycles = 0; //!< completion - arrival
+    /** Cycles the proactive restore took (0 when none fired). */
+    Cycles proactiveCycles = 0;
+    /**
+     * Completion - arrival for a request that needed any recovery
+     * (micro, domain, macro, or rejuvenation); 0 when served or shed
+     * cleanly. The cluster's resurrector pool charges its slots with
+     * this.
+     */
+    Cycles recoveryCycles = 0;
+};
+
+/** The steppable storm driver for one service slot. */
+class NodeHandle
+{
+  public:
+    /**
+     * Bind the storm described by @p plan to @p sys's slot
+     * @p slot_idx and build its static arrival timelines. Unlike
+     * runStorm, a plan with legitRequests == 0 is accepted: a
+     * cluster-scheduled node receives its legitimate load through
+     * inject() instead.
+     */
+    NodeHandle(IndraSystem &sys, std::size_t slot_idx,
+               const resilience::StormPlan &plan);
+    ~NodeHandle();
+
+    NodeHandle(const NodeHandle &) = delete;
+    NodeHandle &operator=(const NodeHandle &) = delete;
+
+    /**
+     * Record completed work as NodeEvents for drainEvents(). Off by
+     * default, in which case the handle accumulates nothing and the
+     * runStorm wrapper stays allocation-identical to the monolith.
+     */
+    void collectEvents(bool on);
+
+    /**
+     * Schedule one externally routed arrival at @p tick (which must
+     * not precede work already processed — the cluster injects each
+     * round's arrivals before advancing past them). An unassigned
+     * req.domain is stamped round-robin exactly like a static
+     * arrival's; @p legit marks the request as counting toward
+     * goodput (it then retries with backoff when shed, and a zero
+     * req.admissionDeadline is defaulted from the plan's).
+     */
+    void inject(Tick tick, const net::ServiceRequest &req,
+                bool legit = true);
+
+    /**
+     * Process every scheduled event with tick <= @p bound, including
+     * whatever they spawn inside the window (retries, probes,
+     * adversary moves).
+     * @return true while scheduled work remains past @p bound
+     */
+    bool advanceTo(Tick bound);
+
+    /** True when no scheduled or queued work remains. */
+    bool idle() const;
+
+    /** Tick of the next scheduled work; maxTick when idle(). */
+    Tick nextPendingTick() const;
+
+    /** The node core's current tick. */
+    Tick now() const;
+
+    /**
+     * Push the node's core clock forward @p delay cycles — the
+     * cluster charges pool-slot queueing to the node this way, so a
+     * contended resurrector pool degrades the node's goodput.
+     */
+    void stall(Cycles delay);
+
+    /** Completed-work records since the last drain (then cleared). */
+    std::vector<NodeEvent> drainEvents();
+
+    /**
+     * Finalize percentiles and health accounting and return the
+     * report. Call once, after the storm drained; the handle must not
+     * be advanced afterwards.
+     */
+    resilience::StormReport finish();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+
+    friend class IndraSystem;
+};
+
+} // namespace indra::core
+
+#endif // INDRA_CORE_NODE_HANDLE_HH

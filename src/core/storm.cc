@@ -1,6 +1,7 @@
 /**
  * @file
- * IndraSystem::runStorm — the attack-storm driver.
+ * The attack-storm driver: NodeHandle's steppable event loop, with
+ * IndraSystem::runStorm as its run-to-completion wrapper.
  *
  * A discrete-event loop over one service: legitimate open-loop
  * clients and bursty malicious traffic are merged into one arrival
@@ -17,10 +18,11 @@
  * known up front (legitimate clients and attack bursts, all derived
  * from the plan seed before the loop starts) lives in one sorted
  * flat arena consumed by a cursor, while the few events created
- * mid-loop (retries, probes) go through a small binary heap. Popping
- * the minimum of the two sources by (tick, order) yields exactly the
- * sequence a single priority queue over all events would produce,
- * without heap-percolating millions of statically known arrivals.
+ * mid-loop (retries, probes, injected cluster arrivals) go through a
+ * small binary heap. Popping the minimum of the two sources by
+ * (tick, order) yields exactly the sequence a single priority queue
+ * over all events would produce, without heap-percolating millions
+ * of statically known arrivals.
  *
  * With an armed AdversaryConfig the malicious side becomes a closed
  * loop: the static attack timeline is not generated at all, and an
@@ -30,6 +32,13 @@
  * keeps at most one move outstanding, so every plan sees the newest
  * signals; all of its draws come from a per-strategy PCG32 stream, so
  * the loop stays bit-identical for any sweep --jobs count.
+ *
+ * Stepping never changes the simulation: advanceTo(bound) merely
+ * pauses the very same loop once the next scheduled event lies past
+ * @p bound, so where a cluster scheduler's round boundaries fall is
+ * invisible to the event sequence. runStorm == construct +
+ * advanceTo(maxTick) + finish(), bit-identical to the monolithic
+ * loop it replaced.
  */
 
 #include <algorithm>
@@ -40,6 +49,7 @@
 #include <vector>
 
 #include "adversary/adversary.hh"
+#include "core/node_handle.hh"
 #include "core/system.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
@@ -50,7 +60,7 @@ namespace indra::core
 namespace
 {
 
-/** One scheduled arrival (first try, retry, or probe). */
+/** One scheduled arrival (first try, retry, probe, or injection). */
 struct Arrival
 {
     Tick tick = 0;
@@ -147,35 +157,91 @@ expGap(Pcg32 &rng, double rate_per_mcycle)
 
 } // anonymous namespace
 
-resilience::StormReport
-IndraSystem::runStorm(std::size_t slot_idx,
-                      const resilience::StormPlan &plan)
+/**
+ * The whole storm loop's state. Construction builds the static
+ * timelines; advanceTo() runs the event loop; finish() finalizes the
+ * report. Every member mirrors a local of the old monolithic
+ * runStorm, in the same initialization order.
+ */
+struct NodeHandle::Impl
 {
-    fatal_if(plan.legitRatePerMCycle <= 0.0,
-             "storm needs a positive legit arrival rate");
-    ServiceRefs refs = refsForMain(slot_idx);
-    ServiceSlot &s = *refs.slot;
-    resilience::ServiceGuard *guard = s.guard.get();
+    Impl(IndraSystem &sys, std::size_t slot_idx,
+         const resilience::StormPlan &plan);
+
+    // ---------------------------------------------------- the loop
+    bool advanceTo(Tick bound);
+    void step();
+    Tick nextWorkTick() const;
+    resilience::StormReport finish();
+
+    void pumpAdversary(Tick now);
+    void scheduleProbe(Tick now);
+    void recordShed(const Arrival &a, net::ShedReason reason,
+                    Tick now);
+
+    /** Bind @p a to the next isolated domain, round-robin. */
+    void
+    stampDomain(Arrival &a)
+    {
+        a.req.domain = static_cast<std::uint32_t>(
+            next_domain++ % sys.cfg.domainCount);
+    }
+
+    IndraSystem &sys;
+    std::size_t slotIdx;
+    resilience::StormPlan plan;
+    IndraSystem::ServiceRefs refs;
+    ServiceSlot &s;
+    resilience::ServiceGuard *guard;
 
     resilience::StormReport rep;
     ArrivalSchedule events;
     std::uint64_t order = 0;
 
-    // ---------------------------------------------- arrival timelines
-    Pcg32 legitRng(plan.seed, 0x6c65676974ULL);  // "legit"
-    Pcg32 attackRng(plan.seed, 0x6174746bULL);   // "attk"
-    resilience::RetryScheduler retry(plan.backoff, plan.seed);
+    Pcg32 legitRng;
+    Pcg32 attackRng;
+    resilience::RetryScheduler retry;
+    std::uint64_t next_domain = 0;
+    std::optional<adversary::AdaptiveAdversary> adv;
 
+    std::deque<Arrival> queue; // admitted, not yet started
+    std::uint64_t next_seq = 0;
+    bool probe_pending = false;
+    std::uint64_t probes_left;
+    std::vector<Cycles> legit_times;
+
+    bool left_healthy = false;
+    bool revived = false;
+    std::uint64_t executed_since_depart = 0;
+
+    std::vector<Cycles> recovery_times;
+    bool awaiting_reinfect = false;
+    Tick last_heal = 0;
+
+    std::uint64_t adv_outstanding = 0;
+
+    bool collect = false; //!< record NodeEvents for drainEvents()
+    std::vector<NodeEvent> collected;
+    bool finished = false;
+};
+
+NodeHandle::Impl::Impl(IndraSystem &system, std::size_t slot_idx,
+                       const resilience::StormPlan &storm_plan)
+    : sys(system), slotIdx(slot_idx), plan(storm_plan),
+      refs(sys.refsForMain(slot_idx)), s(*refs.slot),
+      guard(s.guard.get()),
+      legitRng(plan.seed, 0x6c65676974ULL),  // "legit"
+      attackRng(plan.seed, 0x6174746bULL),   // "attk"
+      retry(plan.backoff, plan.seed), probes_left(plan.probeBudget)
+{
+    fatal_if(plan.legitRequests > 0 && plan.legitRatePerMCycle <= 0.0,
+             "storm needs a positive legit arrival rate");
+
+    // ---------------------------------------------- arrival timelines
     // Every non-probe arrival is bound to an isolated domain up front
     // (round-robin over the configured count); retries keep their
     // original domain, probes stay unassigned. The stamp is inert
     // under every scheme except DomainRewind.
-    std::uint64_t next_domain = 0;
-    auto stampDomain = [&](Arrival &a) {
-        a.req.domain =
-            static_cast<std::uint32_t>(next_domain++ % cfg.domainCount);
-    };
-
     Tick t = 0;
     for (std::uint64_t i = 0; i < plan.legitRequests; ++i) {
         t = saturatingAdd(t, expGap(legitRng, plan.legitRatePerMCycle));
@@ -190,12 +256,13 @@ IndraSystem::runStorm(std::size_t slot_idx,
         events.pushStatic(std::move(a));
     }
     rep.legitArrivals = plan.legitRequests;
-    Tick horizon = t; // the storm rages while legit load is offered
+    // The storm rages while legit load is offered; a cluster feeding
+    // the node through inject() extends the window via plan.horizon.
+    Tick horizon = std::max(t, plan.horizon);
 
     // The closed-loop attacker replaces the static attack timeline
     // entirely; disarmed (the default) this is a null pointer and the
     // classic precomputed schedule below runs untouched.
-    std::optional<adversary::AdaptiveAdversary> adv;
     if (plan.adversary.enabled()) {
         adv.emplace(plan.adversary, plan.seed);
         adv->setHorizon(horizon);
@@ -203,7 +270,7 @@ IndraSystem::runStorm(std::size_t slot_idx,
 
     std::uint32_t burst_len = std::max<std::uint32_t>(1, plan.burstLen);
     if (adv) {
-        // all malicious traffic comes from the adversary pump below
+        // all malicious traffic comes from the adversary pump
     } else if (plan.attackRatePerMCycle > 0.0) {
         double burst_rate =
             plan.attackRatePerMCycle / static_cast<double>(burst_len);
@@ -242,242 +309,281 @@ IndraSystem::runStorm(std::size_t slot_idx,
     // Every statically known arrival is in: one sort replaces millions
     // of heap percolations, and consumption is a cursor walk.
     events.seal();
+}
 
-    // ------------------------------------------------ the event loop
-    std::deque<Arrival> queue; // admitted, not yet started
-    std::uint64_t next_seq = 0;
-    bool probe_pending = false;
-    std::uint64_t probes_left = plan.probeBudget;
-    std::vector<Cycles> legit_times;
-
-    bool left_healthy = false;
-    bool revived = false;
-    std::uint64_t executed_since_depart = 0;
-
-    std::vector<Cycles> recovery_times;
-    bool awaiting_reinfect = false;
-    Tick last_heal = 0;
-
+void
+NodeHandle::Impl::pumpAdversary(Tick now)
+{
     // One adversary move may be outstanding at a time; the pump plans
     // the next only after its last arrival has left the schedule, so
     // every plan sees the newest defense signals.
-    std::uint64_t adv_outstanding = 0;
-    auto pumpAdversary = [&](Tick now) {
-        if (!adv || adv_outstanding != 0)
-            return;
-        std::optional<adversary::AdversaryMove> mv = adv->nextMove(now);
-        if (!mv)
-            return;
-        ++rep.adversaryMoves;
-        rep.adversaryRequests += mv->count;
-        INDRA_TRACE(traceLogPtr, mv->tick,
-                    obs::EventKind::AdversaryMove,
-                    static_cast<std::uint32_t>(s.coreId),
-                    static_cast<std::uint64_t>(plan.adversary.strategy),
-                    mv->count);
-        Tick at = mv->tick;
-        for (std::uint32_t k = 0; k < mv->count; ++k) {
-            Arrival a;
-            a.tick = at;
-            a.order = order++;
-            a.req.attack = mv->payload;
-            a.req.clientClass = net::ClientClass::Bulk;
-            stampDomain(a);
-            events.pushDynamic(std::move(a));
-            ++rep.attackArrivals;
-            ++adv_outstanding;
-            at = saturatingAdd(at, mv->spacing);
-        }
-    };
-
-    auto scheduleProbe = [&](Tick now) {
-        if (!guard || probe_pending || probes_left == 0)
-            return;
-        if (!guard->health().probeOnly())
-            return;
-        probe_pending = true;
-        --probes_left;
+    if (!adv || adv_outstanding != 0)
+        return;
+    std::optional<adversary::AdversaryMove> mv = adv->nextMove(now);
+    if (!mv)
+        return;
+    ++rep.adversaryMoves;
+    rep.adversaryRequests += mv->count;
+    INDRA_TRACE(sys.traceLogPtr, mv->tick,
+                obs::EventKind::AdversaryMove,
+                static_cast<std::uint32_t>(s.coreId),
+                static_cast<std::uint64_t>(plan.adversary.strategy),
+                mv->count);
+    Tick at = mv->tick;
+    for (std::uint32_t k = 0; k < mv->count; ++k) {
         Arrival a;
-        a.tick = saturatingAdd(now, plan.probePeriod);
+        a.tick = at;
         a.order = order++;
-        a.req.attack = net::AttackKind::None;
-        a.req.clientClass = net::ClientClass::Probe;
-        a.probe = true;
+        a.req.attack = mv->payload;
+        a.req.clientClass = net::ClientClass::Bulk;
+        stampDomain(a);
         events.pushDynamic(std::move(a));
-        ++rep.probes;
-    };
+        ++rep.attackArrivals;
+        ++adv_outstanding;
+        at = saturatingAdd(at, mv->spacing);
+    }
+}
 
-    auto recordShed = [&](const Arrival &a, net::ShedReason reason,
-                          Tick now) {
-        ++rep.sheds[static_cast<std::size_t>(reason)];
-        if (adv)
-            adv->observeShed(now, reason, !a.legit && !a.probe);
-        if (a.probe) {
-            probe_pending = false;
-            scheduleProbe(now);
-            return;
-        }
-        if (!a.legit)
-            return; // attackers do not retry
-        if (retry.mayRetry(a.attempt)) {
-            ++rep.retries;
-            Arrival r = a;
-            r.tick = saturatingAdd(now, retry.delay(a.attempt));
-            r.order = order++;
-            ++r.attempt;
-            events.pushDynamic(std::move(r));
-        } else {
-            ++rep.legitGaveUp;
-        }
-    };
+void
+NodeHandle::Impl::scheduleProbe(Tick now)
+{
+    if (!guard || probe_pending || probes_left == 0)
+        return;
+    if (!guard->health().probeOnly())
+        return;
+    probe_pending = true;
+    --probes_left;
+    Arrival a;
+    a.tick = saturatingAdd(now, plan.probePeriod);
+    a.order = order++;
+    a.req.attack = net::AttackKind::None;
+    a.req.clientClass = net::ClientClass::Probe;
+    a.probe = true;
+    events.pushDynamic(std::move(a));
+    ++rep.probes;
+}
 
+void
+NodeHandle::Impl::recordShed(const Arrival &a, net::ShedReason reason,
+                             Tick now)
+{
+    ++rep.sheds[static_cast<std::size_t>(reason)];
+    if (adv)
+        adv->observeShed(now, reason, !a.legit && !a.probe);
+    if (a.probe) {
+        probe_pending = false;
+        scheduleProbe(now);
+        return;
+    }
+    if (!a.legit)
+        return; // attackers do not retry
+    if (retry.mayRetry(a.attempt)) {
+        ++rep.retries;
+        Arrival r = a;
+        r.tick = saturatingAdd(now, retry.delay(a.attempt));
+        r.order = order++;
+        ++r.attempt;
+        events.pushDynamic(std::move(r));
+    } else {
+        ++rep.legitGaveUp;
+    }
+}
+
+Tick
+NodeHandle::Impl::nextWorkTick() const
+{
+    // An admitted-but-unserved request is immediate backlog: it was
+    // scheduled at or before the window that admitted it.
+    if (!queue.empty())
+        return queue.front().tick;
+    return events.top().tick;
+}
+
+bool
+NodeHandle::Impl::advanceTo(Tick bound)
+{
     while (true) {
         pumpAdversary(s.core->curTick());
         if (events.empty() && queue.empty())
+            return false;
+        if (nextWorkTick() > bound)
+            return true;
+        step();
+    }
+}
+
+/** Exactly one iteration of the classic storm loop's body. */
+void
+NodeHandle::Impl::step()
+{
+    Tick core_free = s.core->curTick();
+
+    // Admit every arrival occurring before the next service could
+    // begin (idling forward when nothing is queued).
+    while (!events.empty()) {
+        Tick next_start = queue.empty()
+            ? events.top().tick
+            : std::max(core_free, queue.front().tick);
+        if (events.top().tick > next_start)
             break;
-        Tick core_free = s.core->curTick();
-
-        // Admit every arrival occurring before the next service could
-        // begin (idling forward when nothing is queued).
-        while (!events.empty()) {
-            Tick next_start = queue.empty()
-                ? events.top().tick
-                : std::max(core_free, queue.front().tick);
-            if (events.top().tick > next_start)
-                break;
-            Arrival a = events.pop();
-            if (adv && !a.legit && !a.probe && adv_outstanding > 0)
-                --adv_outstanding;
-            if (guard) {
-                std::uint32_t occ = s.monitor
-                    ? s.monitor->fifoOccupancyAt(a.tick)
-                    : 0;
-                if (adv) {
-                    adv->observeAdmission(a.tick, occ,
-                                          guard->config().fifoHighWater);
-                }
-                resilience::AdmissionDecision d = guard->tryAdmit(
-                    a.tick, a.req.clientClass, queue.size(), occ,
-                    a.req.domain);
-                if (!d.admitted) {
-                    recordShed(a, d.reason, a.tick);
-                    continue;
-                }
+        Arrival a = events.pop();
+        if (adv && !a.legit && !a.probe && adv_outstanding > 0)
+            --adv_outstanding;
+        if (guard) {
+            std::uint32_t occ = s.monitor
+                ? s.monitor->fifoOccupancyAt(a.tick)
+                : 0;
+            if (adv) {
+                adv->observeAdmission(a.tick, occ,
+                                      guard->config().fifoHighWater);
             }
-            queue.push_back(std::move(a));
+            resilience::AdmissionDecision d = guard->tryAdmit(
+                a.tick, a.req.clientClass, queue.size(), occ,
+                a.req.domain);
+            if (!d.admitted) {
+                recordShed(a, d.reason, a.tick);
+                continue;
+            }
         }
-        if (queue.empty())
-            continue; // events drained entirely into sheds
+        queue.push_back(std::move(a));
+    }
+    if (queue.empty())
+        return; // events drained entirely into sheds
 
-        Arrival q = std::move(queue.front());
-        queue.pop_front();
+    Arrival q = std::move(queue.front());
+    queue.pop_front();
 
-        // Deadline shedding happens when service would begin, not at
-        // enqueue: the client has hung up by the time we get to it.
-        Tick start = std::max(s.core->curTick(), q.tick);
-        if (q.req.admissionDeadline != 0 &&
-            start > saturatingAdd(q.tick, q.req.admissionDeadline)) {
-            if (guard)
-                guard->shedDeadline(start, q.req.clientClass);
-            recordShed(q, net::ShedReason::Deadline, start);
-            continue;
-        }
+    // Deadline shedding happens when service would begin, not at
+    // enqueue: the client has hung up by the time we get to it.
+    Tick start = std::max(s.core->curTick(), q.tick);
+    if (q.req.admissionDeadline != 0 &&
+        start > saturatingAdd(q.tick, q.req.admissionDeadline)) {
+        if (guard)
+            guard->shedDeadline(start, q.req.clientClass);
+        recordShed(q, net::ShedReason::Deadline, start);
+        return;
+    }
 
-        // A proactive policy may owe the service a restore before the
-        // next request runs — rejuvenation from the pristine image,
-        // no failure required.
-        if (guard && guard->proactiveRestoreDue(q.tick)) {
-            proactiveRejuvenate(
-                slot_idx, q.tick,
-                static_cast<std::uint8_t>(
-                    guard->config().rejuvenation.trigger));
-            ++rep.proactiveRestores;
-            awaiting_reinfect = true;
-            last_heal = s.core->curTick();
-        }
+    // A proactive policy may owe the service a restore before the
+    // next request runs — rejuvenation from the pristine image,
+    // no failure required.
+    bool proactive_fired = false;
+    Cycles proactive_cycles = 0;
+    if (guard && guard->proactiveRestoreDue(q.tick)) {
+        Tick before = s.core->curTick();
+        sys.proactiveRejuvenate(
+            slotIdx, q.tick,
+            static_cast<std::uint8_t>(
+                guard->config().rejuvenation.trigger));
+        ++rep.proactiveRestores;
+        awaiting_reinfect = true;
+        last_heal = s.core->curTick();
+        proactive_fired = true;
+        proactive_cycles = s.core->curTick() - before;
+    }
 
-        s.core->stallUntil(q.tick);
-        net::ServiceRequest req = q.req;
-        req.seq = next_seq++; // execution order, as the app expects
-        bool had_dormant = refs.app->hasDormantDamage();
-        net::RequestOutcome out = runOneRequest(refs, req);
-        out.startTick = q.tick; // response measured from arrival
+    s.core->stallUntil(q.tick);
+    net::ServiceRequest req = q.req;
+    req.seq = next_seq++; // execution order, as the app expects
+    bool had_dormant = refs.app->hasDormantDamage();
+    net::RequestOutcome out = sys.runOneRequest(refs, req);
+    out.startTick = q.tick; // response measured from arrival
 
-        ++rep.executed;
-        if (left_healthy && !revived)
-            ++executed_since_depart;
+    ++rep.executed;
+    if (left_healthy && !revived)
+        ++executed_since_depart;
 
-        if (out.status != net::RequestStatus::Served &&
-            out.status != net::RequestStatus::Shed)
-            recovery_times.push_back(out.endTick - q.tick);
+    bool needed_recovery =
+        out.status != net::RequestStatus::Served &&
+        out.status != net::RequestStatus::Shed;
+    if (needed_recovery)
+        recovery_times.push_back(out.endTick - q.tick);
 
-        // A heal wipes dormant damage; finding it planted again is a
-        // re-infection — the event the revival claim is judged by.
-        if (out.status == net::RequestStatus::Rejuvenated ||
-            out.status == net::RequestStatus::MacroRecovered ||
-            out.status == net::RequestStatus::Lost) {
+    // A heal wipes dormant damage; finding it planted again is a
+    // re-infection — the event the revival claim is judged by.
+    if (out.status == net::RequestStatus::Rejuvenated ||
+        out.status == net::RequestStatus::MacroRecovered ||
+        out.status == net::RequestStatus::Lost) {
+        awaiting_reinfect = true;
+        last_heal = out.endTick;
+    } else if (out.status == net::RequestStatus::DomainRewound) {
+        ++rep.domainRewinds;
+        if (refs.app->hasDormantDamage()) {
+            // A confined rewind must target the planted domain or
+            // escalate; damage surviving one is a defect.
+            ++rep.dormantAfterRewind;
+        } else if (had_dormant) {
+            // The rewind healed the plant: it counts as a heal for
+            // the re-infection clock, same as the macro levels.
             awaiting_reinfect = true;
             last_heal = out.endTick;
-        } else if (out.status == net::RequestStatus::DomainRewound) {
-            ++rep.domainRewinds;
-            if (refs.app->hasDormantDamage()) {
-                // A confined rewind must target the planted domain or
-                // escalate; damage surviving one is a defect.
-                ++rep.dormantAfterRewind;
-            } else if (had_dormant) {
-                // The rewind healed the plant: it counts as a heal for
-                // the re-infection clock, same as the macro levels.
-                awaiting_reinfect = true;
-                last_heal = out.endTick;
-            }
-        } else if (awaiting_reinfect && refs.app->hasDormantDamage()) {
-            ++rep.reinfections;
-            if (rep.timeToReinfection == 0) {
-                rep.timeToReinfection =
-                    out.endTick > last_heal ? out.endTick - last_heal : 1;
-            }
-            awaiting_reinfect = false;
         }
+    } else if (awaiting_reinfect && refs.app->hasDormantDamage()) {
+        ++rep.reinfections;
+        if (rep.timeToReinfection == 0) {
+            rep.timeToReinfection =
+                out.endTick > last_heal ? out.endTick - last_heal : 1;
+        }
+        awaiting_reinfect = false;
+    }
 
-        if (q.probe) {
-            probe_pending = false;
-            if (out.status == net::RequestStatus::Served)
-                ++rep.probesServed;
-        } else if (q.legit) {
-            if (out.status == net::RequestStatus::Served) {
-                ++rep.legitServed;
-                legit_times.push_back(out.endTick - q.tick);
-            } else {
-                ++rep.legitFailed;
-            }
+    if (q.probe) {
+        probe_pending = false;
+        if (out.status == net::RequestStatus::Served)
+            ++rep.probesServed;
+    } else if (q.legit) {
+        if (out.status == net::RequestStatus::Served) {
+            ++rep.legitServed;
+            legit_times.push_back(out.endTick - q.tick);
         } else {
-            ++rep.attackExecuted;
+            ++rep.legitFailed;
         }
+    } else {
+        ++rep.attackExecuted;
+    }
 
-        if (adv) {
-            adv->observeOutcome(out.endTick, out, !q.legit && !q.probe);
-            if (guard) {
-                adv->observeHealth(
-                    out.endTick,
-                    static_cast<std::uint8_t>(guard->health().state()));
-            }
-        }
-
+    if (adv) {
+        adv->observeOutcome(out.endTick, out, !q.legit && !q.probe);
         if (guard) {
-            resilience::HealthState st = guard->health().state();
-            if (!left_healthy &&
-                st != resilience::HealthState::Healthy) {
-                left_healthy = true;
-                executed_since_depart = 0;
-            } else if (left_healthy && !revived &&
-                       st == resilience::HealthState::Healthy) {
-                revived = true;
-                rep.requestsToRevival = executed_since_depart;
-            }
-            scheduleProbe(s.core->curTick());
+            adv->observeHealth(
+                out.endTick,
+                static_cast<std::uint8_t>(guard->health().state()));
         }
     }
 
+    if (guard) {
+        resilience::HealthState st = guard->health().state();
+        if (!left_healthy &&
+            st != resilience::HealthState::Healthy) {
+            left_healthy = true;
+            executed_since_depart = 0;
+        } else if (left_healthy && !revived &&
+                   st == resilience::HealthState::Healthy) {
+            revived = true;
+            rep.requestsToRevival = executed_since_depart;
+        }
+        scheduleProbe(s.core->curTick());
+    }
+
+    if (collect) {
+        NodeEvent ev;
+        ev.tick = out.endTick;
+        ev.status = out.status;
+        ev.legit = q.legit;
+        ev.probe = q.probe;
+        ev.proactiveRestore = proactive_fired;
+        ev.proactiveCycles = proactive_cycles;
+        ev.responseCycles = out.endTick - q.tick;
+        ev.recoveryCycles = needed_recovery ? out.endTick - q.tick : 0;
+        collected.push_back(ev);
+    }
+}
+
+resilience::StormReport
+NodeHandle::Impl::finish()
+{
+    fatal_if(finished, "NodeHandle::finish called twice");
+    finished = true;
     rep.endTick = s.core->curTick();
     rep.legitP50 = resilience::percentile(legit_times, 50.0);
     rep.legitP99 = resilience::percentile(legit_times, 99.0);
@@ -493,6 +599,100 @@ IndraSystem::runStorm(std::size_t slot_idx,
         rep.bpEngagements = guard->backpressure().engagements();
     }
     return rep;
+}
+
+// ------------------------------------------------- NodeHandle facade
+
+NodeHandle::NodeHandle(IndraSystem &sys, std::size_t slot_idx,
+                       const resilience::StormPlan &plan)
+    : impl(std::make_unique<Impl>(sys, slot_idx, plan))
+{
+}
+
+NodeHandle::~NodeHandle() = default;
+
+void
+NodeHandle::collectEvents(bool on)
+{
+    impl->collect = on;
+}
+
+void
+NodeHandle::inject(Tick tick, const net::ServiceRequest &req,
+                   bool legit)
+{
+    Arrival a;
+    a.tick = tick;
+    a.order = impl->order++;
+    a.req = req;
+    a.legit = legit;
+    if (a.req.domain == net::domainUnassigned)
+        impl->stampDomain(a);
+    if (legit) {
+        if (a.req.admissionDeadline == 0)
+            a.req.admissionDeadline = impl->plan.deadline;
+        ++impl->rep.legitArrivals;
+    } else {
+        ++impl->rep.attackArrivals;
+    }
+    impl->events.pushDynamic(std::move(a));
+}
+
+bool
+NodeHandle::advanceTo(Tick bound)
+{
+    return impl->advanceTo(bound);
+}
+
+bool
+NodeHandle::idle() const
+{
+    return impl->events.empty() && impl->queue.empty();
+}
+
+Tick
+NodeHandle::nextPendingTick() const
+{
+    return idle() ? maxTick : impl->nextWorkTick();
+}
+
+Tick
+NodeHandle::now() const
+{
+    return impl->s.core->curTick();
+}
+
+void
+NodeHandle::stall(Cycles delay)
+{
+    impl->s.core->stall(delay);
+}
+
+std::vector<NodeEvent>
+NodeHandle::drainEvents()
+{
+    std::vector<NodeEvent> out;
+    out.swap(impl->collected);
+    return out;
+}
+
+resilience::StormReport
+NodeHandle::finish()
+{
+    return impl->finish();
+}
+
+// ------------------------------------------------ runStorm wrapper
+
+resilience::StormReport
+IndraSystem::runStorm(std::size_t slot_idx,
+                      const resilience::StormPlan &plan)
+{
+    fatal_if(plan.legitRatePerMCycle <= 0.0,
+             "storm needs a positive legit arrival rate");
+    NodeHandle node(*this, slot_idx, plan);
+    node.advanceTo(maxTick);
+    return node.finish();
 }
 
 } // namespace indra::core

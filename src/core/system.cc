@@ -18,6 +18,11 @@ constexpr std::uint64_t biosCopyBytes = 64ULL * 1024;
 
 } // anonymous namespace
 
+IndraSystem::IndraSystem(const NodeConfig &node)
+    : IndraSystem(node.system, node.faults, node.resilience)
+{
+}
+
 IndraSystem::IndraSystem(const SystemConfig &config,
                          faults::FaultPlan plan,
                          resilience::ResilienceConfig rcfg)

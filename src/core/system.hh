@@ -27,6 +27,7 @@
 #include "check/hooks.hh"
 #include "checkpoint/macro_ckpt.hh"
 #include "checkpoint/policy.hh"
+#include "core/node_config.hh"
 #include "core/recovery.hh"
 #include "cpu/core.hh"
 #include "faults/fault_injector.hh"
@@ -152,6 +153,21 @@ class IndraSystem : public os::KernelListener
 {
   public:
     /**
+     * Build the machine from one NodeConfig aggregate — the preferred
+     * constructor. A default NodeConfig (empty fault plan, disarmed
+     * resilience) follows the zero-cost-when-off contract: no
+     * injector, no ServiceGuard, simulations bit-identical to a build
+     * without those subsystems. The aggregate's adversary knobs are
+     * not consumed here; storm drivers seed StormPlan.adversary from
+     * them.
+     */
+    explicit IndraSystem(const NodeConfig &node);
+
+    /**
+     * Compatibility overload, deprecated in favor of the NodeConfig
+     * aggregate (every knob of which routes through one dotted-key
+     * entry point, core/node_config.hh).
+     *
      * @param cfg  system configuration
      * @param plan fault-injection plan; the default (empty) plan
      *             creates no injector and leaves every simulation
@@ -304,6 +320,12 @@ class IndraSystem : public os::KernelListener
                            std::uint64_t len) override;
 
   private:
+    /**
+     * The steppable storm facade drives the request loop through the
+     * same private refs runStorm always used (core/storm.cc).
+     */
+    friend class NodeHandle;
+
     /** Everything needed to serve one process's request. */
     struct ServiceRefs
     {

@@ -87,4 +87,17 @@ PhysicalMemory::snapshotFrame(Pfn pfn) const
     return *data;
 }
 
+void
+PhysicalMemory::snapshotFrameInto(Pfn pfn,
+                                  std::vector<std::uint8_t> &out) const
+{
+    checkFrame(pfn);
+    const auto *data = peek(pfn);
+    if (!data) {
+        out.assign(frameBytes, 0);
+        return;
+    }
+    out.assign(data->begin(), data->end());
+}
+
 } // namespace indra::mem

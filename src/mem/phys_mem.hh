@@ -107,6 +107,14 @@ class PhysicalMemory
     std::vector<std::uint8_t> snapshotFrame(Pfn pfn) const;
 
     /**
+     * Snapshot an entire frame into @p out, reusing its capacity.
+     * Checkpoint engines that recapture the same pages every interval
+     * use this to avoid reallocating a page-sized buffer per page per
+     * capture.
+     */
+    void snapshotFrameInto(Pfn pfn, std::vector<std::uint8_t> &out) const;
+
+    /**
      * Monotone per-frame write version: bumped on every write to the
      * frame and when the frame is freed (its contents are discarded).
      * Two observations of the same (pfn, version) pair are guaranteed

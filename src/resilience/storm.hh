@@ -63,6 +63,17 @@ struct StormPlan
     /** Legitimate-client retry discipline. */
     BackoffPolicy backoff;
 
+    /**
+     * Externally driven offered-load horizon, cluster mode's knob:
+     * the window attacks (and adaptive-adversary moves) may land in
+     * is the *later* of the static legit timeline's end and this
+     * bound, so a node fed through NodeHandle::inject() alone
+     * (legitRequests == 0) still sees its attackers active for the
+     * whole cluster run. 0 (the default) leaves the classic
+     * derivation untouched.
+     */
+    Tick horizon = 0;
+
     /** Probe cadence while the service only admits probes. */
     Cycles probePeriod = 100000;
     /** Probes to give up after (guards un-revivable configs). */
