@@ -107,6 +107,11 @@ SystemChecker::corruptionCount(Pid pid)
 void
 SystemChecker::report(Violation v)
 {
+    // Stamp the injector's site-log length so the violation can be
+    // attributed to the nearest prior injection (site index
+    // faultSitesSeen - 1) even after the campaign moves on.
+    if (const faults::FaultInjector *inj = sys.faultInjector())
+        v.faultSitesSeen = inj->sites().size();
     if (obs::TraceLog *log = sys.traceLog()) {
         log->emit(v.tick, obs::EventKind::OracleViolation,
                   static_cast<std::uint32_t>(v.pid),

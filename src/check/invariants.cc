@@ -249,7 +249,7 @@ InvariantRegistry::evaluate(const CheckContext &ctx, Tick tick, Pid pid,
         std::string detail;
         if (!entry.fn(ctx, detail)) {
             out.push_back(
-                Violation{entry.id, tick, pid, epoch, detail});
+                Violation{entry.id, tick, pid, epoch, 0, detail});
             ++fired;
         }
     }

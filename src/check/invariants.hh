@@ -65,6 +65,13 @@ struct Violation
     Tick tick = 0;
     Pid pid = 0;
     std::uint64_t epoch = 0;
+    /**
+     * Fault sites fired before this violation was reported (the size
+     * of the injector's site log at report time; 0 when no injector).
+     * Site index faultSitesSeen - 1 is the nearest prior injection —
+     * rca's attribution anchor for oracle-detected failures.
+     */
+    std::uint64_t faultSitesSeen = 0;
     std::string detail;
 
     std::string describe() const;

@@ -29,6 +29,10 @@ applyNodeSetting(NodeConfig &node, const std::string &key,
                                          node.resilience, key, value);
         return;
     }
+    if (hasPrefix(key, "rca.")) {
+        rca::applyRcaSetting(node.rca, key, value);
+        return;
+    }
     if (key == "faults.plan") {
         node.faults =
             faults::FaultPlan::parse(value, node.faults.seed());
@@ -38,7 +42,7 @@ applyNodeSetting(NodeConfig &node, const std::string &key,
         return;
     fatal("unknown node setting '", key,
           "' (expected a SystemConfig field, faults.plan, or a dotted "
-          "adversary./rejuvenation./resilience./domain. key)");
+          "adversary./rejuvenation./resilience./domain./rca. key)");
 }
 
 void

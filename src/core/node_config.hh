@@ -15,6 +15,8 @@
  *       the survivability ablation router (resilience/ablation.hh)
  *   faults.plan
  *       a FaultPlan::parse() spec ("kind:rate[:magnitude],...")
+ *   rca.*
+ *       the root-cause-analysis knobs (rca/rca_config.hh)
  *   everything else
  *       a SystemConfig field name (sim/config_reader.hh), e.g.
  *       "checkpointScheme=domain-rewind" or "traceFifoEntries=64"
@@ -35,6 +37,7 @@
 
 #include "adversary/adversary_config.hh"
 #include "faults/fault_plan.hh"
+#include "rca/rca_config.hh"
 #include "resilience/resilience_config.hh"
 #include "sim/config.hh"
 
@@ -71,6 +74,13 @@ struct NodeConfig
      * from the same dotted keys as everything else.
      */
     adversary::AdversaryConfig adversary;
+    /**
+     * Root-cause-analysis knobs for fault campaigns over this node.
+     * Like the adversary block, IndraSystem never reads these; the
+     * rca campaign runner and its benches consume them, and they live
+     * here so `rca.*` routes through the same dotted-key entry point.
+     */
+    rca::RcaConfig rca;
 };
 
 /**

@@ -50,7 +50,12 @@ class IndraSystem;
 struct NodeEvent
 {
     Tick tick = 0; //!< completion tick
+    /** Execution-order sequence number the storm stamped the request
+     *  with (rca's golden replay matches windows by this). */
+    std::uint64_t seq = 0;
     net::RequestStatus status = net::RequestStatus::Served;
+    /** Monitor verdict for the request (None when nothing fired). */
+    mon::Violation violation = mon::Violation::None;
     bool legit = false;
     bool probe = false;
     /** A proactive policy fired a restore before this request ran. */

@@ -568,7 +568,9 @@ NodeHandle::Impl::step()
     if (collect) {
         NodeEvent ev;
         ev.tick = out.endTick;
+        ev.seq = out.seq;
         ev.status = out.status;
+        ev.violation = out.violation;
         ev.legit = q.legit;
         ev.probe = q.probe;
         ev.proactiveRestore = proactive_fired;

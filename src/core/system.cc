@@ -360,6 +360,10 @@ IndraSystem::runOneRequest(const ServiceRefs &refs,
     if (traceLogPtr)
         traceLogPtr->setNow(out.startTick);
 #endif
+    // The injector's site log stamps firings with its own clock so
+    // attribution works with tracing compiled out too.
+    if (injectorPtr)
+        injectorPtr->setNow(out.startTick);
 
     // Corruption detections before this request; the delta feeds the
     // health state machine (checksum mismatches are hard evidence the
@@ -452,6 +456,7 @@ IndraSystem::handleFailure(const ServiceRefs &refs,
 {
     ServiceSlot &s = *refs.slot;
     out.violation = violation;
+    out.failTick = fail_tick;
 
     if (cfg.checkpointScheme != CheckpointScheme::None) {
         ckpt::DomainRewindEngine *dom_engine = nullptr;

@@ -44,10 +44,20 @@ FaultInjector::fire(FaultKind kind)
         return false;
     ++fired[i];
     ++*statInjected[i];
+    // Append-only site log: the firing's full identity survives even
+    // after later faults of the same kind fire (the counters alone
+    // lose the ordinal). Site id == index in the log.
+    FaultSite site;
+    site.kind = kind;
+    site.component = componentOf(kind);
+    site.tick = curTick;
+    site.streamPos = fired[i];
+    siteLog.push_back(site);
 #if INDRA_OBS_TRACING_ENABLED
     if (traceLog)
         traceLog->emitNow(obs::EventKind::FaultInjected, traceSource,
-                          static_cast<std::uint64_t>(kind));
+                          static_cast<std::uint64_t>(kind),
+                          siteLog.size() - 1);
 #endif
     return true;
 }

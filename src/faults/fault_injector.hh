@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "faults/fault_plan.hh"
 #include "obs/trace_log.hh"
@@ -34,6 +35,28 @@ namespace indra::faults
 
 /** FNV-1a 32-bit checksum over @p len bytes at @p data. */
 std::uint32_t checksum32(const void *data, std::size_t len);
+
+/**
+ * One fired injection, as recorded in the injector's append-only site
+ * log: the identity (component x kind x per-kind seed-stream
+ * position) that root-cause analysis (src/rca) attributes campaign
+ * outcomes back to. streamPos is the 1-based ordinal of the firing
+ * within its kind's PCG32 stream, so (plan seed, kind, streamPos)
+ * names the exact Bernoulli draw that fired — replayable identity in
+ * the InjectV sense. The global index of a site in the log is its
+ * FaultSiteId, threaded through obs trace events and check oracle
+ * violations.
+ */
+struct FaultSite
+{
+    FaultKind kind = FaultKind::TraceDrop;
+    FaultComponent component = FaultComponent::TraceTransport;
+    /** Injector clock at the firing (the enclosing request's start
+     *  tick — see setNow()); 0 before any request ran. */
+    Tick tick = 0;
+    /** 1-based per-kind firing ordinal (== injected(kind) after). */
+    std::uint64_t streamPos = 0;
+};
 
 /**
  * Per-system fault oracle. One instance per IndraSystem; every
@@ -94,6 +117,32 @@ class FaultInjector
     /** Total injections across all kinds. */
     std::uint64_t totalInjected() const;
 
+    /**
+     * Advance the injector's own clock (monotone, like
+     * TraceLog::setNow). The system stamps it with each request's
+     * start tick — unconditionally, even with tracing compiled out —
+     * so site-log entries carry the request window they fired in.
+     */
+    void
+    setNow(Tick tick)
+    {
+        if (tick > curTick)
+            curTick = tick;
+    }
+
+    /** The injector's current clock. */
+    Tick now() const { return curTick; }
+
+    /**
+     * The append-only site log: one entry per fired injection, in
+     * firing order. Index i in this vector is fault site id i — the
+     * identity trace events (FaultInjected a1) and oracle violations
+     * (Violation::faultSitesSeen) refer to. Never truncated or
+     * reordered; sites().size() == totalInjected() always (pinned by
+     * tests/test_rca.cc).
+     */
+    const std::vector<FaultSite> &sites() const { return siteLog; }
+
   private:
     static std::size_t
     index(FaultKind kind)
@@ -104,9 +153,11 @@ class FaultInjector
     FaultPlan thePlan;
     obs::TraceLog *traceLog = nullptr;
     std::uint32_t traceSource = 0;
+    Tick curTick = 0;
     std::array<double, faultKindCount> rates{};
     std::array<Pcg32, faultKindCount> streams;
     std::array<std::uint64_t, faultKindCount> fired{};
+    std::vector<FaultSite> siteLog;
 
     stats::StatGroup statGroup;
     std::vector<std::unique_ptr<stats::Scalar>> statInjected;

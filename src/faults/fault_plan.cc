@@ -47,6 +47,60 @@ allFaultKinds()
     return kinds;
 }
 
+const char *
+faultComponentName(FaultComponent c)
+{
+    switch (c) {
+      case FaultComponent::TraceTransport:
+        return "trace-transport";
+      case FaultComponent::MonitorVerdict:
+        return "monitor-verdict";
+      case FaultComponent::DeltaBackup:
+        return "delta-backup";
+      case FaultComponent::UpdateLog:
+        return "update-log";
+      case FaultComponent::MacroImage:
+        return "macro-image";
+      case FaultComponent::KernelResources:
+        return "kernel-resources";
+    }
+    return "??";
+}
+
+FaultComponent
+componentOf(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::TraceDrop:
+      case FaultKind::TraceCorrupt:
+        return FaultComponent::TraceTransport;
+      case FaultKind::MonitorFalseNegative:
+      case FaultKind::MonitorDelay:
+        return FaultComponent::MonitorVerdict;
+      case FaultKind::DeltaFlip:
+        return FaultComponent::DeltaBackup;
+      case FaultKind::LogFlip:
+        return FaultComponent::UpdateLog;
+      case FaultKind::MacroCorrupt:
+      case FaultKind::MacroTruncate:
+        return FaultComponent::MacroImage;
+      case FaultKind::ReleaseFail:
+        return FaultComponent::KernelResources;
+    }
+    return FaultComponent::TraceTransport;
+}
+
+const std::array<FaultComponent, faultComponentCount> &
+allFaultComponents()
+{
+    static const std::array<FaultComponent, faultComponentCount> cs = {
+        FaultComponent::TraceTransport, FaultComponent::MonitorVerdict,
+        FaultComponent::DeltaBackup,    FaultComponent::UpdateLog,
+        FaultComponent::MacroImage,     FaultComponent::KernelResources,
+    };
+    return cs;
+}
+
 FaultKind
 faultKindFromName(const std::string &name)
 {

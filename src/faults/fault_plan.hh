@@ -54,6 +54,35 @@ FaultKind faultKindFromName(const std::string &name);
 /** All kinds, in declaration order (campaign sweep axis). */
 const std::array<FaultKind, faultKindCount> &allFaultKinds();
 
+/**
+ * The microarchitectural component a fault kind lands in — the
+ * attribution unit of the vulnerability map (src/rca). Each kind
+ * corrupts exactly one component, so sweeping kinds sweeps components
+ * and every injection site carries both.
+ */
+enum class FaultComponent : std::uint8_t
+{
+    TraceTransport,  //!< trace FIFO transport (drop / record corrupt)
+    MonitorVerdict,  //!< monitor verdict path (miss / delay)
+    DeltaBackup,     //!< delta backup pages
+    UpdateLog,       //!< memory update log entries
+    MacroImage,      //!< macro checkpoint image
+    KernelResources, //!< kernel resource release during revival
+};
+
+/** Number of distinct fault components. */
+constexpr std::size_t faultComponentCount = 6;
+
+/** Printable component name ("trace-transport", ...). */
+const char *faultComponentName(FaultComponent c);
+
+/** The component @p k corrupts (total function over FaultKind). */
+FaultComponent componentOf(FaultKind k);
+
+/** All components, in declaration order (vuln-map table axis). */
+const std::array<FaultComponent, faultComponentCount> &
+allFaultComponents();
+
 /** One armed fault. */
 struct FaultSpec
 {

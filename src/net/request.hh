@@ -137,6 +137,14 @@ struct RequestOutcome
     std::uint32_t domain = domainUnassigned;
     Tick startTick = 0;
     Tick endTick = 0;
+    /**
+     * Tick the failure verdict was established (monitor detection —
+     * including any injected verdict delay — or crash); 0 when the
+     * request never failed. endTick - failTick is recovery time,
+     * failTick - startTick the in-band detection latency rca compares
+     * the replay detector against.
+     */
+    Tick failTick = 0;
     std::uint64_t instructions = 0;
 
     Cycles responseTime() const { return endTick - startTick; }

@@ -32,7 +32,7 @@ enum class EventKind : std::uint8_t
     Rejuvenation,         //!< full service rebirth      (a0 cycles)
     RollbackArmed,        //!< delta rollback armed      (a0 pages, a1 cycles)
     CorruptionDetected,   //!< backup checksum mismatch  (a0 bad units)
-    FaultInjected,        //!< injector fired            (a0 fault kind id)
+    FaultInjected,        //!< injector fired            (a0 fault kind id, a1 site id)
     Shed,                 //!< admission refused/dropped (a0 reason, a1 class)
     HealthTransition,     //!< health state changed      (a0 from, a1 to)
     FifoHighWater,        //!< FIFO occupancy crossed up (a0 occupancy)

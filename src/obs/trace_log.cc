@@ -64,7 +64,7 @@ eventArgName(EventKind k, int i)
       case EventKind::CorruptionDetected:
         return i == 0 ? "bad_units" : nullptr;
       case EventKind::FaultInjected:
-        return i == 0 ? "fault_kind" : nullptr;
+        return i == 0 ? "fault_kind" : "site";
       case EventKind::Shed:
         return i == 0 ? "reason" : "client_class";
       case EventKind::HealthTransition:

@@ -1,0 +1,28 @@
+#include "rca/attribution.hh"
+
+#include <sstream>
+
+namespace indra::rca
+{
+
+const faults::FaultSite *
+attributeSite(const std::vector<faults::FaultSite> &sites,
+              std::size_t sites_end)
+{
+    if (sites_end == 0 || sites.empty())
+        return nullptr;
+    std::size_t idx = std::min(sites_end, sites.size()) - 1;
+    return &sites[idx];
+}
+
+std::string
+formatSiteId(const faults::FaultSite &site, std::size_t index)
+{
+    std::ostringstream os;
+    os << faults::faultComponentName(site.component) << "/"
+       << faults::faultKindName(site.kind) << "#" << site.streamPos
+       << "@" << site.tick << " (site " << index << ")";
+    return os.str();
+}
+
+} // namespace indra::rca

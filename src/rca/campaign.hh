@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The rca campaign runner: one faulted run, one golden replay, and
+ * the per-window comparison that turns "this cell failed" into "this
+ * component's fault at this site became this failure, detected by
+ * these detectors at these latencies".
+ *
+ * A campaign cell is a check::Scenario (pure value of its seed), so
+ * every result here is a pure function of (scenario, RcaConfig) and
+ * ParallelSweep cells stay bit-identical for any --jobs count.
+ */
+
+#ifndef INDRA_RCA_CAMPAIGN_HH
+#define INDRA_RCA_CAMPAIGN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "check/scenario.hh"
+#include "core/node_config.hh"
+#include "rca/attribution.hh"
+#include "rca/rca_config.hh"
+
+namespace indra::rca
+{
+
+/** Everything one campaign cell concluded. */
+struct CampaignResult
+{
+    /** Faulted-run windows, in execution order. */
+    std::vector<WindowRecord> windows;
+    /** The injector's site log, copied out of the faulted system. */
+    std::vector<faults::FaultSite> sites;
+    /** Outcomes the fault turned into failures (divergences). */
+    std::vector<Failure> failures;
+    /** Injections fired (== sites.size(); cross-checked). */
+    std::uint64_t injectedTotal = 0;
+    /** Final faulted memory != final golden memory. */
+    bool memoryDiverged = false;
+    /** Requests executed. */
+    std::uint64_t requests = 0;
+    /** Golden replay ran (RcaConfig::replay, and a twin was built). */
+    bool replayed = false;
+};
+
+/**
+ * The node build recipe of @p sc: the same config assembly the fuzz
+ * oracle uses (check::runScenario), expressed as a NodeConfig so the
+ * faulted system and its fault-stripped golden twin are built from
+ * one value.
+ */
+core::NodeConfig nodeConfigFor(const check::Scenario &sc);
+
+/**
+ * @p sc's request schedule as explicit 0-based-seq requests — the
+ * numbering the storm facade stamps, so a processRequest-driven
+ * faulted run and a NodeHandle-driven golden replay execute
+ * byte-identical instruction streams.
+ */
+std::vector<net::ServiceRequest>
+scenarioRequests(const check::Scenario &sc);
+
+/**
+ * Run the campaign cell: faulted run, golden replay (when
+ * @p rcfg.replay), window comparison, site attribution, and the
+ * final-state memory audit (when @p rcfg.memoryAudit).
+ */
+CampaignResult runCampaign(const check::Scenario &sc,
+                           const RcaConfig &rcfg);
+
+} // namespace indra::rca
+
+#endif // INDRA_RCA_CAMPAIGN_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The replay-based detector (RepTFD-style): re-execute a campaign's
+ * request schedule on a fault-free golden twin and detect faults as
+ * divergence from the faulted run.
+ *
+ * The twin is driven through the steppable core::NodeHandle, one
+ * request window at a time — inject at the core's current tick,
+ * advance, drain the single completion event — so each golden window
+ * is measured in isolation (windowCycles is the re-execution cost of
+ * exactly that window, the replay detector's detection latency for a
+ * divergence found there). The twin's final memory is captured as a
+ * check::RefMemory golden image for the campaign's silent-corruption
+ * audit.
+ */
+
+#ifndef INDRA_RCA_REPLAY_HH
+#define INDRA_RCA_REPLAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "check/ref_models.hh"
+#include "check/scenario.hh"
+#include "net/request.hh"
+#include "sim/types.hh"
+
+namespace indra::rca
+{
+
+/** One request window of the golden re-execution. */
+struct GoldenWindow
+{
+    std::uint64_t seq = 0;
+    net::RequestStatus status = net::RequestStatus::Served;
+    mon::Violation violation = mon::Violation::None;
+    /** Re-execution cost of this window alone (completion delta). */
+    Cycles windowCycles = 0;
+    Tick endTick = 0;
+};
+
+/** The golden twin's complete re-execution record. */
+struct GoldenRun
+{
+    std::vector<GoldenWindow> windows;
+    /** Final service memory image (empty unless audit requested). */
+    check::RefMemory finalImage;
+    /** Total twin execution cycles across all windows. */
+    Cycles totalCycles = 0;
+};
+
+/**
+ * The replay detector: re-executes @p sc's request schedule (faults
+ * stripped) via core::NodeHandle.
+ */
+class ReplayDetector
+{
+  public:
+    /**
+     * Run the golden twin over @p requests (the same execution-order
+     * schedule the faulted run processed; seqs must be 0-based, as
+     * the storm facade stamps them). With @p capture_memory the final
+     * service image is captured into the returned run.
+     */
+    static GoldenRun rerun(const check::Scenario &sc,
+                           const std::vector<net::ServiceRequest> &requests,
+                           bool capture_memory);
+};
+
+} // namespace indra::rca
+
+#endif // INDRA_RCA_REPLAY_HH
